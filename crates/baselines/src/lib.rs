@@ -1,0 +1,501 @@
+//! Baseline communication-synthesis strategies.
+//!
+//! The paper's evaluation implicitly compares against the *optimum
+//! point-to-point implementation graph* (Def. 2.6) — every arc
+//! implemented independently. This crate makes that baseline explicit and
+//! adds three more reference algorithms, all sharing `ccs-core`'s cost
+//! model so comparisons are apples-to-apples:
+//!
+//! * [`point_to_point`] — Def. 2.6: no merging at all;
+//! * [`greedy_merge`] — iterative best-improvement group merging (the
+//!   classic network-design heuristic);
+//! * [`exhaustive`] — the exact optimum over *all partitions* of the arc
+//!   set into merge groups, used as a ground-truth oracle for small
+//!   instances (this independently validates the pipeline's pruning);
+//! * [`annealing`] — simulated annealing over partitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ccs_core::constraint::ConstraintGraph;
+use ccs_core::error::SynthesisError;
+use ccs_core::implementation::ImplementationGraph;
+use ccs_core::library::Library;
+use ccs_core::placement::{merge_candidate, point_to_point_candidate, Candidate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors from the baseline algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The exhaustive oracle refuses instances with too many arcs.
+    TooLarge(usize),
+    /// A core synthesis failure (no feasible link, etc.).
+    Synthesis(SynthesisError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::TooLarge(n) => {
+                write!(f, "exhaustive baseline limited to 10 arcs, got {n}")
+            }
+            BaselineError::Synthesis(e) => write!(f, "synthesis failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[doc(hidden)]
+impl From<SynthesisError> for BaselineError {
+    fn from(e: SynthesisError) -> Self {
+        BaselineError::Synthesis(e)
+    }
+}
+
+/// The outcome of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Selected candidates (one per group).
+    pub selected: Vec<Candidate>,
+    /// Total architecture cost.
+    pub cost: f64,
+    /// The assembled architecture.
+    pub implementation: ImplementationGraph,
+}
+
+/// Implements every arc independently — the optimum point-to-point
+/// implementation graph of Def. 2.6 (Lemma 2.1: its cost is the sum of
+/// the per-arc optimum costs).
+///
+/// # Errors
+///
+/// Propagates per-arc infeasibility.
+pub fn point_to_point(
+    graph: &ConstraintGraph,
+    library: &Library,
+) -> Result<BaselineResult, BaselineError> {
+    let groups: Vec<Vec<usize>> = (0..graph.arc_count()).map(|i| vec![i]).collect();
+    realize_partition(graph, library, &groups)
+}
+
+/// Cost of a partition: each singleton group is implemented
+/// point-to-point, each larger group as a merging. Returns `None` when a
+/// group's merging is structurally infeasible.
+fn partition_candidates(
+    graph: &ConstraintGraph,
+    library: &Library,
+    groups: &[Vec<usize>],
+) -> Result<Option<Vec<Candidate>>, BaselineError> {
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        if g.len() == 1 {
+            out.push(point_to_point_candidate(graph, library, g[0])?);
+        } else {
+            match merge_candidate(graph, library, g)? {
+                Some(c) => out.push(c),
+                None => return Ok(None),
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Memoizes group implementation costs: partition searches revisit the
+/// same groups constantly (Bell(9) ≈ 21k partitions share only 2⁹
+/// distinct groups), so caching turns the oracle from minutes to
+/// milliseconds.
+struct CostCache<'a> {
+    graph: &'a ConstraintGraph,
+    library: &'a Library,
+    map: std::collections::HashMap<Vec<usize>, Option<f64>>,
+}
+
+impl<'a> CostCache<'a> {
+    fn new(graph: &'a ConstraintGraph, library: &'a Library) -> Self {
+        CostCache {
+            graph,
+            library,
+            map: std::collections::HashMap::new(),
+        }
+    }
+
+    fn group_cost(&mut self, group: &[usize]) -> Result<Option<f64>, BaselineError> {
+        if let Some(&c) = self.map.get(group) {
+            return Ok(c);
+        }
+        let cost = if group.len() == 1 {
+            Some(point_to_point_candidate(self.graph, self.library, group[0])?.cost)
+        } else {
+            merge_candidate(self.graph, self.library, group)?.map(|c| c.cost)
+        };
+        self.map.insert(group.to_vec(), cost);
+        Ok(cost)
+    }
+
+    fn partition_cost(&mut self, groups: &[Vec<usize>]) -> Result<Option<f64>, BaselineError> {
+        let mut total = 0.0;
+        for g in groups {
+            match self.group_cost(g)? {
+                Some(c) => total += c,
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(total))
+    }
+}
+
+fn realize_partition(
+    graph: &ConstraintGraph,
+    library: &Library,
+    groups: &[Vec<usize>],
+) -> Result<BaselineResult, BaselineError> {
+    let candidates = partition_candidates(graph, library, groups)?
+        .expect("realize_partition called on a feasible partition");
+    let cost = candidates.iter().map(|c| c.cost).sum();
+    let implementation = ImplementationGraph::build(graph, library, &candidates);
+    Ok(BaselineResult {
+        selected: candidates,
+        cost,
+        implementation,
+    })
+}
+
+/// Greedy best-improvement merging: start from singletons; repeatedly
+/// merge the pair of groups whose union reduces total cost the most; stop
+/// when no merge improves.
+///
+/// # Errors
+///
+/// Propagates per-arc infeasibility.
+pub fn greedy_merge(
+    graph: &ConstraintGraph,
+    library: &Library,
+) -> Result<BaselineResult, BaselineError> {
+    let n = graph.arc_count();
+    let mut cache = CostCache::new(graph, library);
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut costs: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..n {
+        costs.push(point_to_point_candidate(graph, library, i)?.cost);
+    }
+    loop {
+        let mut best: Option<(f64, usize, usize, f64)> = None; // (gain, i, j, merged_cost)
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let mut union: Vec<usize> = groups[i].iter().chain(&groups[j]).copied().collect();
+                union.sort_unstable();
+                if let Some(c) = cache.group_cost(&union)? {
+                    let gain = costs[i] + costs[j] - c;
+                    if gain > 1e-9 && best.as_ref().is_none_or(|b| gain > b.0) {
+                        best = Some((gain, i, j, c));
+                    }
+                }
+            }
+        }
+        let Some((_, i, j, merged_cost)) = best else {
+            break;
+        };
+        let mut union: Vec<usize> = groups[i].iter().chain(&groups[j]).copied().collect();
+        union.sort_unstable();
+        // Remove j first (j > i) to keep indices valid.
+        groups.remove(j);
+        costs.remove(j);
+        groups[i] = union;
+        costs[i] = merged_cost;
+    }
+    realize_partition(graph, library, &groups)
+}
+
+/// Exact optimum over every partition of the arc set (restricted-growth
+/// enumeration). Ground truth for small instances.
+///
+/// # Errors
+///
+/// [`BaselineError::TooLarge`] beyond 10 arcs (Bell(10) = 115 975
+/// partitions); propagates per-arc infeasibility.
+pub fn exhaustive(
+    graph: &ConstraintGraph,
+    library: &Library,
+) -> Result<BaselineResult, BaselineError> {
+    let n = graph.arc_count();
+    if n > 10 {
+        return Err(BaselineError::TooLarge(n));
+    }
+    if n == 0 {
+        return realize_partition(graph, library, &[]);
+    }
+    let mut cache = CostCache::new(graph, library);
+    let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+    let mut rgs = vec![0usize; n]; // restricted-growth string
+    loop {
+        let groups = rgs_to_groups(&rgs);
+        if let Some(cost) = cache.partition_cost(&groups)? {
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                best = Some((cost, groups));
+            }
+        }
+        if !next_rgs(&mut rgs) {
+            break;
+        }
+    }
+    let (_, groups) = best.expect("singleton partition is always feasible");
+    realize_partition(graph, library, &groups)
+}
+
+/// Simulated annealing over partitions: proposal moves one arc to another
+/// (or a fresh) group. Deterministic for a given seed.
+///
+/// # Errors
+///
+/// Propagates per-arc infeasibility.
+pub fn annealing(
+    graph: &ConstraintGraph,
+    library: &Library,
+    seed: u64,
+    iterations: usize,
+) -> Result<BaselineResult, BaselineError> {
+    let n = graph.arc_count();
+    if n == 0 {
+        return realize_partition(graph, library, &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cache = CostCache::new(graph, library);
+    // State: assignment of arcs to group labels.
+    let mut assign: Vec<usize> = (0..n).collect();
+    let mut cost = cache
+        .partition_cost(&rgs_like_groups(&assign))?
+        .expect("singleton partition is feasible");
+    let mut best = (cost, assign.clone());
+    let t0 = cost.max(1.0) * 0.05;
+    for it in 0..iterations {
+        let temp = t0 * (1.0 - it as f64 / iterations as f64).max(1e-3);
+        let arc = rng.random_range(0..n);
+        let new_label = rng.random_range(0..n);
+        let old = assign[arc];
+        if old == new_label {
+            continue;
+        }
+        assign[arc] = new_label;
+        match cache.partition_cost(&rgs_like_groups(&assign))? {
+            Some(c) if c < cost || rng.random_range(0.0..1.0) < ((cost - c) / temp).exp() => {
+                cost = c;
+                if c < best.0 {
+                    best = (c, assign.clone());
+                }
+            }
+            _ => assign[arc] = old,
+        }
+    }
+    realize_partition(graph, library, &rgs_like_groups(&best.1))
+}
+
+/// Groups arcs by label (labels need not be contiguous).
+fn rgs_like_groups(assign: &[usize]) -> Vec<Vec<usize>> {
+    let mut map: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for (arc, &label) in assign.iter().enumerate() {
+        map.entry(label).or_default().push(arc);
+    }
+    map.into_values().collect()
+}
+
+fn rgs_to_groups(rgs: &[usize]) -> Vec<Vec<usize>> {
+    let k = rgs.iter().copied().max().unwrap_or(0) + 1;
+    let mut groups = vec![Vec::new(); k];
+    for (arc, &g) in rgs.iter().enumerate() {
+        groups[g].push(arc);
+    }
+    groups
+}
+
+/// Advances a restricted-growth string; returns `false` after the last.
+fn next_rgs(rgs: &mut [usize]) -> bool {
+    let n = rgs.len();
+    // Max allowed at position i is max(rgs[..i]) + 1.
+    for i in (1..n).rev() {
+        let max_prefix = rgs[..i].iter().copied().max().unwrap_or(0);
+        if rgs[i] <= max_prefix {
+            rgs[i] += 1;
+            rgs[(i + 1)..n].fill(0);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::check::verify;
+    use ccs_core::library::wan_paper_library;
+    use ccs_core::units::Bandwidth;
+    use ccs_geom::{Norm, Point2};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    /// Three 10 Mb/s channels from an A/B/C cluster to a far node D plus
+    /// one unrelated far pair. With the paper library, merging pays only
+    /// at k = 3 (the optical trunk at $4000/km beats 3 radios at
+    /// $6000/km but not 2 at $4000/km) — the exact trap pairwise-greedy
+    /// heuristics fall into.
+    fn cluster_instance() -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        let x = b.add_port("X", Point2::new(200.0, 0.0));
+        let y = b.add_port("Y", Point2::new(203.0, 0.0));
+        b.add_channel(a, d, mbps(10.0)).unwrap();
+        b.add_channel(c, d, mbps(10.0)).unwrap();
+        b.add_channel(e, d, mbps(10.0)).unwrap();
+        b.add_channel(x, y, mbps(10.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A library where even pairwise merging pays: a mid-tier 25 Mb/s
+    /// link cheaper than two thin lanes.
+    fn pairwise_library() -> Library {
+        use ccs_core::library::{Link, NodeKind};
+        Library::builder()
+            .link(Link::per_length("thin", mbps(11.0), 2000.0))
+            .link(Link::per_length("mid", mbps(25.0), 3000.0))
+            .link(Link::per_length(
+                "optical",
+                Bandwidth::from_gbps(1.0),
+                4000.0,
+            ))
+            .node(NodeKind::Repeater, 0.0)
+            .node(NodeKind::Mux, 0.0)
+            .node(NodeKind::Demux, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn p2p_baseline_is_sum_of_arc_optima() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let r = point_to_point(&g, &lib).unwrap();
+        assert_eq!(r.selected.len(), 4);
+        let sum: f64 = (0..4)
+            .map(|i| point_to_point_candidate(&g, &lib, i).unwrap().cost)
+            .sum();
+        assert!((r.cost - sum).abs() < 1e-9);
+        assert!(verify(&g, &lib, &r.implementation).is_empty());
+    }
+
+    #[test]
+    fn greedy_never_worse_than_p2p() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let p2p = point_to_point(&g, &lib).unwrap();
+        let greedy = greedy_merge(&g, &lib).unwrap();
+        assert!(greedy.cost <= p2p.cost + 1e-9);
+        assert!(verify(&g, &lib, &greedy.implementation).is_empty());
+    }
+
+    #[test]
+    fn greedy_misses_three_way_merge() {
+        // No 2-way step improves, so pairwise greedy stalls at the
+        // point-to-point solution even though the 3-way merge wins.
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let p2p = point_to_point(&g, &lib).unwrap();
+        let greedy = greedy_merge(&g, &lib).unwrap();
+        assert!((greedy.cost - p2p.cost).abs() < 1e-6);
+        let exact = exhaustive(&g, &lib).unwrap();
+        assert!(exact.cost < greedy.cost - 1.0, "exhaustive should win");
+    }
+
+    #[test]
+    fn greedy_merges_when_pairwise_profitable() {
+        let g = cluster_instance();
+        let lib = pairwise_library();
+        let p2p = point_to_point(&g, &lib).unwrap();
+        let greedy = greedy_merge(&g, &lib).unwrap();
+        assert!(greedy.cost < p2p.cost - 1.0);
+        // The cluster channels end up in one merged group.
+        assert!(greedy.selected.iter().any(|c| c.arcs.len() >= 2));
+        assert!(verify(&g, &lib, &greedy.implementation).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_is_at_most_greedy() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let greedy = greedy_merge(&g, &lib).unwrap();
+        let exact = exhaustive(&g, &lib).unwrap();
+        assert!(exact.cost <= greedy.cost + 1e-9);
+        assert!(verify(&g, &lib, &exact.implementation).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_matches_pipeline_on_cluster() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let exact = exhaustive(&g, &lib).unwrap();
+        let pipeline = ccs_core::synthesis::Synthesizer::new(&g, &lib)
+            .run()
+            .unwrap();
+        assert!(
+            (exact.cost - pipeline.total_cost()).abs() < 1e-6 * exact.cost.max(1.0),
+            "oracle {} vs pipeline {}",
+            exact.cost,
+            pipeline.total_cost()
+        );
+    }
+
+    #[test]
+    fn exhaustive_rejects_large_instances() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        for i in 0..11 {
+            let s = b.add_port("s", Point2::new(0.0, 1.0 + i as f64));
+            let t = b.add_port("t", Point2::new(10.0, 1.0 + i as f64));
+            b.add_channel(s, t, mbps(1.0)).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(
+            exhaustive(&g, &wan_paper_library()).unwrap_err(),
+            BaselineError::TooLarge(11)
+        );
+    }
+
+    #[test]
+    fn annealing_is_valid_and_no_worse_than_p2p() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let p2p = point_to_point(&g, &lib).unwrap();
+        let sa = annealing(&g, &lib, 42, 200).unwrap();
+        assert!(sa.cost <= p2p.cost + 1e-9);
+        assert!(verify(&g, &lib, &sa.implementation).is_empty());
+    }
+
+    #[test]
+    fn rgs_enumerates_bell_numbers() {
+        // Bell(4) = 15 partitions.
+        let mut rgs = vec![0usize; 4];
+        let mut count = 1;
+        while next_rgs(&mut rgs) {
+            count += 1;
+        }
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn rgs_to_groups_roundtrip() {
+        let groups = rgs_to_groups(&[0, 1, 0, 2]);
+        assert_eq!(groups, vec![vec![0, 2], vec![1], vec![3]]);
+        let like = rgs_like_groups(&[5, 1, 5, 9]);
+        assert_eq!(like, vec![vec![1], vec![0, 2], vec![3]]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BaselineError::TooLarge(12).to_string().contains("12"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion bench: Γ/Δ matrix computation (Tables 1–2 machinery).
+
+use ccs_core::matrices::DistanceMatrices;
+use ccs_gen::random::{clustered_wan, ClusteredWanConfig};
+use ccs_gen::wan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matrices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrices");
+    let paper = wan::paper_instance();
+    group.bench_function("wan_paper_8_arcs", |b| {
+        b.iter(|| DistanceMatrices::compute(black_box(&paper)))
+    });
+    for &n in &[16usize, 32, 64] {
+        let g = clustered_wan(&ClusteredWanConfig {
+            channels: n,
+            seed: 5,
+            ..ClusteredWanConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("clustered", n), &g, |b, g| {
+            b.iter(|| DistanceMatrices::compute(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrices);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: hub placement (the per-candidate "simple nonlinear
+//! optimization" of the paper) across norms and merge orders.
+
+use ccs_geom::twohub::TwoHubProblem;
+use ccs_geom::{Norm, Point2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn problem(k: usize) -> TwoHubProblem {
+    let sources = (0..k)
+        .map(|i| (Point2::new((i as f64) * 3.0, (i as f64).sin() * 5.0), 2.0))
+        .collect();
+    let sinks = (0..k)
+        .map(|i| {
+            (
+                Point2::new(100.0 + (i as f64) * 2.0, 80.0 + (i as f64).cos()),
+                2.0,
+            )
+        })
+        .collect();
+    TwoHubProblem::new(sources, sinks, 4.0)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_hub_placement");
+    for &k in &[2usize, 4, 8] {
+        let p = problem(k);
+        group.bench_with_input(BenchmarkId::new("euclidean", k), &p, |b, p| {
+            b.iter(|| black_box(p).solve(Norm::Euclidean))
+        });
+        group.bench_with_input(BenchmarkId::new("manhattan", k), &p, |b, p| {
+            b.iter(|| black_box(p).solve(Norm::Manhattan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

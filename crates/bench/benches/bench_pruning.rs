@@ -1,0 +1,69 @@
+//! Criterion bench: merge-candidate enumeration with and without the
+//! paper's pruning theorems (the ablation of DESIGN.md §3.2).
+
+use ccs_core::matrices::DistanceMatrices;
+use ccs_core::merging::{enumerate, EnumerationStrategy, MergeConfig, MergePruneRule};
+use ccs_gen::random::{clustered_wan, ClusteredWanConfig};
+use ccs_gen::wan;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let g = clustered_wan(&ClusteredWanConfig {
+        clusters: 3,
+        nodes_per_cluster: 2,
+        channels: 11,
+        seed: 7,
+        ..ClusteredWanConfig::default()
+    });
+    let lib = wan::paper_library();
+    let m = DistanceMatrices::compute(&g);
+
+    let mut group = c.benchmark_group("pruning");
+    let variants: [(&str, MergeConfig); 4] = [
+        (
+            "no_pruning",
+            MergeConfig {
+                geometry_prune: false,
+                bandwidth_prune: false,
+                strategy: EnumerationStrategy::Exhaustive,
+                max_k: Some(5),
+                ..MergeConfig::default()
+            },
+        ),
+        (
+            "last_pivot",
+            MergeConfig {
+                strategy: EnumerationStrategy::Exhaustive,
+                max_k: Some(5),
+                ..MergeConfig::default()
+            },
+        ),
+        (
+            "any_pivot",
+            MergeConfig {
+                prune_rule: MergePruneRule::AnyPivot,
+                strategy: EnumerationStrategy::Exhaustive,
+                max_k: Some(5),
+                ..MergeConfig::default()
+            },
+        ),
+        (
+            "cliques",
+            MergeConfig {
+                strategy: EnumerationStrategy::PairwiseCliques,
+                max_k: Some(5),
+                ..MergeConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| enumerate(black_box(&g), &lib, &m, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: the full synthesis pipeline (Fig. 4 / Fig. 5 and a
+//! size sweep).
+
+use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_gen::random::{clustered_wan, ClusteredWanConfig};
+use ccs_gen::{mpeg4, wan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    group.bench_function("fig4_wan_paper", |b| {
+        b.iter(|| Synthesizer::new(black_box(&g), &lib).run().unwrap())
+    });
+
+    let sg = mpeg4::paper_instance();
+    let slib = mpeg4::paper_library();
+    group.bench_function("fig5_mpeg4", |b| {
+        b.iter(|| Synthesizer::new(black_box(&sg), &slib).run().unwrap())
+    });
+
+    for &n in &[8usize, 12, 16] {
+        let g = clustered_wan(&ClusteredWanConfig {
+            clusters: 3,
+            nodes_per_cluster: 3,
+            channels: n,
+            seed: 42,
+            ..ClusteredWanConfig::default()
+        });
+        let mut cfg = SynthesisConfig::default();
+        cfg.merge.max_k = Some(4);
+        group.bench_with_input(BenchmarkId::new("clustered", n), &g, |b, g| {
+            b.iter(|| {
+                Synthesizer::new(black_box(g), &lib)
+                    .with_config(cfg.clone())
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

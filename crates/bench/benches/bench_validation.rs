@@ -1,0 +1,61 @@
+//! Criterion bench: the independent verifier and both simulators on the
+//! paper's Fig. 4 architecture and a larger clustered instance.
+
+use ccs_core::check::verify;
+use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_gen::random::{clustered_wan, ClusteredWanConfig};
+use ccs_gen::wan;
+use ccs_netsim::packet::{simulate, PacketSimConfig};
+use ccs_netsim::NetSim;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_validation(c: &mut Criterion) {
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    let imp = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("WAN synthesis succeeds")
+        .implementation;
+
+    let big_g = clustered_wan(&ClusteredWanConfig {
+        clusters: 3,
+        nodes_per_cluster: 3,
+        channels: 24,
+        seed: 42,
+        ..ClusteredWanConfig::default()
+    });
+    let mut sc = SynthesisConfig::default();
+    sc.merge.max_k = Some(4);
+    let big_imp = Synthesizer::new(&big_g, &lib)
+        .with_config(sc)
+        .run()
+        .expect("clustered synthesis succeeds")
+        .implementation;
+
+    let mut group = c.benchmark_group("validation");
+    group.bench_function("verify_wan8", |b| {
+        b.iter(|| verify(black_box(&g), &lib, &imp))
+    });
+    group.bench_function("verify_clustered24", |b| {
+        b.iter(|| verify(black_box(&big_g), &lib, &big_imp))
+    });
+    group.bench_function("fluid_sim_wan8", |b| {
+        b.iter(|| NetSim::new(black_box(&g), &imp).run())
+    });
+    group.bench_function("fluid_sim_clustered24", |b| {
+        b.iter(|| NetSim::new(black_box(&big_g), &big_imp).run())
+    });
+    let cfg = PacketSimConfig {
+        horizon_us: 5_000.0,
+        ..PacketSimConfig::default()
+    };
+    group.sample_size(20);
+    group.bench_function("packet_sim_wan8_5ms", |b| {
+        b.iter(|| simulate(black_box(&g), &imp, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the paper's tables and figures on stdout.
+//!
+//! ```text
+//! cargo run -p ccs-bench --release --bin report            # everything
+//! cargo run -p ccs-bench --release --bin report -- fig4    # one experiment
+//! ```
+
+use ccs_bench::{run, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match run(id) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment runners regenerating every table and figure of the
+//! DAC-2002 paper, plus the ablation studies called out in `DESIGN.md`.
+//!
+//! Each function in [`experiments`] produces a self-contained textual
+//! report (paper-expected vs measured where applicable); the `report`
+//! binary dispatches on experiment ids, and the criterion benches reuse
+//! the same code paths for timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{run, EXPERIMENT_IDS};

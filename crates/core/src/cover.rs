@@ -1,0 +1,188 @@
+//! Covering-matrix assembly and global selection (paper Section 3,
+//! step 2).
+//!
+//! Rows are constraint arcs, columns are [`Candidate`]s, and the entry
+//! `(i, j)` is 1 when candidate `j` implements arc `i`. The weighted
+//! unate covering problem is handed to `ccs-covering`.
+
+use crate::error::SynthesisError;
+use crate::placement::Candidate;
+use ccs_covering::{CoverMatrix, SolveStats};
+
+/// Which UCP solver the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CoverStrategy {
+    /// Exact branch-and-bound (default — the paper's choice).
+    #[default]
+    Exact,
+    /// Greedy ratio heuristic (baseline / very large instances).
+    Greedy,
+    /// Branch-and-bound with a node budget: returns the best cover found
+    /// within the budget; [`ccs_covering::SolveStats::proven_optimal`]
+    /// reports whether the search actually completed.
+    Anytime {
+        /// Maximum branch-and-bound nodes to explore.
+        node_limit: u64,
+    },
+}
+
+/// The outcome of the covering step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverOutcome {
+    /// Indices (into the candidate slice) of the selected candidates.
+    pub selected: Vec<usize>,
+    /// Total cost of the selection (sum of candidate costs).
+    pub cost: f64,
+    /// Matrix dimensions `(rows, cols)` actually solved.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Exact-solver statistics (`None` for greedy).
+    pub stats: Option<SolveStats>,
+}
+
+/// Floor for column weights: Assumption 2.1 demands strictly positive
+/// costs, and the UCP solver enforces it; free candidates (e.g. an
+/// on-chip wire below critical length) are clamped to this.
+const MIN_WEIGHT: f64 = 1e-9;
+
+/// Builds the covering matrix over `candidates` for `n_arcs` rows.
+pub fn build_matrix(candidates: &[Candidate], n_arcs: usize) -> CoverMatrix {
+    let mut m = CoverMatrix::new(n_arcs);
+    for c in candidates {
+        m.add_column(c.cost.max(MIN_WEIGHT), c.arcs.iter().copied());
+    }
+    m
+}
+
+/// Selects the minimum-cost subset of `candidates` covering all `n_arcs`
+/// constraint arcs.
+///
+/// # Errors
+///
+/// [`SynthesisError::Cover`] when the matrix is infeasible (an arc with
+/// no candidate — cannot happen when the point-to-point candidates are
+/// included) or the solver otherwise fails.
+pub fn select(
+    candidates: &[Candidate],
+    n_arcs: usize,
+    strategy: CoverStrategy,
+) -> Result<CoverOutcome, SynthesisError> {
+    let m = build_matrix(candidates, n_arcs);
+    let (cover, stats) = match strategy {
+        CoverStrategy::Exact => {
+            let (c, s) = m.solve_exact_with_stats()?;
+            (c, Some(s))
+        }
+        CoverStrategy::Greedy => (m.solve_greedy()?, None),
+        CoverStrategy::Anytime { node_limit } => {
+            let (c, s) = m.solve_anytime(node_limit)?;
+            (c, Some(s))
+        }
+    };
+    // Report the true candidate cost sum (unclamped).
+    let cost = cover.columns.iter().map(|&i| candidates[i].cost).sum();
+    Ok(CoverOutcome {
+        selected: cover.columns,
+        cost,
+        rows: m.n_rows(),
+        cols: m.n_cols(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintGraph;
+    use crate::library::wan_paper_library;
+    use crate::placement::{merge_candidate, point_to_point_candidate};
+    use crate::units::Bandwidth;
+    use ccs_geom::{Norm, Point2};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn cluster_graph() -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s0 = b.add_port("A", Point2::new(0.0, 0.0));
+        let s1 = b.add_port("B", Point2::new(5.0, 0.0));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        b.add_channel(s0, d, mbps(10.0)).unwrap();
+        b.add_channel(s1, d, mbps(10.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn candidates(g: &ConstraintGraph) -> Vec<Candidate> {
+        let lib = wan_paper_library();
+        let mut cands = vec![
+            point_to_point_candidate(g, &lib, 0).unwrap(),
+            point_to_point_candidate(g, &lib, 1).unwrap(),
+        ];
+        if let Some(m) = merge_candidate(g, &lib, &[0, 1]).unwrap() {
+            cands.push(m);
+        }
+        cands
+    }
+
+    #[test]
+    fn matrix_shape_matches_candidates() {
+        let g = cluster_graph();
+        let cands = candidates(&g);
+        let m = build_matrix(&cands, 2);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), cands.len());
+        assert_eq!(m.rows_of(2), vec![0, 1]); // merge column covers both
+    }
+
+    #[test]
+    fn exact_selection_picks_cheapest_cover() {
+        let g = cluster_graph();
+        let cands = candidates(&g);
+        let out = select(&cands, 2, CoverStrategy::Exact).unwrap();
+        let direct: f64 = cands[0].cost + cands[1].cost;
+        let merged = cands[2].cost;
+        let expect = direct.min(merged);
+        assert!((out.cost - expect).abs() < 1e-6);
+        assert!(out.stats.is_some());
+        // Selected set actually covers both arcs.
+        let mut covered = [false; 2];
+        for &i in &out.selected {
+            for &a in &cands[i].arcs {
+                covered[a] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn greedy_selection_is_valid() {
+        let g = cluster_graph();
+        let cands = candidates(&g);
+        let exact = select(&cands, 2, CoverStrategy::Exact).unwrap();
+        let greedy = select(&cands, 2, CoverStrategy::Greedy).unwrap();
+        assert!(greedy.stats.is_none());
+        assert!(greedy.cost >= exact.cost - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_arc_uncovered() {
+        let g = cluster_graph();
+        let cands = vec![point_to_point_candidate(&g, &wan_paper_library(), 0).unwrap()];
+        let err = select(&cands, 2, CoverStrategy::Exact).unwrap_err();
+        assert!(matches!(err, SynthesisError::Cover(_)));
+    }
+
+    #[test]
+    fn zero_cost_candidates_are_clamped_not_rejected() {
+        // On-chip wires below critical length cost 0; the matrix must
+        // still accept them.
+        let g = cluster_graph();
+        let mut c = point_to_point_candidate(&g, &wan_paper_library(), 0).unwrap();
+        c.cost = 0.0;
+        let m = build_matrix(&[c], 2);
+        assert!(m.weight(0) > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Constraint-driven communication synthesis — a from-scratch
+//! reproduction of Pinto, Carloni, Sangiovanni-Vincentelli,
+//! *Constraint-Driven Communication Synthesis*, **DAC 2002**.
+//!
+//! Given a [`ConstraintGraph`](constraint::ConstraintGraph) — ports with
+//! positions and point-to-point channels annotated with distance and
+//! bandwidth requirements (Def. 2.1) — and a communication
+//! [`Library`](library::Library) of links, repeaters and mux/demux
+//! switches (Def. 2.2), the [`Synthesizer`](synthesis::Synthesizer)
+//! produces a minimum-cost
+//! [`ImplementationGraph`](implementation::ImplementationGraph)
+//! (Def. 2.4/2.5) using the paper's two-phase algorithm:
+//!
+//! 1. **Local candidate generation** ([`p2p`], [`merging`],
+//!    [`placement`]) — the optimum point-to-point implementation of every
+//!    arc (matching / segmentation / duplication, Def. 2.7) plus all
+//!    non-dominated k-way merge candidates, pruned with Lemma 3.1/3.2 and
+//!    Theorems 3.1/3.2 over the Γ/Δ matrices ([`matrices`]); each
+//!    surviving candidate's topology and cost come from an exact hub
+//!    placement (Weber problems over the chosen norm).
+//! 2. **Global selection** ([`cover`]) — a weighted unate covering problem
+//!    over the candidates, solved exactly by `ccs-covering`.
+//!
+//! The [`check`] module re-validates any implementation graph against its
+//! constraint graph *independently* of the synthesizer.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ccs_core::prelude::*;
+//!
+//! // Two modules 12 km apart exchanging 8 Mb/s.
+//! let mut b = ConstraintGraph::builder(Norm::Euclidean);
+//! let tx = b.add_port("tx", Point2::new(0.0, 0.0));
+//! let rx = b.add_port("rx", Point2::new(12.0, 0.0));
+//! b.add_channel(tx, rx, Bandwidth::from_mbps(8.0))?;
+//! let graph = b.build()?;
+//!
+//! let library = Library::builder()
+//!     .link(Link::per_length("radio", Bandwidth::from_mbps(11.0), 2_000.0))
+//!     .node(NodeKind::Repeater, 0.0)
+//!     .node(NodeKind::Mux, 0.0)
+//!     .node(NodeKind::Demux, 0.0)
+//!     .build()?;
+//!
+//! let result = Synthesizer::new(&graph, &library).run()?;
+//! assert_eq!(result.implementation.link_count(), 1); // a single radio link
+//! assert!(ccs_core::check::verify(&graph, &library, &result.implementation).is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod constraint;
+pub mod cover;
+pub mod error;
+pub mod implementation;
+pub mod library;
+pub mod matrices;
+pub mod merging;
+pub mod model;
+pub mod p2p;
+pub mod placement;
+pub mod report;
+pub mod synthesis;
+pub mod technology;
+pub mod units;
+
+/// The most commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::constraint::{ArcId, ConstraintGraph, ConstraintGraphBuilder, PortId};
+    pub use crate::error::SynthesisError;
+    pub use crate::implementation::ImplementationGraph;
+    pub use crate::library::{Library, LibraryBuilder, Link, LinkCost, NodeKind};
+    pub use crate::synthesis::{SynthesisConfig, SynthesisResult, Synthesizer};
+    pub use crate::units::Bandwidth;
+    pub use ccs_geom::{Norm, Point2};
+}

@@ -1,0 +1,522 @@
+//! The communication library (paper Def. 2.2).
+//!
+//! A library is a set of **links** — each with a bandwidth, a maximum
+//! span, and a cost model — plus **communication nodes** (repeaters,
+//! muxes, demuxes, switches) with fixed costs. Two cost models cover the
+//! paper's two domains:
+//!
+//! * [`LinkCost::PerLength`] — e.g. the WAN example's radio
+//!   (`$2 × meter`) and optical (`$4 × meter`) links, which can span any
+//!   distance at a price linear in length;
+//! * [`LinkCost::PerSegment`] — e.g. the on-chip example's metal wire of
+//!   critical length `l_crit`, where cost is counted per instantiated
+//!   segment (and the interesting cost is the repeaters between
+//!   segments).
+
+use crate::error::LibraryError;
+use crate::units::Bandwidth;
+use std::fmt;
+
+/// Identifier of a link within a [`Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The kinds of communication nodes (paper Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeKind {
+    /// Receives and re-transmits one stream: used for arc segmentation.
+    Repeater,
+    /// Merges multiple incoming links into one outgoing link.
+    Mux,
+    /// Splits one incoming link into multiple outgoing links.
+    Demux,
+    /// A general routing element (acts as a repeater and can join links).
+    Switch,
+}
+
+impl NodeKind {
+    /// All node kinds, in declaration order.
+    pub const ALL: [NodeKind; 4] = [
+        NodeKind::Repeater,
+        NodeKind::Mux,
+        NodeKind::Demux,
+        NodeKind::Switch,
+    ];
+
+    fn slot(self) -> usize {
+        match self {
+            NodeKind::Repeater => 0,
+            NodeKind::Mux => 1,
+            NodeKind::Demux => 2,
+            NodeKind::Switch => 3,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Repeater => "repeater",
+            NodeKind::Mux => "mux",
+            NodeKind::Demux => "demux",
+            NodeKind::Switch => "switch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a link's cost scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LinkCost {
+    /// Cost is `rate × length` for whatever length the instance spans
+    /// (up to the link's maximum).
+    PerLength(f64),
+    /// Each instantiated segment costs a flat amount regardless of the
+    /// spanned length (e.g. a standard-cell wire segment).
+    PerSegment(f64),
+}
+
+/// How segmentation counts repeaters for a span of length `d` over a link
+/// of maximum length `ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SegmentationPolicy {
+    /// `⌈d/ℓ⌉` segments, so `⌈d/ℓ⌉ − 1` repeaters: a repeater only where
+    /// two segments meet. The natural reading of Def. 2.7.
+    #[default]
+    MinimalRepeaters,
+    /// `⌊d/ℓ⌋` repeaters — one every full critical length, matching the
+    /// paper's on-chip cost formula `⌊(|Δx|+|Δy|)/l_crit⌋` (Section 4,
+    /// Example 2). Differs from `MinimalRepeaters` only when `d` is an
+    /// exact multiple of `ℓ`... and by one elsewhere.
+    RepeaterPerCriticalLength,
+}
+
+/// A communication link specification (Def. 2.2).
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::library::{Link, LinkCost};
+/// use ccs_core::units::Bandwidth;
+///
+/// // The paper's WAN radio link: 11 Mb/s, any length, $2 per metre —
+/// // with kilometre coordinates that is $2000 per km.
+/// let radio = Link::per_length("radio", Bandwidth::from_mbps(11.0), 2000.0);
+/// assert_eq!(radio.cost_of_span(3.0), 6000.0);
+///
+/// // An on-chip wire of critical length 0.6 mm, costed per segment.
+/// let wire = Link::fixed_length("wire", Bandwidth::from_gbps(10.0), 0.6, 0.0);
+/// assert_eq!(wire.max_length, 0.6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Link {
+    /// Human-readable name.
+    pub name: String,
+    /// The fastest channel one instance can carry, `b(l)`.
+    pub bandwidth: Bandwidth,
+    /// The longest channel one instance can span, `d(l)`; use
+    /// [`f64::INFINITY`] for unbounded media (priced per length).
+    pub max_length: f64,
+    /// The cost model, `c(l)`.
+    pub cost: LinkCost,
+}
+
+impl Link {
+    /// An unbounded-length link priced per unit length.
+    pub fn per_length(name: impl Into<String>, bandwidth: Bandwidth, rate: f64) -> Self {
+        Link {
+            name: name.into(),
+            bandwidth,
+            max_length: f64::INFINITY,
+            cost: LinkCost::PerLength(rate),
+        }
+    }
+
+    /// A length-capped link priced per unit length.
+    pub fn per_length_capped(
+        name: impl Into<String>,
+        bandwidth: Bandwidth,
+        max_length: f64,
+        rate: f64,
+    ) -> Self {
+        Link {
+            name: name.into(),
+            bandwidth,
+            max_length,
+            cost: LinkCost::PerLength(rate),
+        }
+    }
+
+    /// A fixed-length link (e.g. a wire of the critical length) with a
+    /// flat per-segment cost.
+    pub fn fixed_length(
+        name: impl Into<String>,
+        bandwidth: Bandwidth,
+        max_length: f64,
+        cost_per_segment: f64,
+    ) -> Self {
+        Link {
+            name: name.into(),
+            bandwidth,
+            max_length,
+            cost: LinkCost::PerSegment(cost_per_segment),
+        }
+    }
+
+    /// Cost of one instance of this link spanning `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` exceeds [`max_length`](Self::max_length) beyond
+    /// float tolerance — segmentation should have been applied first.
+    pub fn cost_of_span(&self, length: f64) -> f64 {
+        assert!(
+            length <= self.max_length * (1.0 + 1e-9) || self.max_length.is_infinite(),
+            "span {length} exceeds link max length {}",
+            self.max_length
+        );
+        match self.cost {
+            LinkCost::PerLength(rate) => rate * length,
+            LinkCost::PerSegment(c) => c,
+        }
+    }
+
+    /// An upper estimate of this link's cost per unit length when carrying
+    /// one lane — used as the linear weight in hub-placement problems.
+    ///
+    /// For per-length links this is the rate; for per-segment links the
+    /// flat cost is amortized over the maximum span.
+    pub fn rate_per_length(&self) -> f64 {
+        match self.cost {
+            LinkCost::PerLength(rate) => rate,
+            LinkCost::PerSegment(c) => {
+                if self.max_length.is_finite() && self.max_length > 0.0 {
+                    c / self.max_length
+                } else {
+                    c
+                }
+            }
+        }
+    }
+}
+
+/// A validated communication library: links plus node costs.
+///
+/// Build one with [`Library::builder`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Library {
+    links: Vec<Link>,
+    nodes: [Option<f64>; 4],
+    segmentation: SegmentationPolicy,
+}
+
+impl Library {
+    /// Starts building a library.
+    pub fn builder() -> LibraryBuilder {
+        LibraryBuilder {
+            links: Vec::new(),
+            nodes: [None; 4],
+            segmentation: SegmentationPolicy::default(),
+        }
+    }
+
+    /// The links, in insertion order.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// The link record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a link of this library.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The cost of a node kind, or `None` when the library lacks it.
+    pub fn node_cost(&self, kind: NodeKind) -> Option<f64> {
+        self.nodes[kind.slot()]
+    }
+
+    /// Whether the library offers the node kind at all.
+    pub fn has_node(&self, kind: NodeKind) -> bool {
+        self.nodes[kind.slot()].is_some()
+    }
+
+    /// The repeater-counting policy for segmentation.
+    pub fn segmentation(&self) -> SegmentationPolicy {
+        self.segmentation
+    }
+
+    /// The largest link bandwidth, `max_{l∈L} b(l)` — the quantity in
+    /// Theorem 3.2.
+    pub fn max_bandwidth(&self) -> Bandwidth {
+        self.links
+            .iter()
+            .map(|l| l.bandwidth)
+            .fold(Bandwidth::ZERO, |a, b| if b > a { b } else { a })
+    }
+}
+
+/// Incremental builder for [`Library`].
+#[derive(Debug, Clone)]
+pub struct LibraryBuilder {
+    links: Vec<Link>,
+    nodes: [Option<f64>; 4],
+    segmentation: SegmentationPolicy,
+}
+
+impl LibraryBuilder {
+    /// Adds a link.
+    #[must_use]
+    pub fn link(mut self, link: Link) -> Self {
+        self.links.push(link);
+        self
+    }
+
+    /// Sets the cost of a node kind.
+    #[must_use]
+    pub fn node(mut self, kind: NodeKind, cost: f64) -> Self {
+        // Duplicate detection happens in build() so the builder chain
+        // stays infallible.
+        if self.nodes[kind.slot()].is_some() {
+            self.nodes[kind.slot()] = Some(f64::NAN); // flag duplicate
+        } else {
+            self.nodes[kind.slot()] = Some(cost);
+        }
+        self
+    }
+
+    /// Selects the repeater-counting policy (default:
+    /// [`SegmentationPolicy::MinimalRepeaters`]).
+    #[must_use]
+    pub fn segmentation(mut self, policy: SegmentationPolicy) -> Self {
+        self.segmentation = policy;
+        self
+    }
+
+    /// Validates and finalizes the library.
+    ///
+    /// # Errors
+    ///
+    /// * [`LibraryError::NoLinks`] — no link was added;
+    /// * [`LibraryError::ZeroBandwidthLink`] / [`LibraryError::BadLength`] /
+    ///   [`LibraryError::BadCost`] — malformed figures;
+    /// * [`LibraryError::DuplicateNode`] — a node kind was set twice.
+    pub fn build(self) -> Result<Library, LibraryError> {
+        if self.links.is_empty() {
+            return Err(LibraryError::NoLinks);
+        }
+        for l in &self.links {
+            if l.bandwidth.is_zero() {
+                return Err(LibraryError::ZeroBandwidthLink(l.name.clone()));
+            }
+            // NaN max lengths must fail too, hence the negated compare.
+            if l.max_length.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(LibraryError::BadLength(l.name.clone()));
+            }
+            let rate = match l.cost {
+                LinkCost::PerLength(r) => r,
+                LinkCost::PerSegment(c) => c,
+            };
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(LibraryError::BadCost(format!("link {:?}", l.name)));
+            }
+        }
+        for kind in NodeKind::ALL {
+            if let Some(c) = self.nodes[kind.slot()] {
+                if c.is_nan() {
+                    return Err(LibraryError::DuplicateNode(kind));
+                }
+                if !c.is_finite() || c < 0.0 {
+                    return Err(LibraryError::BadCost(format!("node {kind}")));
+                }
+            }
+        }
+        Ok(Library {
+            links: self.links,
+            nodes: self.nodes,
+            segmentation: self.segmentation,
+        })
+    }
+}
+
+/// The paper's WAN library (Section 4, Example 1): an 11 Mb/s radio link
+/// at $2/m and a 1 Gb/s optical link at $4/m, with free repeaters and
+/// mux/demux nodes (the paper prices only the links). Coordinates are in
+/// kilometres, so the per-length rates are $2000/km and $4000/km.
+pub fn wan_paper_library() -> Library {
+    Library::builder()
+        .link(Link::per_length(
+            "radio",
+            Bandwidth::from_mbps(11.0),
+            2000.0,
+        ))
+        .link(Link::per_length(
+            "optical",
+            Bandwidth::from_gbps(1.0),
+            4000.0,
+        ))
+        .node(NodeKind::Repeater, 0.0)
+        .node(NodeKind::Mux, 0.0)
+        .node(NodeKind::Demux, 0.0)
+        .build()
+        .expect("static library is valid")
+}
+
+/// The paper's on-chip library (Section 4, Example 2): a single metal
+/// wire of the critical length `l_crit` and three nodes — an inverter
+/// (repeater, cost 1 so total cost counts repeaters) and free optimally
+/// sized mux/demux. Coordinates in millimetres; wire bandwidth is "one
+/// clock-rate signal", modelled as 1 Gb/s with every channel demanding
+/// at most that.
+pub fn soc_paper_library(l_crit_mm: f64) -> Library {
+    Library::builder()
+        .link(Link::fixed_length(
+            "wire",
+            Bandwidth::from_gbps(1.0),
+            l_crit_mm,
+            0.0,
+        ))
+        .node(NodeKind::Repeater, 1.0)
+        .node(NodeKind::Mux, 0.0)
+        .node(NodeKind::Demux, 0.0)
+        .segmentation(SegmentationPolicy::RepeaterPerCriticalLength)
+        .build()
+        .expect("static library is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_paper_libraries() {
+        let wan = wan_paper_library();
+        assert_eq!(wan.link_count(), 2);
+        assert_eq!(wan.max_bandwidth(), Bandwidth::from_gbps(1.0));
+        assert_eq!(wan.node_cost(NodeKind::Repeater), Some(0.0));
+        assert!(!wan.has_node(NodeKind::Switch));
+        assert_eq!(wan.segmentation(), SegmentationPolicy::MinimalRepeaters);
+
+        let soc = soc_paper_library(0.6);
+        assert_eq!(soc.link_count(), 1);
+        assert_eq!(soc.node_cost(NodeKind::Repeater), Some(1.0));
+        assert_eq!(
+            soc.segmentation(),
+            SegmentationPolicy::RepeaterPerCriticalLength
+        );
+    }
+
+    #[test]
+    fn cost_of_span_models() {
+        let radio = Link::per_length("r", Bandwidth::from_mbps(11.0), 2.0);
+        assert_eq!(radio.cost_of_span(100.0), 200.0);
+        assert_eq!(radio.rate_per_length(), 2.0);
+
+        let wire = Link::fixed_length("w", Bandwidth::from_gbps(1.0), 0.5, 3.0);
+        assert_eq!(wire.cost_of_span(0.4), 3.0);
+        assert_eq!(wire.cost_of_span(0.1), 3.0);
+        assert_eq!(wire.rate_per_length(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds link max length")]
+    fn span_over_max_panics() {
+        let wire = Link::fixed_length("w", Bandwidth::from_gbps(1.0), 0.5, 3.0);
+        let _ = wire.cost_of_span(0.6);
+    }
+
+    #[test]
+    fn empty_library_rejected() {
+        assert_eq!(Library::builder().build(), Err(LibraryError::NoLinks));
+    }
+
+    #[test]
+    fn zero_bandwidth_link_rejected() {
+        let r = Library::builder()
+            .link(Link::per_length("dead", Bandwidth::ZERO, 1.0))
+            .build();
+        assert_eq!(r, Err(LibraryError::ZeroBandwidthLink("dead".into())));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let r = Library::builder()
+            .link(Link::per_length_capped(
+                "bad",
+                Bandwidth::from_mbps(1.0),
+                0.0,
+                1.0,
+            ))
+            .build();
+        assert_eq!(r, Err(LibraryError::BadLength("bad".into())));
+    }
+
+    #[test]
+    fn negative_cost_rejected() {
+        let r = Library::builder()
+            .link(Link::per_length("x", Bandwidth::from_mbps(1.0), -1.0))
+            .build();
+        assert!(matches!(r, Err(LibraryError::BadCost(_))));
+        let r = Library::builder()
+            .link(Link::per_length("x", Bandwidth::from_mbps(1.0), 1.0))
+            .node(NodeKind::Mux, -5.0)
+            .build();
+        assert!(matches!(r, Err(LibraryError::BadCost(_))));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let r = Library::builder()
+            .link(Link::per_length("x", Bandwidth::from_mbps(1.0), 1.0))
+            .node(NodeKind::Mux, 1.0)
+            .node(NodeKind::Mux, 2.0)
+            .build();
+        assert_eq!(r, Err(LibraryError::DuplicateNode(NodeKind::Mux)));
+    }
+
+    #[test]
+    fn link_iteration_is_stable() {
+        let lib = wan_paper_library();
+        let names: Vec<&str> = lib.links().map(|(_, l)| l.name.as_str()).collect();
+        assert_eq!(names, vec!["radio", "optical"]);
+        assert_eq!(lib.link(LinkId(1)).name, "optical");
+    }
+
+    #[test]
+    fn node_kind_display() {
+        assert_eq!(NodeKind::Repeater.to_string(), "repeater");
+        assert_eq!(NodeKind::Mux.to_string(), "mux");
+        assert_eq!(NodeKind::Demux.to_string(), "demux");
+        assert_eq!(NodeKind::Switch.to_string(), "switch");
+    }
+}

@@ -1,0 +1,245 @@
+//! The Γ and Δ matrices driving merge pruning (paper Section 3,
+//! Tables 1–2).
+//!
+//! For arcs `aᵢ = (uᵢ, vᵢ)` and `aⱼ = (uⱼ, vⱼ)`:
+//!
+//! * the **Constrained Distance Sum Matrix**
+//!   `Γ(aᵢ, aⱼ) = d(aᵢ) + d(aⱼ)` — the wirelength both arcs pay when
+//!   implemented point-to-point;
+//! * the **Merging Distance Sum Matrix**
+//!   `Δ(aᵢ, aⱼ) = ‖p(uᵢ) − p(uⱼ)‖ + ‖p(vᵢ) − p(vⱼ)‖` — the detour a
+//!   shared trunk must amortize.
+//!
+//! Lemma 3.1 prunes a pair whenever `Γ ≤ Δ`; the slack `ε = Γ − Δ` is the
+//! quantity summed in Lemma 3.2's k-way condition.
+
+use crate::constraint::ConstraintGraph;
+use std::fmt::Write as _;
+
+/// Both distance-sum matrices of a constraint graph, with the merge slack
+/// `ε = Γ − Δ` precomputed.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::constraint::ConstraintGraph;
+/// use ccs_core::matrices::DistanceMatrices;
+/// use ccs_core::units::Bandwidth;
+/// use ccs_geom::{Norm, Point2};
+///
+/// let mut b = ConstraintGraph::builder(Norm::Euclidean);
+/// let a = b.add_port("A", Point2::new(0.0, 0.0));
+/// let v = b.add_port("B", Point2::new(10.0, 0.0));
+/// let c = b.add_port("C", Point2::new(0.0, 1.0));
+/// let d = b.add_port("D", Point2::new(10.0, 1.0));
+/// b.add_channel(a, v, Bandwidth::from_mbps(1.0))?;
+/// b.add_channel(c, d, Bandwidth::from_mbps(1.0))?;
+/// let g = b.build()?;
+/// let m = DistanceMatrices::compute(&g);
+/// assert_eq!(m.gamma(0, 1), 20.0);
+/// assert_eq!(m.delta(0, 1), 2.0);
+/// assert_eq!(m.slack(0, 1), 18.0); // strongly mergeable pair
+/// # Ok::<(), ccs_core::error::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrices {
+    n: usize,
+    gamma: Vec<f64>,
+    delta: Vec<f64>,
+}
+
+impl DistanceMatrices {
+    /// Computes Γ and Δ for every arc pair of `graph` under the graph's
+    /// norm.
+    pub fn compute(graph: &ConstraintGraph) -> Self {
+        let n = graph.arc_count();
+        let norm = graph.norm();
+        let mut gamma = vec![0.0; n * n];
+        let mut delta = vec![0.0; n * n];
+        let arcs: Vec<_> = graph.arcs().collect();
+        for i in 0..n {
+            let (ui, vi) = graph.arc_endpoints(arcs[i].0);
+            for j in 0..n {
+                let (uj, vj) = graph.arc_endpoints(arcs[j].0);
+                gamma[i * n + j] = arcs[i].1.distance + arcs[j].1.distance;
+                delta[i * n + j] = norm.distance(ui, uj) + norm.distance(vi, vj);
+            }
+        }
+        DistanceMatrices { n, gamma, delta }
+    }
+
+    /// Number of arcs (matrix dimension).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the constraint graph had no arcs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `Γ(aᵢ, aⱼ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn gamma(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.gamma[i * self.n + j]
+    }
+
+    /// `Δ(aᵢ, aⱼ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn delta(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.delta[i * self.n + j]
+    }
+
+    /// The merge slack `ε(aᵢ, aⱼ) = Γ(aᵢ, aⱼ) − Δ(aᵢ, aⱼ)`.
+    ///
+    /// Positive slack means a shared trunk could save wirelength; Lemma
+    /// 3.1 prunes pairs with `ε ≤ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn slack(&self, i: usize, j: usize) -> f64 {
+        self.gamma(i, j) - self.delta(i, j)
+    }
+
+    /// Renders the upper triangle in the paper's table layout.
+    pub fn format_upper(&self, which: Matrix) -> String {
+        let m = match which {
+            Matrix::Gamma => &self.gamma,
+            Matrix::Delta => &self.delta,
+        };
+        let mut s = String::new();
+        let _ = write!(s, "{:>6}", "");
+        for j in 0..self.n {
+            let _ = write!(s, "{:>9}", format!("a{}", j + 1));
+        }
+        s.push('\n');
+        for i in 0..self.n {
+            let _ = write!(s, "{:>6}", format!("a{}", i + 1));
+            for j in 0..self.n {
+                if j > i {
+                    let _ = write!(s, "{:>9.2}", m[i * self.n + j]);
+                } else {
+                    let _ = write!(s, "{:>9}", "");
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Selector for [`DistanceMatrices::format_upper`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Matrix {
+    /// The constrained distance sum matrix (Table 1).
+    Gamma,
+    /// The merging distance sum matrix (Table 2).
+    Delta,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+    use ccs_geom::{Norm, Point2};
+
+    fn two_parallel_arcs() -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let v = b.add_port("B", Point2::new(10.0, 0.0));
+        let c = b.add_port("C", Point2::new(0.0, 2.0));
+        let d = b.add_port("D", Point2::new(10.0, 2.0));
+        b.add_channel(a, v, Bandwidth::from_mbps(1.0)).unwrap();
+        b.add_channel(c, d, Bandwidth::from_mbps(1.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gamma_is_sum_of_lengths() {
+        let g = two_parallel_arcs();
+        let m = DistanceMatrices::compute(&g);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.gamma(0, 0), 20.0);
+        assert_eq!(m.gamma(0, 1), 20.0);
+        assert_eq!(m.gamma(1, 1), 20.0);
+    }
+
+    #[test]
+    fn delta_is_endpoint_distance_sum() {
+        let g = two_parallel_arcs();
+        let m = DistanceMatrices::compute(&g);
+        assert_eq!(m.delta(0, 1), 4.0);
+        assert_eq!(m.delta(0, 0), 0.0);
+    }
+
+    #[test]
+    fn matrices_are_symmetric() {
+        let g = two_parallel_arcs();
+        let m = DistanceMatrices::compute(&g);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(m.gamma(i, j), m.gamma(j, i));
+                assert_eq!(m.delta(i, j), m.delta(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn slack_matches_definition() {
+        let g = two_parallel_arcs();
+        let m = DistanceMatrices::compute(&g);
+        assert_eq!(m.slack(0, 1), 16.0);
+    }
+
+    #[test]
+    fn opposite_arcs_have_zero_slack_under_symmetry() {
+        // a = (u, v), a' = (v, u): Δ = 2‖u − v‖ = Γ, so ε = 0 — exactly
+        // the paper's a7/a8 pattern (never mergeable).
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let u = b.add_port("D", Point2::new(0.0, 0.0));
+        let v = b.add_port("E", Point2::new(3.6, 0.0));
+        b.add_channel(u, v, Bandwidth::from_mbps(1.0)).unwrap();
+        b.add_channel(v, u, Bandwidth::from_mbps(1.0)).unwrap();
+        let g = b.build().unwrap();
+        let m = DistanceMatrices::compute(&g);
+        assert!((m.slack(0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_upper_shows_triangle_only() {
+        let g = two_parallel_arcs();
+        let m = DistanceMatrices::compute(&g);
+        let s = m.format_upper(Matrix::Gamma);
+        assert!(s.contains("a1"));
+        assert!(s.contains("20.00"));
+        // Exactly one numeric cell for a 2×2 upper triangle.
+        assert_eq!(s.matches("20.00").count(), 1);
+        let s = m.format_upper(Matrix::Delta);
+        assert!(s.contains("4.00"));
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_matrices() {
+        let g = ConstraintGraph::builder(Norm::Euclidean).build().unwrap();
+        let m = DistanceMatrices::compute(&g);
+        assert!(m.is_empty());
+        assert_eq!(m.format_upper(Matrix::Gamma).lines().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let g = two_parallel_arcs();
+        let m = DistanceMatrices::compute(&g);
+        let _ = m.gamma(0, 5);
+    }
+}

@@ -1,0 +1,565 @@
+//! Merge-candidate enumeration with the paper's pruning results
+//! (Lemmas 3.1/3.2, Theorems 3.1/3.2; the algorithm of Fig. 2).
+//!
+//! A *k-way merging* implements k constraint arcs with a shared common
+//! path. Enumerating all `2^|A|` subsets is hopeless, so the paper prunes
+//! with sufficient conditions that a subset can **not** be profitably
+//! merged:
+//!
+//! * **Lemma 3.1** — a pair `{a, a′}` with
+//!   `Γ(a, a′) ≤ Δ(a, a′)` (no positive *slack*) is not 2-way mergeable;
+//! * **Lemma 3.2** — a k-subset whose slacks against a pivot arc sum to
+//!   `≤ 0` is not k-way mergeable;
+//! * **Theorem 3.1** — an arc in no surviving k-subset can be dropped
+//!   from all larger subsets (the "column removal" of Fig. 2);
+//! * **Theorem 3.2** — a subset whose total bandwidth exceeds
+//!   `max_l b(l) + min_j b(aⱼ)` cannot share any library link as its
+//!   common path.
+//!
+//! ### Faithfulness note (pivot choice)
+//!
+//! Lemma 3.2 singles out one arc `a_k`. Applied with *every* member as
+//! pivot the WAN example yields 13/18/16/6 candidates per k; the paper
+//! reports **13/21/16/5**. The k = 2..4 counts reproduce exactly when the
+//! lemma is applied once per subset with the **highest-index arc** as
+//! pivot — the natural reading of Fig. 2's incremental loop — so that is
+//! the default ([`MergePruneRule::LastArcPivot`]); the stricter
+//! [`MergePruneRule::AnyPivot`] is available as a config option. Both are
+//! sound (each application is a sufficient non-mergeability condition).
+
+use crate::constraint::ConstraintGraph;
+use crate::library::Library;
+use crate::matrices::DistanceMatrices;
+use crate::units::Bandwidth;
+
+/// Which pivots Lemma 3.2 is evaluated with (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MergePruneRule {
+    /// One application per subset, pivot = highest-index arc (paper-count
+    /// faithful; default).
+    #[default]
+    LastArcPivot,
+    /// Prune when *any* member as pivot satisfies the lemma (strictly
+    /// stronger pruning).
+    AnyPivot,
+}
+
+/// How candidate subsets are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EnumerationStrategy {
+    /// Pick [`Exhaustive`](Self::Exhaustive) for `|A| ≤ 14`, otherwise
+    /// [`PairwiseCliques`](Self::PairwiseCliques).
+    #[default]
+    Auto,
+    /// Test every k-subset of the active arcs (paper-faithful; the WAN
+    /// candidate counts are produced under this strategy).
+    Exhaustive,
+    /// Only grow subsets that are cliques in the surviving-pair graph —
+    /// a scalable restriction (merging arcs that are pairwise
+    /// non-mergeable is never profitable in practice).
+    PairwiseCliques,
+}
+
+/// Configuration for merge-candidate enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeConfig {
+    /// Pivot rule for Lemma 3.2.
+    pub prune_rule: MergePruneRule,
+    /// Subset enumeration strategy.
+    pub strategy: EnumerationStrategy,
+    /// Largest merging order considered (`None` = up to `|A|`).
+    pub max_k: Option<usize>,
+    /// Apply the Lemma 3.1/3.2 geometric prunes (disable only for
+    /// ablation studies — every subset then survives to the costing
+    /// stage).
+    pub geometry_prune: bool,
+    /// Apply the Theorem 3.2 bandwidth prune.
+    pub bandwidth_prune: bool,
+    /// Hard cap on the number of subsets *examined* per level; exceeding
+    /// it stops enumeration and is recorded in
+    /// [`MergeStats::truncated_at_k`] (never silent).
+    pub max_subsets_per_level: usize,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            prune_rule: MergePruneRule::default(),
+            strategy: EnumerationStrategy::default(),
+            max_k: None,
+            geometry_prune: true,
+            bandwidth_prune: true,
+            max_subsets_per_level: 2_000_000,
+        }
+    }
+}
+
+/// Enumeration output: surviving subsets per merge order, plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeEnumeration {
+    /// `subsets[i]` holds the surviving subsets of order `k = i + 2`,
+    /// each a sorted vector of arc indices.
+    pub subsets_by_k: Vec<Vec<Vec<usize>>>,
+    /// Statistics of the run.
+    pub stats: MergeStats,
+}
+
+/// Statistics from one enumeration run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergeStats {
+    /// `(k, surviving count)` per level, in increasing k.
+    pub counts: Vec<(usize, usize)>,
+    /// For each arc, the level k after which Theorem 3.1 removed it
+    /// (`None` = never removed).
+    pub deactivated_at: Vec<Option<usize>>,
+    /// Subsets pruned by the Lemma 3.1/3.2 geometric condition.
+    pub geometry_pruned: u64,
+    /// Subsets pruned by the Theorem 3.2 bandwidth condition.
+    pub bandwidth_pruned: u64,
+    /// The level at which enumeration hit
+    /// [`MergeConfig::max_subsets_per_level`], if any.
+    pub truncated_at_k: Option<usize>,
+}
+
+impl MergeEnumeration {
+    /// All surviving subsets across every order, flattened.
+    pub fn all_subsets(&self) -> impl Iterator<Item = &Vec<usize>> + '_ {
+        self.subsets_by_k.iter().flatten()
+    }
+
+    /// Total number of surviving merge candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.subsets_by_k.iter().map(Vec::len).sum()
+    }
+}
+
+/// Lemma 3.1: `true` when the pair `{i, j}` is provably not 2-way
+/// mergeable (`Γ ≤ Δ`, i.e. slack `ε ≤ 0`).
+pub fn pair_pruned(m: &DistanceMatrices, i: usize, j: usize) -> bool {
+    m.slack(i, j) <= 1e-12
+}
+
+/// Lemma 3.2 with a given pivot: `true` when
+/// `Σ_{i ≠ pivot} ε(aᵢ, a_pivot) ≤ 0`, proving the subset not k-way
+/// mergeable.
+///
+/// # Panics
+///
+/// Panics if `pivot` is not a member of `subset`.
+pub fn subset_pruned_with_pivot(m: &DistanceMatrices, subset: &[usize], pivot: usize) -> bool {
+    assert!(subset.contains(&pivot), "pivot must belong to the subset");
+    let total: f64 = subset
+        .iter()
+        .filter(|&&i| i != pivot)
+        .map(|&i| m.slack(i, pivot))
+        .sum();
+    total <= 1e-12
+}
+
+/// Applies Lemma 3.2 under the configured pivot rule.
+pub fn subset_pruned(m: &DistanceMatrices, subset: &[usize], rule: MergePruneRule) -> bool {
+    match rule {
+        MergePruneRule::LastArcPivot => {
+            let pivot = *subset.iter().max().expect("non-empty subset");
+            subset_pruned_with_pivot(m, subset, pivot)
+        }
+        MergePruneRule::AnyPivot => subset
+            .iter()
+            .any(|&p| subset_pruned_with_pivot(m, subset, p)),
+    }
+}
+
+/// Theorem 3.2: `true` when the subset's total bandwidth proves it cannot
+/// share a common path: `Σ b(aᵢ) ≥ max_l b(l) + min_j b(aⱼ)`.
+pub fn bandwidth_pruned(graph: &ConstraintGraph, library: &Library, subset: &[usize]) -> bool {
+    let total: Bandwidth = subset
+        .iter()
+        .map(|&i| graph.arc(crate::constraint::ArcId(i as u32)).bandwidth)
+        .sum();
+    let min = subset
+        .iter()
+        .map(|&i| graph.arc(crate::constraint::ArcId(i as u32)).bandwidth)
+        .fold(None::<Bandwidth>, |acc, b| match acc {
+            Some(a) if a < b => Some(a),
+            _ => Some(b),
+        })
+        .unwrap_or(Bandwidth::ZERO);
+    total.as_mbps() >= library.max_bandwidth().as_mbps() + min.as_mbps() - 1e-9
+}
+
+/// Enumerates all surviving merge candidates of `graph` under `config`
+/// (the `GenerateCandidateArcImplementations` loop of Fig. 2, minus the
+/// point-to-point singletons which [`crate::p2p`] provides).
+pub fn enumerate(
+    graph: &ConstraintGraph,
+    library: &Library,
+    matrices: &DistanceMatrices,
+    config: &MergeConfig,
+) -> MergeEnumeration {
+    let n = graph.arc_count();
+    let mut stats = MergeStats {
+        deactivated_at: vec![None; n],
+        ..MergeStats::default()
+    };
+    let mut subsets_by_k: Vec<Vec<Vec<usize>>> = Vec::new();
+    if n < 2 {
+        return MergeEnumeration {
+            subsets_by_k,
+            stats,
+        };
+    }
+    let strategy = match config.strategy {
+        EnumerationStrategy::Auto => {
+            if n <= 14 {
+                EnumerationStrategy::Exhaustive
+            } else {
+                EnumerationStrategy::PairwiseCliques
+            }
+        }
+        s => s,
+    };
+    let max_k = config.max_k.unwrap_or(n).min(n);
+
+    // ---- Level k = 2 ---------------------------------------------------
+    let mut pairs: Vec<Vec<usize>> = Vec::new();
+    let mut adj = vec![vec![false; n]; n];
+    #[allow(clippy::needless_range_loop)] // i/j index the adjacency matrix
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if config.geometry_prune && pair_pruned(matrices, i, j) {
+                stats.geometry_pruned += 1;
+                continue;
+            }
+            if config.bandwidth_prune && bandwidth_pruned(graph, library, &[i, j]) {
+                stats.bandwidth_pruned += 1;
+                continue;
+            }
+            adj[i][j] = true;
+            adj[j][i] = true;
+            pairs.push(vec![i, j]);
+        }
+    }
+    let mut active: Vec<bool> = vec![false; n];
+    for p in &pairs {
+        active[p[0]] = true;
+        active[p[1]] = true;
+    }
+    for (a, act) in active.iter().enumerate() {
+        if !act {
+            stats.deactivated_at[a] = Some(2);
+        }
+    }
+    stats.counts.push((2, pairs.len()));
+    let mut prev_level = pairs.clone();
+    subsets_by_k.push(pairs);
+
+    // ---- Levels k = 3.. -------------------------------------------------
+    for k in 3..=max_k {
+        if prev_level.is_empty() {
+            break;
+        }
+        let mut survivors: Vec<Vec<usize>> = Vec::new();
+        let mut examined = 0usize;
+        let mut truncated = false;
+
+        let candidates: Vec<Vec<usize>> = match strategy {
+            EnumerationStrategy::Exhaustive => {
+                let arcs: Vec<usize> = (0..n).filter(|&a| active[a]).collect();
+                k_subsets(&arcs, k, config.max_subsets_per_level, &mut truncated)
+            }
+            EnumerationStrategy::PairwiseCliques | EnumerationStrategy::Auto => {
+                // Extend each surviving (k−1)-clique by a higher-index arc
+                // adjacent to all members.
+                let mut ext = Vec::new();
+                'outer: for s in &prev_level {
+                    let last = *s.last().expect("non-empty subset");
+                    for j in (last + 1)..n {
+                        if !active[j] {
+                            continue;
+                        }
+                        if s.iter().all(|&i| adj[i][j]) {
+                            let mut t = s.clone();
+                            t.push(j);
+                            ext.push(t);
+                            if ext.len() > config.max_subsets_per_level {
+                                truncated = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                ext
+            }
+        };
+
+        for subset in candidates {
+            examined += 1;
+            if examined > config.max_subsets_per_level {
+                truncated = true;
+                break;
+            }
+            if config.geometry_prune && subset_pruned(matrices, &subset, config.prune_rule) {
+                stats.geometry_pruned += 1;
+                continue;
+            }
+            if config.bandwidth_prune && bandwidth_pruned(graph, library, &subset) {
+                stats.bandwidth_pruned += 1;
+                continue;
+            }
+            survivors.push(subset);
+        }
+        if truncated {
+            stats.truncated_at_k = Some(k);
+        }
+
+        // Theorem 3.1 housekeeping: deactivate arcs in no survivor. A
+        // fully empty level ends enumeration and is trimmed below, so it
+        // records no per-arc deactivations.
+        if !survivors.is_empty() {
+            let mut seen = vec![false; n];
+            for s in &survivors {
+                for &a in s {
+                    seen[a] = true;
+                }
+            }
+            for a in 0..n {
+                if active[a] && !seen[a] {
+                    active[a] = false;
+                    stats.deactivated_at[a] = Some(k);
+                }
+            }
+        }
+
+        stats.counts.push((k, survivors.len()));
+        prev_level = survivors.clone();
+        subsets_by_k.push(survivors);
+        if truncated {
+            break;
+        }
+    }
+
+    // Trim trailing empty levels for a tidy result.
+    while subsets_by_k.last().is_some_and(Vec::is_empty) {
+        subsets_by_k.pop();
+        stats.counts.pop();
+    }
+
+    MergeEnumeration {
+        subsets_by_k,
+        stats,
+    }
+}
+
+/// All k-subsets of `items` (sorted ascending), capped at `cap` with the
+/// overflow flag set.
+fn k_subsets(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if k > items.len() {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        if out.len() > cap {
+            *truncated = true;
+            return out;
+        }
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + items.len() - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in (i + 1)..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintGraph;
+    use crate::library::wan_paper_library;
+    use ccs_geom::{Norm, Point2};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    /// Two parallel close channels plus one far-away unrelated channel.
+    fn simple_graph() -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a0 = b.add_port("s0", Point2::new(0.0, 0.0));
+        let a1 = b.add_port("t0", Point2::new(100.0, 0.0));
+        let c0 = b.add_port("s1", Point2::new(0.0, 1.0));
+        let c1 = b.add_port("t1", Point2::new(100.0, 1.0));
+        let f0 = b.add_port("s2", Point2::new(0.0, 500.0));
+        let f1 = b.add_port("t2", Point2::new(10.0, 500.0));
+        b.add_channel(a0, a1, mbps(10.0)).unwrap();
+        b.add_channel(c0, c1, mbps(10.0)).unwrap();
+        b.add_channel(f0, f1, mbps(10.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_pair_survives_far_pair_pruned() {
+        let g = simple_graph();
+        let m = DistanceMatrices::compute(&g);
+        assert!(!pair_pruned(&m, 0, 1)); // parallel channels: big slack
+        assert!(pair_pruned(&m, 0, 2)); // far channel: no gain
+        assert!(pair_pruned(&m, 1, 2));
+    }
+
+    #[test]
+    fn enumeration_keeps_only_parallel_pair() {
+        let g = simple_graph();
+        let m = DistanceMatrices::compute(&g);
+        let lib = wan_paper_library();
+        let e = enumerate(&g, &lib, &m, &MergeConfig::default());
+        assert_eq!(e.subsets_by_k.len(), 1);
+        assert_eq!(e.subsets_by_k[0], vec![vec![0, 1]]);
+        assert_eq!(e.candidate_count(), 1);
+        // Arc 2 deactivated at level 2 (Theorem 3.1 bookkeeping).
+        assert_eq!(e.stats.deactivated_at[2], Some(2));
+        assert_eq!(e.stats.deactivated_at[0], None);
+        assert_eq!(e.stats.counts, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn pivot_rules_agree_on_pairs() {
+        let g = simple_graph();
+        let m = DistanceMatrices::compute(&g);
+        for (i, j) in [(0, 1), (0, 2), (1, 2)] {
+            assert_eq!(
+                subset_pruned(&m, &[i, j], MergePruneRule::LastArcPivot),
+                subset_pruned(&m, &[i, j], MergePruneRule::AnyPivot)
+            );
+        }
+    }
+
+    #[test]
+    fn any_pivot_at_least_as_strong() {
+        // Three parallel channels: all pairs mergeable; triple survives
+        // both rules.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let mut ids = Vec::new();
+        for y in [0.0, 1.0, 2.0] {
+            let s = b.add_port("s", Point2::new(0.0, y));
+            let t = b.add_port("t", Point2::new(100.0, y));
+            ids.push(b.add_channel(s, t, mbps(10.0)).unwrap());
+        }
+        let g = b.build().unwrap();
+        let m = DistanceMatrices::compute(&g);
+        let sub = [0usize, 1, 2];
+        assert!(!subset_pruned(&m, &sub, MergePruneRule::AnyPivot));
+        assert!(!subset_pruned(&m, &sub, MergePruneRule::LastArcPivot));
+    }
+
+    #[test]
+    fn bandwidth_prune_matches_theorem_3_2() {
+        let g = simple_graph(); // three 10 Mb/s channels
+        let lib = wan_paper_library(); // max b(l) = 1000 Mb/s
+                                       // Σ = 20 or 30 < 1000 + 10: no prune.
+        assert!(!bandwidth_pruned(&g, &lib, &[0, 1]));
+        assert!(!bandwidth_pruned(&g, &lib, &[0, 1, 2]));
+        // A tiny library makes the same subsets prunable.
+        let tiny = crate::library::Library::builder()
+            .link(crate::library::Link::per_length("t", mbps(12.0), 1.0))
+            .build()
+            .unwrap();
+        assert!(!bandwidth_pruned(&g, &tiny, &[0])); // 10 < 12 + 10
+        assert!(!bandwidth_pruned(&g, &tiny, &[0, 1])); // 20 < 22
+        assert!(bandwidth_pruned(&g, &tiny, &[0, 1, 2])); // 30 ≥ 22
+    }
+
+    #[test]
+    fn k_subsets_enumerates_combinations() {
+        let mut tr = false;
+        let s = k_subsets(&[1, 3, 5, 7], 2, 100, &mut tr);
+        assert_eq!(s.len(), 6);
+        assert!(!tr);
+        assert!(s.contains(&vec![1, 7]));
+        let s3 = k_subsets(&[0, 1, 2], 3, 100, &mut tr);
+        assert_eq!(s3, vec![vec![0, 1, 2]]);
+        let none = k_subsets(&[0, 1], 3, 100, &mut tr);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn k_subsets_cap_sets_flag() {
+        let mut tr = false;
+        let items: Vec<usize> = (0..10).collect();
+        let s = k_subsets(&items, 3, 5, &mut tr);
+        assert!(tr);
+        assert_eq!(s.len(), 6); // cap + 1, flagged
+    }
+
+    #[test]
+    fn strategies_agree_on_small_instances() {
+        let g = simple_graph();
+        let m = DistanceMatrices::compute(&g);
+        let lib = wan_paper_library();
+        let mut cfg = MergeConfig {
+            strategy: EnumerationStrategy::Exhaustive,
+            ..MergeConfig::default()
+        };
+        let a = enumerate(&g, &lib, &m, &cfg);
+        cfg.strategy = EnumerationStrategy::PairwiseCliques;
+        let b = enumerate(&g, &lib, &m, &cfg);
+        // On this instance all multi-way sets are cliques, so identical.
+        assert_eq!(a.subsets_by_k, b.subsets_by_k);
+    }
+
+    #[test]
+    fn max_k_caps_order() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        for y in 0..5 {
+            let s = b.add_port("s", Point2::new(0.0, y as f64));
+            let t = b.add_port("t", Point2::new(100.0, y as f64));
+            b.add_channel(s, t, mbps(1.0)).unwrap();
+        }
+        let g = b.build().unwrap();
+        let m = DistanceMatrices::compute(&g);
+        let lib = wan_paper_library();
+        let cfg = MergeConfig {
+            max_k: Some(3),
+            ..MergeConfig::default()
+        };
+        let e = enumerate(&g, &lib, &m, &cfg);
+        assert!(e.subsets_by_k.len() <= 2); // k = 2 and k = 3 only
+        assert!(e.all_subsets().all(|s| s.len() <= 3));
+    }
+
+    #[test]
+    fn single_arc_graph_has_no_candidates() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(1.0, 0.0));
+        b.add_channel(s, t, mbps(1.0)).unwrap();
+        let g = b.build().unwrap();
+        let m = DistanceMatrices::compute(&g);
+        let e = enumerate(&g, &wan_paper_library(), &m, &MergeConfig::default());
+        assert_eq!(e.candidate_count(), 0);
+        assert!(e.stats.counts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pivot must belong")]
+    fn foreign_pivot_panics() {
+        let g = simple_graph();
+        let m = DistanceMatrices::compute(&g);
+        let _ = subset_pruned_with_pivot(&m, &[0, 1], 2);
+    }
+}

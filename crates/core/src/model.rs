@@ -1,0 +1,228 @@
+//! The module-level system model (paper Fig. 1).
+//!
+//! The paper's starting point is a set of *computational modules*
+//! communicating over virtual channels; each channel endpoint gets its
+//! own dedicated port. [`SystemSpec`] captures that view and lowers it to
+//! a [`ConstraintGraph`] by materializing one port per channel endpoint
+//! at the owning module's position — the approximation the paper itself
+//! uses ("all the ports of a computation node have the same position").
+
+use crate::constraint::{ConstraintGraph, ConstraintGraphBuilder};
+use crate::error::BuildError;
+use crate::units::Bandwidth;
+use ccs_geom::{Norm, Point2};
+
+/// Identifier of a module within a [`SystemSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A computational module: a named position.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Module {
+    /// Module name (e.g. `"CPU"`, `"IDCT"`).
+    pub name: String,
+    /// Placement of the module (all its ports share it).
+    pub position: Point2,
+}
+
+/// A module-level system specification (Fig. 1's left-hand side).
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::model::SystemSpec;
+/// use ccs_core::units::Bandwidth;
+/// use ccs_geom::{Norm, Point2};
+///
+/// let mut spec = SystemSpec::new(Norm::Euclidean);
+/// let a = spec.add_module("A", Point2::new(0.0, 0.0));
+/// let b = spec.add_module("B", Point2::new(5.0, 0.0));
+/// spec.connect(a, b, Bandwidth::from_mbps(10.0));
+/// spec.connect(b, a, Bandwidth::from_mbps(10.0)); // full duplex = 2 channels
+/// let g = spec.to_constraint_graph()?;
+/// assert_eq!(g.arc_count(), 2);
+/// assert_eq!(g.port_count(), 4); // one dedicated port per endpoint
+/// # Ok::<(), ccs_core::error::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    norm: Norm,
+    modules: Vec<Module>,
+    channels: Vec<(ModuleId, ModuleId, Bandwidth)>,
+}
+
+impl SystemSpec {
+    /// Creates an empty specification measured under `norm`.
+    pub fn new(norm: Norm) -> Self {
+        SystemSpec {
+            norm,
+            modules: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Adds a module at `position`.
+    pub fn add_module(&mut self, name: impl Into<String>, position: Point2) -> ModuleId {
+        let id = ModuleId(self.modules.len() as u32);
+        self.modules.push(Module {
+            name: name.into(),
+            position,
+        });
+        id
+    }
+
+    /// Declares a unidirectional channel from `src` to `dst`.
+    pub fn connect(&mut self, src: ModuleId, dst: ModuleId, bandwidth: Bandwidth) -> &mut Self {
+        self.channels.push((src, dst, bandwidth));
+        self
+    }
+
+    /// The modules, in insertion order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The declared channels.
+    pub fn channels(&self) -> &[(ModuleId, ModuleId, Bandwidth)] {
+        &self.channels
+    }
+
+    /// The norm of the specification.
+    pub fn norm(&self) -> Norm {
+        self.norm
+    }
+
+    /// Lowers to a constraint graph: one dedicated output/input port per
+    /// channel, placed at the owning module's position and named
+    /// `"<module>.out<i>"` / `"<module>.in<i>"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] (e.g. a channel between co-located
+    /// modules, an unknown module id surfacing as `UnknownPort`, or
+    /// self-connections).
+    pub fn to_constraint_graph(&self) -> Result<ConstraintGraph, BuildError> {
+        let mut b: ConstraintGraphBuilder = ConstraintGraph::builder(self.norm);
+        for (i, (src, dst, bw)) in self.channels.iter().enumerate() {
+            if src == dst {
+                // Create one port so the error names something real.
+                let p = b.add_port(
+                    format!("{}.loop{}", self.module_name(*src), i),
+                    self.module_pos(*src),
+                );
+                return Err(BuildError::SelfLoop(p));
+            }
+            let out_port = b.add_port(
+                format!("{}.out{}", self.module_name(*src), i),
+                self.module_pos(*src),
+            );
+            let in_port = b.add_port(
+                format!("{}.in{}", self.module_name(*dst), i),
+                self.module_pos(*dst),
+            );
+            b.add_channel(out_port, in_port, *bw)?;
+        }
+        b.build()
+    }
+
+    fn module_name(&self, id: ModuleId) -> &str {
+        self.modules
+            .get(id.index())
+            .map_or("<unknown>", |m| m.name.as_str())
+    }
+
+    fn module_pos(&self, id: ModuleId) -> Point2 {
+        self.modules
+            .get(id.index())
+            .map_or(Point2::ORIGIN, |m| m.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    #[test]
+    fn lowering_creates_dedicated_ports() {
+        let mut spec = SystemSpec::new(Norm::Euclidean);
+        let a = spec.add_module("A", Point2::new(0.0, 0.0));
+        let b = spec.add_module("B", Point2::new(10.0, 0.0));
+        let c = spec.add_module("C", Point2::new(0.0, 10.0));
+        spec.connect(a, b, mbps(1.0));
+        spec.connect(a, c, mbps(2.0));
+        let g = spec.to_constraint_graph().unwrap();
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.port_count(), 4);
+        // Port names encode module and direction.
+        let names: Vec<&str> = g.ports().map(|(_, p)| p.name.as_str()).collect();
+        assert!(names.contains(&"A.out0"));
+        assert!(names.contains(&"B.in0"));
+        assert!(names.contains(&"A.out1"));
+        assert!(names.contains(&"C.in1"));
+    }
+
+    #[test]
+    fn ports_of_one_module_share_position() {
+        let mut spec = SystemSpec::new(Norm::Euclidean);
+        let a = spec.add_module("A", Point2::new(1.0, 2.0));
+        let b = spec.add_module("B", Point2::new(9.0, 2.0));
+        spec.connect(a, b, mbps(1.0));
+        spec.connect(b, a, mbps(1.0));
+        let g = spec.to_constraint_graph().unwrap();
+        let positions: Vec<Point2> = g
+            .ports()
+            .filter(|(_, p)| p.name.starts_with("A."))
+            .map(|(_, p)| p.position)
+            .collect();
+        assert_eq!(positions.len(), 2);
+        assert_eq!(positions[0], positions[1]);
+    }
+
+    #[test]
+    fn self_connection_rejected() {
+        let mut spec = SystemSpec::new(Norm::Euclidean);
+        let a = spec.add_module("A", Point2::ORIGIN);
+        spec.connect(a, a, mbps(1.0));
+        assert!(matches!(
+            spec.to_constraint_graph(),
+            Err(BuildError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn colocated_modules_rejected() {
+        let mut spec = SystemSpec::new(Norm::Euclidean);
+        let a = spec.add_module("A", Point2::ORIGIN);
+        let b = spec.add_module("B", Point2::ORIGIN);
+        spec.connect(a, b, mbps(1.0));
+        assert!(matches!(
+            spec.to_constraint_graph(),
+            Err(BuildError::ZeroDistance(_, _))
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut spec = SystemSpec::new(Norm::Manhattan);
+        let a = spec.add_module("A", Point2::ORIGIN);
+        let b = spec.add_module("B", Point2::new(1.0, 1.0));
+        spec.connect(a, b, mbps(3.0));
+        assert_eq!(spec.modules().len(), 2);
+        assert_eq!(spec.channels().len(), 1);
+        assert_eq!(spec.norm(), Norm::Manhattan);
+        assert_eq!(spec.channels()[0].2, mbps(3.0));
+    }
+}

@@ -1,0 +1,654 @@
+//! Candidate arc implementations: topology and cost (paper Section 3's
+//! "simple nonlinear optimization problem").
+//!
+//! A surviving merge subset only becomes a *candidate* once its exact
+//! structure is known: where the mux/demux hubs sit, which links realize
+//! each branch and the common path, and what it all costs. The paper
+//! solves a small constrained optimization per candidate; here that is
+//! the two-hub solver [`ccs_geom::twohub::TwoHubProblem`] run under the
+//! constraint graph's norm, with per-length link prices as weights,
+//! followed by exact per-segment costing through the point-to-point
+//! engine ([`crate::p2p`]).
+
+use crate::constraint::{ArcId, ConstraintGraph, PortId};
+use crate::error::SynthesisError;
+use crate::library::{Library, NodeKind};
+use crate::p2p::{best_plan, P2pPlan};
+use crate::units::Bandwidth;
+use ccs_geom::twohub::TwoHubProblem;
+use ccs_geom::weber::WeberProblem;
+use ccs_geom::Point2;
+
+/// Lengths below this are treated as a coincident hub/port (no link).
+const ZERO_LEN: f64 = 1e-9;
+
+/// A structural endpoint of a candidate segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Endpoint {
+    /// A computational vertex `χ(v)` (a port of the constraint graph).
+    Port(PortId),
+    /// The source-side merge hub (mux).
+    HubA,
+    /// The destination-side merge hub (demux).
+    HubB,
+}
+
+/// One costed point-to-point stretch inside a candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPlan {
+    /// Structural start.
+    pub from: Endpoint,
+    /// Structural end.
+    pub to: Endpoint,
+    /// Start position.
+    pub from_pos: Point2,
+    /// End position.
+    pub to_pos: Point2,
+    /// Segment length under the graph norm.
+    pub length: f64,
+    /// Aggregate bandwidth the segment must carry.
+    pub demand: Bandwidth,
+    /// The point-to-point plan implementing the stretch.
+    pub plan: P2pPlan,
+    /// Constraint arcs (by index) routed over this segment.
+    pub arcs: Vec<usize>,
+}
+
+/// The structural class of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CandidateKind {
+    /// A single-arc point-to-point implementation (Def. 2.6/2.7).
+    PointToPoint,
+    /// A k-way merging through a shared common path (Def. 2.8).
+    Merging {
+        /// The merge order `k ≥ 2`.
+        k: usize,
+    },
+}
+
+/// Which library nodes realize a merging's hubs.
+///
+/// The paper's library includes *switches* that "while being able to act
+/// as a repeater, enable the connection of multiple links": when the two
+/// hubs coincide (a star rather than a dumbbell) a single switch can
+/// replace the mux/demux pair — chosen whenever it is available and
+/// cheaper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HubHardware {
+    /// A mux at hub A and a demux at hub B (the general dumbbell).
+    MuxDemux,
+    /// One switch at the shared hub position (star topologies only).
+    SingleSwitch,
+}
+
+/// A fully costed candidate arc implementation — one prospective column
+/// of the covering matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Covered constraint arcs (sorted indices).
+    pub arcs: Vec<usize>,
+    /// Structural class.
+    pub kind: CandidateKind,
+    /// Mux hub position (merging only).
+    pub hub_a: Option<Point2>,
+    /// Demux hub position (merging only).
+    pub hub_b: Option<Point2>,
+    /// The costed segments.
+    pub segments: Vec<SegmentPlan>,
+    /// Which library nodes realize the hubs (merging only; meaningless
+    /// for point-to-point candidates, where it stays `MuxDemux`).
+    pub hub_hardware: HubHardware,
+    /// Hub node costs (merging only; per-segment node costs such as
+    /// repeaters live inside each segment's plan cost).
+    pub node_cost: f64,
+    /// Total cost `C(P)`.
+    pub cost: f64,
+}
+
+impl Candidate {
+    /// Total repeaters across all segments.
+    pub fn total_repeaters(&self) -> u32 {
+        self.segments.iter().map(|s| s.plan.total_repeaters()).sum()
+    }
+
+    /// Total link instances across all segments.
+    pub fn total_links(&self) -> u32 {
+        self.segments.iter().map(|s| s.plan.total_links()).sum()
+    }
+}
+
+/// Builds the optimum point-to-point candidate for one arc.
+///
+/// # Errors
+///
+/// Propagates [`best_plan`] errors — a point-to-point implementation must
+/// exist for synthesis to be feasible at all.
+pub fn point_to_point_candidate(
+    graph: &ConstraintGraph,
+    library: &Library,
+    arc_idx: usize,
+) -> Result<Candidate, SynthesisError> {
+    let id = ArcId(arc_idx as u32);
+    let arc = graph.arc(id);
+    let plan =
+        crate::p2p::best_plan_limited(library, arc.distance, arc.bandwidth, arc.max_hops, id)?;
+    let (from_pos, to_pos) = graph.arc_endpoints(id);
+    let segment = SegmentPlan {
+        from: Endpoint::Port(arc.src),
+        to: Endpoint::Port(arc.dst),
+        from_pos,
+        to_pos,
+        length: arc.distance,
+        demand: arc.bandwidth,
+        plan,
+        arcs: vec![arc_idx],
+    };
+    Ok(Candidate {
+        arcs: vec![arc_idx],
+        kind: CandidateKind::PointToPoint,
+        hub_a: None,
+        hub_b: None,
+        hub_hardware: HubHardware::MuxDemux,
+        node_cost: 0.0,
+        cost: plan.cost,
+        segments: vec![segment],
+    })
+}
+
+/// The cheapest per-unit-length price at which the library can carry
+/// `demand` — the linear surrogate used as a hub-placement weight.
+///
+/// Returns `None` when no link can carry the demand even with
+/// duplication.
+pub fn effective_rate(library: &Library, demand: Bandwidth) -> Option<f64> {
+    let rep_cost = library.node_cost(NodeKind::Repeater).unwrap_or(0.0);
+    library
+        .links()
+        .filter_map(|(_, l)| {
+            let lanes = l.bandwidth.lanes_for(demand)? as f64;
+            let mut rate = l.rate_per_length() * lanes;
+            if l.max_length.is_finite() {
+                // Amortized repeater price per unit length.
+                rate += lanes * rep_cost / l.max_length;
+            }
+            Some(rate)
+        })
+        .min_by(f64::total_cmp)
+}
+
+/// Builds the k-way merge candidate for `subset` (arc indices, sorted).
+///
+/// Returns `Ok(None)` when the merging is structurally infeasible with
+/// this library (no mux/demux, or some stretch cannot be implemented) —
+/// such subsets are simply not candidates, which is not an error.
+///
+/// # Errors
+///
+/// Currently never returns `Err`; the `Result` keeps room for future
+/// hard failures and symmetry with
+/// [`point_to_point_candidate`].
+///
+/// # Panics
+///
+/// Panics if `subset` has fewer than two arcs or contains an invalid
+/// index.
+pub fn merge_candidate(
+    graph: &ConstraintGraph,
+    library: &Library,
+    subset: &[usize],
+) -> Result<Option<Candidate>, SynthesisError> {
+    assert!(subset.len() >= 2, "a merging needs at least two arcs");
+
+    // Hub hardware on offer.
+    let muxdemux_cost = match (
+        library.node_cost(NodeKind::Mux),
+        library.node_cost(NodeKind::Demux),
+    ) {
+        (Some(m), Some(d)) => Some(m + d),
+        _ => None,
+    };
+    let switch_cost = library.node_cost(NodeKind::Switch);
+    if muxdemux_cost.is_none() && switch_cost.is_none() {
+        return Ok(None);
+    }
+
+    let arcs: Vec<_> = subset
+        .iter()
+        .map(|&i| (i, graph.arc(ArcId(i as u32))))
+        .collect();
+    let trunk_demand: Bandwidth = arcs.iter().map(|(_, a)| a.bandwidth).sum();
+
+    // Hub placement with per-length price weights.
+    let Some(trunk_rate) = effective_rate(library, trunk_demand) else {
+        return Ok(None);
+    };
+    let mut sources = Vec::with_capacity(arcs.len());
+    let mut sinks = Vec::with_capacity(arcs.len());
+    for (_, a) in &arcs {
+        let Some(rate) = effective_rate(library, a.bandwidth) else {
+            return Ok(None);
+        };
+        sources.push((graph.position(a.src), rate));
+        sinks.push((graph.position(a.dst), rate));
+    }
+
+    // Topology 1: the general dumbbell (two hubs, mux/demux required).
+    let dumbbell = if let Some(md) = muxdemux_cost {
+        let sol =
+            TwoHubProblem::new(sources.clone(), sinks.clone(), trunk_rate).solve(graph.norm());
+        build_merge(
+            graph,
+            library,
+            subset,
+            &arcs,
+            trunk_demand,
+            sol.hub_a,
+            sol.hub_b,
+            md,
+            HubHardware::MuxDemux,
+        )?
+    } else {
+        None
+    };
+
+    // Topology 2: the star (one shared hub). A single switch can realize
+    // it; a co-located mux/demux pair is the fallback when the switch is
+    // absent or pricier.
+    let star_anchors: Vec<(Point2, f64)> = sources.iter().chain(&sinks).copied().collect();
+    let star_hub = WeberProblem::new(star_anchors).solve(graph.norm());
+    let star_hardware = match (switch_cost, muxdemux_cost) {
+        (Some(s), Some(md)) if s <= md => Some((HubHardware::SingleSwitch, s)),
+        (Some(s), None) => Some((HubHardware::SingleSwitch, s)),
+        (_, Some(md)) => Some((HubHardware::MuxDemux, md)),
+        (None, None) => None,
+    };
+    let star = match star_hardware {
+        Some((hw, node_cost)) => build_merge(
+            graph,
+            library,
+            subset,
+            &arcs,
+            trunk_demand,
+            star_hub,
+            star_hub,
+            node_cost,
+            hw,
+        )?,
+        None => None,
+    };
+
+    Ok(match (dumbbell, star) {
+        (Some(d), Some(s)) => Some(if s.cost < d.cost { s } else { d }),
+        (d, s) => d.or(s),
+    })
+}
+
+/// Prices one concrete merge topology; `None` when some stretch cannot be
+/// implemented with this library.
+#[allow(clippy::too_many_arguments)] // internal constructor, not public API
+fn build_merge(
+    graph: &ConstraintGraph,
+    library: &Library,
+    subset: &[usize],
+    arcs: &[(usize, &crate::constraint::Channel)],
+    trunk_demand: Bandwidth,
+    hub_a: Point2,
+    hub_b: Point2,
+    node_cost: f64,
+    hub_hardware: HubHardware,
+) -> Result<Option<Candidate>, SynthesisError> {
+    let norm = graph.norm();
+    let mut segments = Vec::new();
+    let mut cost = node_cost;
+
+    // Source branches.
+    for (idx, a) in arcs {
+        let pos = graph.position(a.src);
+        let len = norm.distance(pos, hub_a);
+        if len <= ZERO_LEN {
+            continue;
+        }
+        let Ok(plan) = best_plan(library, len, a.bandwidth, ArcId(*idx as u32)) else {
+            return Ok(None);
+        };
+        cost += plan.cost;
+        segments.push(SegmentPlan {
+            from: Endpoint::Port(a.src),
+            to: Endpoint::HubA,
+            from_pos: pos,
+            to_pos: hub_a,
+            length: len,
+            demand: a.bandwidth,
+            plan,
+            arcs: vec![*idx],
+        });
+    }
+
+    // Common path (trunk). A star topology has none by construction.
+    let trunk_len = norm.distance(hub_a, hub_b);
+    if trunk_len > ZERO_LEN {
+        let Ok(plan) = best_plan(library, trunk_len, trunk_demand, ArcId(subset[0] as u32)) else {
+            return Ok(None);
+        };
+        cost += plan.cost;
+        segments.push(SegmentPlan {
+            from: Endpoint::HubA,
+            to: Endpoint::HubB,
+            from_pos: hub_a,
+            to_pos: hub_b,
+            length: trunk_len,
+            demand: trunk_demand,
+            plan,
+            arcs: subset.to_vec(),
+        });
+    }
+
+    // Destination branches.
+    for (idx, a) in arcs {
+        let pos = graph.position(a.dst);
+        let len = norm.distance(hub_b, pos);
+        if len <= ZERO_LEN {
+            continue;
+        }
+        let Ok(plan) = best_plan(library, len, a.bandwidth, ArcId(*idx as u32)) else {
+            return Ok(None);
+        };
+        cost += plan.cost;
+        segments.push(SegmentPlan {
+            from: Endpoint::HubB,
+            to: Endpoint::Port(a.dst),
+            from_pos: hub_b,
+            to_pos: pos,
+            length: len,
+            demand: a.bandwidth,
+            plan,
+            arcs: vec![*idx],
+        });
+    }
+
+    // Latency extension: a member arc's end-to-end hops are the sum over
+    // the segments that carry it; exceeding its bound disqualifies the
+    // whole merging (we do not re-plan segments under tighter budgets).
+    for (idx, a) in arcs {
+        if let Some(limit) = a.max_hops {
+            let hops: u32 = segments
+                .iter()
+                .filter(|s| s.arcs.contains(idx))
+                .map(|s| s.plan.hops)
+                .sum();
+            if hops > limit {
+                return Ok(None);
+            }
+        }
+    }
+
+    Ok(Some(Candidate {
+        arcs: subset.to_vec(),
+        kind: CandidateKind::Merging { k: subset.len() },
+        hub_a: Some(hub_a),
+        hub_b: Some(hub_b),
+        segments,
+        hub_hardware,
+        node_cost,
+        cost,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintGraph;
+    use crate::library::{wan_paper_library, Library, Link};
+    use ccs_geom::Norm;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    /// Three 10 Mb/s channels from a tight cluster to one far node —
+    /// the shape of the paper's winning merge {a4, a5, a6}.
+    fn cluster_to_far() -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s0 = b.add_port("A", Point2::new(0.0, 0.0));
+        let s1 = b.add_port("B", Point2::new(5.0, 0.0));
+        let s2 = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        b.add_channel(s0, d, mbps(10.0)).unwrap();
+        b.add_channel(s1, d, mbps(10.0)).unwrap();
+        b.add_channel(s2, d, mbps(10.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn p2p_candidate_mirrors_best_plan() {
+        let g = cluster_to_far();
+        let lib = wan_paper_library();
+        let c = point_to_point_candidate(&g, &lib, 0).unwrap();
+        assert_eq!(c.kind, CandidateKind::PointToPoint);
+        assert_eq!(c.arcs, vec![0]);
+        assert_eq!(c.segments.len(), 1);
+        let d = g.arc(ArcId(0)).distance;
+        assert!((c.cost - 2000.0 * d).abs() < 1e-6); // radio at $2000/km
+        assert!(c.hub_a.is_none());
+        assert_eq!(c.total_links(), 1);
+    }
+
+    #[test]
+    fn effective_rate_picks_cheapest_feasible() {
+        let lib = wan_paper_library();
+        // 10 Mb/s: radio 1 lane at 2000.
+        assert_eq!(effective_rate(&lib, mbps(10.0)), Some(2000.0));
+        // 30 Mb/s: radio ×3 = 6000 vs optical 4000 → optical.
+        assert_eq!(effective_rate(&lib, mbps(30.0)), Some(4000.0));
+        // 22 Mb/s: radio ×2 = 4000 ties optical 4000.
+        assert_eq!(effective_rate(&lib, mbps(22.0)), Some(4000.0));
+    }
+
+    #[test]
+    fn merge_of_shared_destination_beats_p2p_sum() {
+        let g = cluster_to_far();
+        let lib = wan_paper_library();
+        let merged = merge_candidate(&g, &lib, &[0, 1, 2]).unwrap().unwrap();
+        assert_eq!(merged.kind, CandidateKind::Merging { k: 3 });
+        let p2p_sum: f64 = (0..3)
+            .map(|i| point_to_point_candidate(&g, &lib, i).unwrap().cost)
+            .sum();
+        assert!(
+            merged.cost < p2p_sum,
+            "merge {} should beat p2p sum {}",
+            merged.cost,
+            p2p_sum
+        );
+        // The demux hub should sit at the shared destination: all
+        // destination branches have zero length, so no segment ends at a
+        // destination port.
+        let d_pos = Point2::new(64.8, 76.4);
+        assert!(merged.hub_b.unwrap().approx_eq(d_pos, 1e-3));
+        // Trunk demand is the sum (30 Mb/s) → optical (radio is 11 Mb/s).
+        let trunk = merged
+            .segments
+            .iter()
+            .find(|s| s.from == Endpoint::HubA && s.to == Endpoint::HubB)
+            .expect("trunk segment");
+        assert_eq!(trunk.demand, mbps(30.0));
+        assert_eq!(lib.link(trunk.plan.link).name, "optical");
+        assert_eq!(trunk.arcs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_without_mux_is_not_a_candidate() {
+        let g = cluster_to_far();
+        let lib = Library::builder()
+            .link(Link::per_length("radio", mbps(11.0), 2000.0))
+            .link(Link::per_length(
+                "optical",
+                Bandwidth::from_gbps(1.0),
+                4000.0,
+            ))
+            .node(NodeKind::Repeater, 0.0)
+            .build()
+            .unwrap();
+        assert_eq!(merge_candidate(&g, &lib, &[0, 1]).unwrap(), None);
+    }
+
+    #[test]
+    fn hub_node_costs_are_charged() {
+        let g = cluster_to_far();
+        let lib = Library::builder()
+            .link(Link::per_length("radio", mbps(11.0), 2000.0))
+            .link(Link::per_length(
+                "optical",
+                Bandwidth::from_gbps(1.0),
+                4000.0,
+            ))
+            .node(NodeKind::Repeater, 0.0)
+            .node(NodeKind::Mux, 500.0)
+            .node(NodeKind::Demux, 700.0)
+            .build()
+            .unwrap();
+        let free = merge_candidate(&g, &wan_paper_library(), &[0, 1, 2])
+            .unwrap()
+            .unwrap();
+        let paid = merge_candidate(&g, &lib, &[0, 1, 2]).unwrap().unwrap();
+        assert_eq!(paid.node_cost, 1200.0);
+        assert!((paid.cost - free.cost - 1200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn segment_arcs_trace_routing() {
+        let g = cluster_to_far();
+        let lib = wan_paper_library();
+        let merged = merge_candidate(&g, &lib, &[0, 1, 2]).unwrap().unwrap();
+        // Each arc must appear in at least one branch or the trunk.
+        for i in 0..3 {
+            assert!(
+                merged.segments.iter().any(|s| s.arcs.contains(&i)),
+                "arc {i} unrouted"
+            );
+        }
+        // Total cost decomposes into segments + hubs.
+        let seg_sum: f64 = merged.segments.iter().map(|s| s.plan.cost).sum();
+        assert!((merged.cost - seg_sum - merged.node_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_apart_merge_is_costed_but_unattractive() {
+        // Two channels in opposite directions across the plane: a merge
+        // exists structurally but must cost more than the p2p pair.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s0 = b.add_port("s0", Point2::new(0.0, 0.0));
+        let t0 = b.add_port("t0", Point2::new(100.0, 0.0));
+        let s1 = b.add_port("s1", Point2::new(100.0, 50.0));
+        let t1 = b.add_port("t1", Point2::new(0.0, 50.0));
+        b.add_channel(s0, t0, mbps(10.0)).unwrap();
+        b.add_channel(s1, t1, mbps(10.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let merged = merge_candidate(&g, &lib, &[0, 1]).unwrap().unwrap();
+        let p2p_sum: f64 = (0..2)
+            .map(|i| point_to_point_candidate(&g, &lib, i).unwrap().cost)
+            .sum();
+        assert!(merged.cost >= p2p_sum - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two arcs")]
+    fn singleton_merge_panics() {
+        let g = cluster_to_far();
+        let _ = merge_candidate(&g, &wan_paper_library(), &[0]);
+    }
+
+    /// A library whose only hub hardware is a switch.
+    fn switch_only_library() -> Library {
+        Library::builder()
+            .link(Link::per_length("radio", mbps(11.0), 2000.0))
+            .link(Link::per_length(
+                "optical",
+                Bandwidth::from_gbps(1.0),
+                4000.0,
+            ))
+            .node(NodeKind::Repeater, 0.0)
+            .node(NodeKind::Switch, 10.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn switch_enables_merging_without_mux_demux() {
+        // No mux/demux: the dumbbell is unavailable, but the star with a
+        // single switch still produces a candidate.
+        let g = cluster_to_far();
+        let c = merge_candidate(&g, &switch_only_library(), &[0, 1, 2])
+            .unwrap()
+            .expect("switch star is a candidate");
+        assert_eq!(c.hub_hardware, HubHardware::SingleSwitch);
+        assert_eq!(c.node_cost, 10.0);
+        // Star topology: hubs coincide, no trunk segment.
+        assert_eq!(c.hub_a, c.hub_b);
+        assert!(c
+            .segments
+            .iter()
+            .all(|s| !(s.from == Endpoint::HubA && s.to == Endpoint::HubB)));
+    }
+
+    #[test]
+    fn dumbbell_beats_star_when_trunk_pays() {
+        // With mux/demux available, the shared-destination merge keeps
+        // the dumbbell (its optical trunk is the whole point).
+        let g = cluster_to_far();
+        let lib = wan_paper_library();
+        let c = merge_candidate(&g, &lib, &[0, 1, 2]).unwrap().unwrap();
+        assert_eq!(c.hub_hardware, HubHardware::MuxDemux);
+    }
+
+    #[test]
+    fn cheap_switch_wins_cost_tie_on_star() {
+        // Expensive mux/demux vs cheap switch: when the merge shape is a
+        // star anyway, the switch hardware is chosen.
+        let lib = Library::builder()
+            .link(Link::per_length("radio", mbps(11.0), 2000.0))
+            .link(Link::per_length(
+                "optical",
+                Bandwidth::from_gbps(1.0),
+                4000.0,
+            ))
+            .node(NodeKind::Repeater, 0.0)
+            .node(NodeKind::Mux, 400.0)
+            .node(NodeKind::Demux, 400.0)
+            .node(NodeKind::Switch, 100.0)
+            .build()
+            .unwrap();
+        // Crossing channels: the natural hub is the shared crossing point
+        // and the trunk collapses.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s0 = b.add_port("s0", Point2::new(0.0, 0.0));
+        let t0 = b.add_port("t0", Point2::new(10.0, 10.0));
+        let s1 = b.add_port("s1", Point2::new(0.0, 10.0));
+        let t1 = b.add_port("t1", Point2::new(10.0, 0.0));
+        b.add_channel(s0, t0, mbps(10.0)).unwrap();
+        b.add_channel(s1, t1, mbps(10.0)).unwrap();
+        let g = b.build().unwrap();
+        let c = merge_candidate(&g, &lib, &[0, 1]).unwrap().unwrap();
+        assert_eq!(c.hub_hardware, HubHardware::SingleSwitch);
+        assert_eq!(c.node_cost, 100.0);
+    }
+
+    #[test]
+    fn star_never_beats_p2p_on_links() {
+        // Triangle inequality: routing each arc via a shared hub cannot
+        // shorten it, so a star merge's link cost is ≥ the p2p sum — the
+        // reason SingleSwitch candidates only matter for hardware cost
+        // comparisons and mux-less libraries.
+        let g = cluster_to_far();
+        let lib = switch_only_library();
+        let star = merge_candidate(&g, &lib, &[0, 1, 2]).unwrap().unwrap();
+        let p2p_sum: f64 = (0..3)
+            .map(|i| point_to_point_candidate(&g, &lib, i).unwrap().cost)
+            .sum();
+        let star_links = star.cost - star.node_cost;
+        assert!(star_links >= p2p_sum - 1e-6);
+    }
+}

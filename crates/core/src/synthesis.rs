@@ -1,0 +1,417 @@
+//! The end-to-end synthesis pipeline (the paper's two-phase algorithm).
+//!
+//! [`Synthesizer::run`] executes:
+//!
+//! 1. Γ/Δ matrix computation ([`crate::matrices`]);
+//! 2. optimum point-to-point candidates for every arc ([`crate::p2p`],
+//!    [`crate::placement`]);
+//! 3. merge-candidate enumeration with the paper's pruning theorems
+//!    ([`crate::merging`]);
+//! 4. hub placement and exact costing of every surviving merge subset
+//!    ([`crate::placement`]), with an additional *cost dominance* filter
+//!    (a merging never cheaper than its members' point-to-point sum can
+//!    be dropped exactly);
+//! 5. weighted unate covering over all candidates ([`crate::cover`]);
+//! 6. assembly of the final implementation graph
+//!    ([`crate::implementation`]).
+
+use crate::constraint::ConstraintGraph;
+use crate::cover::{select, CoverStrategy};
+use crate::error::SynthesisError;
+use crate::implementation::ImplementationGraph;
+use crate::library::Library;
+use crate::matrices::DistanceMatrices;
+use crate::merging::{enumerate, MergeConfig, MergeStats};
+use crate::placement::{merge_candidate, point_to_point_candidate, Candidate};
+use std::time::Duration;
+
+/// Tunable knobs of the pipeline. The default reproduces the paper.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SynthesisConfig {
+    /// Merge-candidate enumeration configuration.
+    pub merge: MergeConfig,
+    /// Which UCP solver selects the global solution.
+    pub cover: CoverStrategy,
+    /// Drop merge candidates costing at least the sum of their members'
+    /// point-to-point costs (exact, loses no optimality).
+    pub keep_dominated: bool,
+    /// Verify Assumption 2.1 before running (O(|A|²) extra work) and fail
+    /// fast when the library violates it.
+    pub check_assumption: bool,
+}
+
+/// Statistics collected during one synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisStats {
+    /// Number of constraint arcs.
+    pub arc_count: usize,
+    /// Cost of the pure point-to-point solution (Def. 2.6 baseline).
+    pub p2p_cost: f64,
+    /// Enumeration statistics (per-k counts, prunes, Theorem 3.1 drops).
+    pub merge_stats: MergeStats,
+    /// Merge subsets that survived pruning but were structurally
+    /// infeasible with this library.
+    pub infeasible_merges: usize,
+    /// Merge candidates dropped by the cost-dominance filter.
+    pub dominated_dropped: usize,
+    /// Total candidate columns handed to the UCP.
+    pub ucp_cols: usize,
+    /// UCP rows (= arcs).
+    pub ucp_rows: usize,
+    /// Exact-solver statistics, when the exact solver ran.
+    pub ucp_stats: Option<ccs_covering::SolveStats>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// The output of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The minimum-cost architecture.
+    pub implementation: ImplementationGraph,
+    /// The selected candidates, in covering order.
+    pub selected: Vec<Candidate>,
+    /// All candidates considered by the covering step (point-to-point
+    /// first, then mergings in enumeration order).
+    pub candidates: Vec<Candidate>,
+    /// The Γ/Δ matrices of the instance.
+    pub matrices: DistanceMatrices,
+    /// Run statistics.
+    pub stats: SynthesisStats,
+}
+
+impl SynthesisResult {
+    /// Total cost of the selected architecture.
+    pub fn total_cost(&self) -> f64 {
+        self.implementation.total_cost()
+    }
+
+    /// Cost saving of the synthesized architecture relative to the pure
+    /// point-to-point solution, as a fraction in `[0, 1)`.
+    pub fn saving_vs_p2p(&self) -> f64 {
+        if self.stats.p2p_cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_cost() / self.stats.p2p_cost
+    }
+}
+
+/// The synthesis facade: borrows a constraint graph and a library, runs
+/// the full pipeline on [`run`](Self::run).
+///
+/// # Examples
+///
+/// See the [crate-level quickstart](crate).
+#[derive(Debug, Clone)]
+pub struct Synthesizer<'a> {
+    graph: &'a ConstraintGraph,
+    library: &'a Library,
+    config: SynthesisConfig,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer with the default (paper-faithful)
+    /// configuration.
+    pub fn new(graph: &'a ConstraintGraph, library: &'a Library) -> Self {
+        Synthesizer {
+            graph,
+            library,
+            config: SynthesisConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SynthesisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * per-arc infeasibility from [`crate::p2p::best_plan`]
+    ///   ([`SynthesisError::NoFeasibleLink`] and friends);
+    /// * [`SynthesisError::AssumptionViolated`] when
+    ///   [`SynthesisConfig::check_assumption`] is set and fails;
+    /// * [`SynthesisError::Cover`] from the covering solver.
+    pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
+        let start = std::time::Instant::now();
+        let graph = self.graph;
+        let library = self.library;
+
+        if self.config.check_assumption {
+            if let Some((a, b)) = crate::p2p::check_assumption(graph, library)? {
+                return Err(SynthesisError::AssumptionViolated(a, b));
+            }
+        }
+
+        // Phase 1a: optimum point-to-point candidates (always included —
+        // they make the covering matrix feasible by construction).
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut p2p_cost = 0.0;
+        for i in 0..graph.arc_count() {
+            let c = point_to_point_candidate(graph, library, i)?;
+            p2p_cost += c.cost;
+            candidates.push(c);
+        }
+
+        // Phase 1b: merge candidates.
+        let matrices = DistanceMatrices::compute(graph);
+        let enumeration = enumerate(graph, library, &matrices, &self.config.merge);
+        let mut infeasible = 0usize;
+        let mut dominated = 0usize;
+        for subset in enumeration.all_subsets() {
+            match merge_candidate(graph, library, subset)? {
+                None => infeasible += 1,
+                Some(c) => {
+                    // Hub placement converges to ~1e-9; savings below a
+                    // relative 1e-6 are numerical noise, not real wins.
+                    let member_sum: f64 = subset.iter().map(|&i| candidates[i].cost).sum();
+                    if !self.config.keep_dominated && c.cost >= member_sum * (1.0 - 1e-6) - 1e-12 {
+                        dominated += 1;
+                    } else {
+                        candidates.push(c);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: weighted unate covering.
+        let outcome = select(&candidates, graph.arc_count(), self.config.cover)?;
+        let selected: Vec<Candidate> = outcome
+            .selected
+            .iter()
+            .map(|&i| candidates[i].clone())
+            .collect();
+
+        // Assemble the architecture.
+        let implementation = ImplementationGraph::build(graph, library, &selected);
+
+        let stats = SynthesisStats {
+            arc_count: graph.arc_count(),
+            p2p_cost,
+            merge_stats: enumeration.stats.clone(),
+            infeasible_merges: infeasible,
+            dominated_dropped: dominated,
+            ucp_cols: outcome.cols,
+            ucp_rows: outcome.rows,
+            ucp_stats: outcome.stats,
+            elapsed: start.elapsed(),
+        };
+        Ok(SynthesisResult {
+            implementation,
+            selected,
+            candidates,
+            matrices,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::verify;
+    use crate::library::{wan_paper_library, Library, Link, NodeKind};
+    use crate::units::Bandwidth;
+    use ccs_geom::{Norm, Point2};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    /// Three channels from a cluster to a far node plus one unrelated
+    /// channel — merging the cluster should win.
+    fn cluster_instance() -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        let x = b.add_port("X", Point2::new(200.0, 0.0));
+        let y = b.add_port("Y", Point2::new(203.0, 0.0));
+        b.add_channel(a, d, mbps(10.0)).unwrap();
+        b.add_channel(c, d, mbps(10.0)).unwrap();
+        b.add_channel(e, d, mbps(10.0)).unwrap();
+        b.add_channel(x, y, mbps(10.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_beats_p2p_and_verifies() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        assert!(r.total_cost() < r.stats.p2p_cost, "merging should pay off");
+        assert!(r.saving_vs_p2p() > 0.0);
+        assert!(verify(&g, &lib, &r.implementation).is_empty());
+        // Every arc covered exactly by the selection.
+        let mut covered = [false; 4];
+        for c in &r.selected {
+            for &a in &c.arcs {
+                covered[a] = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn merged_trio_is_selected() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        // The three clustered channels share one merge candidate.
+        assert!(
+            r.selected.iter().any(|c| c.arcs == vec![0, 1, 2]),
+            "expected 3-way merge in {:?}",
+            r.selected
+                .iter()
+                .map(|c| c.arcs.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn anytime_cover_matches_exact_with_budget() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let exact = Synthesizer::new(&g, &lib).run().unwrap();
+        let cfg = SynthesisConfig {
+            cover: CoverStrategy::Anytime {
+                node_limit: 1 << 20,
+            },
+            ..SynthesisConfig::default()
+        };
+        let any = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+        assert!((any.total_cost() - exact.total_cost()).abs() < 1e-6);
+        assert!(any.stats.ucp_stats.expect("stats present").proven_optimal);
+    }
+
+    #[test]
+    fn greedy_cover_is_no_better_than_exact() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let exact = Synthesizer::new(&g, &lib).run().unwrap();
+        let cfg = SynthesisConfig {
+            cover: CoverStrategy::Greedy,
+            ..SynthesisConfig::default()
+        };
+        let greedy = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+        assert!(greedy.total_cost() >= exact.total_cost() - 1e-6);
+        assert!(greedy.stats.ucp_stats.is_none());
+    }
+
+    #[test]
+    fn keep_dominated_increases_columns_not_cost() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let lean = Synthesizer::new(&g, &lib).run().unwrap();
+        let cfg = SynthesisConfig {
+            keep_dominated: true,
+            ..SynthesisConfig::default()
+        };
+        let fat = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+        assert!(fat.stats.ucp_cols >= lean.stats.ucp_cols);
+        assert!((fat.total_cost() - lean.total_cost()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        assert_eq!(r.stats.arc_count, 4);
+        assert_eq!(r.stats.ucp_rows, 4);
+        assert_eq!(r.stats.ucp_cols, r.candidates.len());
+        assert!(r.stats.p2p_cost > 0.0);
+        // The far pair (arc 3) never merges: deactivated at level 2.
+        assert_eq!(r.stats.merge_stats.deactivated_at[3], Some(2));
+    }
+
+    #[test]
+    fn assumption_check_passes_on_paper_library() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let cfg = SynthesisConfig {
+            check_assumption: true,
+            ..SynthesisConfig::default()
+        };
+        let r = Synthesizer::new(&g, &lib).with_config(cfg).run();
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn infeasible_arc_propagates() {
+        // A library with only a short link and no repeater cannot span
+        // the channels.
+        let lib = Library::builder()
+            .link(Link::per_length_capped("short", mbps(100.0), 0.5, 1.0))
+            .node(NodeKind::Mux, 0.0)
+            .node(NodeKind::Demux, 0.0)
+            .build()
+            .unwrap();
+        let g = cluster_instance();
+        let err = Synthesizer::new(&g, &lib).run().unwrap_err();
+        assert!(matches!(err, SynthesisError::MissingRepeater(_)));
+    }
+
+    #[test]
+    fn hop_bounds_disable_merging_and_still_verify() {
+        // Three clustered channels that would merge (branch + trunk = 2
+        // hops each) are pinned to one hop: the merge candidate becomes
+        // infeasible and everything stays point-to-point.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        for src in [a, c, e] {
+            b.add_channel_limited(src, d, mbps(10.0), Some(1)).unwrap();
+        }
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        assert_eq!(r.total_cost(), r.stats.p2p_cost);
+        assert!(r
+            .selected
+            .iter()
+            .all(|c| matches!(c.kind, crate::placement::CandidateKind::PointToPoint)));
+        assert!(crate::check::verify(&g, &lib, &r.implementation).is_empty());
+
+        // With a 2-hop budget the merge is allowed again (branch + trunk).
+        let mut b2 = ConstraintGraph::builder(Norm::Euclidean);
+        let a2 = b2.add_port("A", Point2::new(0.0, 0.0));
+        let c2 = b2.add_port("B", Point2::new(5.0, 0.0));
+        let e2 = b2.add_port("C", Point2::new(-2.8, 4.6));
+        let d2 = b2.add_port("D", Point2::new(64.8, 76.4));
+        for src in [a2, c2, e2] {
+            b2.add_channel_limited(src, d2, mbps(10.0), Some(2))
+                .unwrap();
+        }
+        let g2 = b2.build().unwrap();
+        let r2 = Synthesizer::new(&g2, &lib).run().unwrap();
+        assert!(r2.total_cost() < r2.stats.p2p_cost);
+        assert!(crate::check::verify(&g2, &lib, &r2.implementation).is_empty());
+    }
+
+    #[test]
+    fn single_channel_system_is_trivially_p2p() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        b.add_channel(s, t, mbps(5.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        assert_eq!(r.selected.len(), 1);
+        assert_eq!(r.total_cost(), r.stats.p2p_cost);
+        assert_eq!(r.candidates.len(), 1); // no merge candidates at all
+    }
+}

@@ -1,0 +1,378 @@
+//! Process-technology modeling: where `l_crit` comes from.
+//!
+//! The paper's on-chip example uses "the notion of critical length
+//! (`l_crit`) as defined in [Otten/Brayton, *Planning for Performance*,
+//! DAC 1998]" — the segment length at which inserting an optimally sized
+//! repeater stops paying off. This module derives it from first-order
+//! technology parameters so the on-chip library is *computed* rather than
+//! postulated:
+//!
+//! * an unrepeated wire of length `L` has Elmore delay
+//!   `T(L) ≈ 0.7·R_d·(c·L + C_g) + r·L·(0.4·c·L + 0.7·C_g)` — quadratic
+//!   in `L`;
+//! * splitting into `n` repeated segments makes the delay
+//!   `n · T(L/n)`, linearized at the cost of repeater area;
+//! * the optimum segment length is `l_crit = √(2·R_d·C_g / (r·c))`.
+//!
+//! The [`Technology::um_180`] preset is calibrated to the paper's
+//! `l_crit = 0.6 mm`; [`Technology::um_130`] shows the deep-sub-micron
+//! trend the paper's conclusion warns about (smaller `l_crit`, fewer
+//! single-cycle wires).
+
+use crate::library::{Library, Link, NodeKind, SegmentationPolicy};
+use crate::units::Bandwidth;
+
+/// First-order electrical parameters of a process node.
+///
+/// Units: resistances in Ω, capacitances in fF, lengths in mm, delays in
+/// ps (1 Ω·fF = 10⁻³ ps).
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::technology::Technology;
+///
+/// let t = Technology::um_180();
+/// assert!((t.critical_length_mm() - 0.6).abs() < 1e-9);
+/// // A 3 mm wire needs repeaters to meet a 5 ns clock…
+/// assert!(t.unrepeated_delay_ps(3.0) > t.repeated_delay_ps(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Technology {
+    /// Process name, e.g. `"0.18um"`.
+    pub name: String,
+    /// Wire resistance `r`, Ω/mm.
+    pub wire_res_ohm_per_mm: f64,
+    /// Wire capacitance `c`, fF/mm.
+    pub wire_cap_ff_per_mm: f64,
+    /// Driver (optimally sized repeater) output resistance `R_d`, Ω.
+    pub driver_res_ohm: f64,
+    /// Repeater input capacitance `C_g`, fF.
+    pub gate_cap_ff: f64,
+    /// Clock period, ps.
+    pub clock_period_ps: f64,
+}
+
+impl Technology {
+    /// The paper's 0.18 µm node, calibrated to `l_crit = 0.6 mm`
+    /// (`2·R_d·C_g = l² · r · c` with `r = 80 Ω/mm`, `c = 200 fF/mm`).
+    pub fn um_180() -> Self {
+        Technology {
+            name: "0.18um".into(),
+            wire_res_ohm_per_mm: 80.0,
+            wire_cap_ff_per_mm: 200.0,
+            driver_res_ohm: 1800.0,
+            gate_cap_ff: 1.6,
+            clock_period_ps: 5000.0,
+        }
+    }
+
+    /// A representative 0.13 µm node: thinner wires (higher `r`), faster
+    /// gates, faster clock — the deep-sub-micron regime of the paper's
+    /// conclusion.
+    pub fn um_130() -> Self {
+        Technology {
+            name: "0.13um".into(),
+            wire_res_ohm_per_mm: 150.0,
+            wire_cap_ff_per_mm: 210.0,
+            driver_res_ohm: 1400.0,
+            gate_cap_ff: 1.0,
+            clock_period_ps: 3000.0,
+        }
+    }
+
+    /// The Otten/Brayton critical length `√(2·R_d·C_g / (r·c))`, mm.
+    pub fn critical_length_mm(&self) -> f64 {
+        (2.0 * self.driver_res_ohm * self.gate_cap_ff
+            / (self.wire_res_ohm_per_mm * self.wire_cap_ff_per_mm))
+            .sqrt()
+    }
+
+    /// Elmore delay of one driven, unrepeated wire of `length_mm`, ps.
+    pub fn unrepeated_delay_ps(&self, length_mm: f64) -> f64 {
+        let r = self.wire_res_ohm_per_mm;
+        let c = self.wire_cap_ff_per_mm;
+        let rd = self.driver_res_ohm;
+        let cg = self.gate_cap_ff;
+        let ohm_ff =
+            0.7 * rd * (c * length_mm + cg) + r * length_mm * (0.4 * c * length_mm + 0.7 * cg);
+        ohm_ff * 1e-3 // Ω·fF → ps
+    }
+
+    /// Delay of the same wire optimally split into
+    /// `⌊length/l_crit⌋ + 1` repeated segments, ps.
+    pub fn repeated_delay_ps(&self, length_mm: f64) -> f64 {
+        let n = (length_mm / self.critical_length_mm()).floor() as u32 + 1;
+        self.segmented_delay_ps(length_mm, n)
+    }
+
+    /// Delay of the wire split into `segments` equal repeated stretches,
+    /// ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn segmented_delay_ps(&self, length_mm: f64, segments: u32) -> f64 {
+        assert!(segments > 0, "at least one segment");
+        segments as f64 * self.unrepeated_delay_ps(length_mm / segments as f64)
+    }
+
+    /// The longest optimally repeated wire whose delay still fits the
+    /// clock period (single-cycle communication), mm.
+    ///
+    /// Repeated delay is asymptotically linear in length, so a simple
+    /// bisection suffices.
+    pub fn max_single_cycle_length_mm(&self) -> f64 {
+        let budget = self.clock_period_ps;
+        if self.repeated_delay_ps(1e-3) > budget {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (1e-3, 1.0);
+        while self.repeated_delay_ps(hi) < budget && hi < 1e6 {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.repeated_delay_ps(mid) < budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Per-channel timing analysis of a constraint graph under this node
+    /// (the paper's closing remark made quantitative): which channels
+    /// still cross the chip in one clock after optimal repeater
+    /// insertion, and how many *stateful* repeaters (relay-station
+    /// latches, in latency-insensitive-design terms) the others need.
+    pub fn timing_report(&self, graph: &crate::constraint::ConstraintGraph) -> TimingReport {
+        let channels = graph
+            .arcs()
+            .map(|(arc, a)| {
+                let delay_ps = self.repeated_delay_ps(a.distance);
+                let cycles = (delay_ps / self.clock_period_ps).ceil().max(1.0) as u32;
+                ChannelTiming {
+                    arc,
+                    length_mm: a.distance,
+                    delay_ps,
+                    single_cycle: cycles == 1,
+                    latches_needed: cycles - 1,
+                }
+            })
+            .collect();
+        TimingReport { channels }
+    }
+
+    /// Builds the paper-style on-chip library for this node: one wire of
+    /// the critical length (free), a unit-cost repeater (so total cost
+    /// counts repeaters), and free mux/demux — Example 2's library, but
+    /// with `l_crit` computed from the process instead of postulated.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice — the computed parameters are valid.
+    pub fn to_library(&self) -> Library {
+        Library::builder()
+            .link(Link::fixed_length(
+                format!("wire@{}", self.name),
+                Bandwidth::from_gbps(1.0),
+                self.critical_length_mm(),
+                0.0,
+            ))
+            .node(NodeKind::Repeater, 1.0)
+            .node(NodeKind::Mux, 0.0)
+            .node(NodeKind::Demux, 0.0)
+            .segmentation(SegmentationPolicy::RepeaterPerCriticalLength)
+            .build()
+            .expect("technology-derived library is valid")
+    }
+}
+
+/// Timing of one channel under a [`Technology`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelTiming {
+    /// The channel.
+    pub arc: crate::constraint::ArcId,
+    /// Channel length, mm.
+    pub length_mm: f64,
+    /// Optimally repeated wire delay, ps.
+    pub delay_ps: f64,
+    /// Whether the channel completes within one clock.
+    pub single_cycle: bool,
+    /// Relay-station latches needed to pipeline it otherwise
+    /// (`⌈delay/clock⌉ − 1`).
+    pub latches_needed: u32,
+}
+
+/// The per-channel timing breakdown of [`Technology::timing_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Per-channel figures, in arc order.
+    pub channels: Vec<ChannelTiming>,
+}
+
+impl TimingReport {
+    /// Fraction of channels that are single-cycle.
+    pub fn single_cycle_fraction(&self) -> f64 {
+        if self.channels.is_empty() {
+            return 1.0;
+        }
+        self.channels.iter().filter(|c| c.single_cycle).count() as f64 / self.channels.len() as f64
+    }
+
+    /// Total relay-station latches across all channels.
+    pub fn total_latches(&self) -> u32 {
+        self.channels.iter().map(|c| c.latches_needed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_node_gives_paper_l_crit() {
+        let t = Technology::um_180();
+        assert!((t.critical_length_mm() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dsm_node_shrinks_l_crit() {
+        // The paper's conclusion: below 0.18 µm the critical length
+        // shrinks and fewer wires are single-cycle.
+        let old = Technology::um_180();
+        let new = Technology::um_130();
+        assert!(new.critical_length_mm() < old.critical_length_mm());
+        assert!(new.max_single_cycle_length_mm() < old.max_single_cycle_length_mm());
+    }
+
+    #[test]
+    fn unrepeated_delay_is_superlinear() {
+        let t = Technology::um_180();
+        let d1 = t.unrepeated_delay_ps(1.0);
+        let d2 = t.unrepeated_delay_ps(2.0);
+        assert!(d2 > 2.0 * d1 - 1e-9, "quadratic term must show");
+    }
+
+    #[test]
+    fn repeating_helps_long_wires_only() {
+        let t = Technology::um_180();
+        // Short wire: repeating adds nothing (already one segment).
+        assert_eq!(t.repeated_delay_ps(0.3), t.unrepeated_delay_ps(0.3));
+        // Long wires: repeating linearizes the quadratic wire term; the
+        // win grows with length.
+        assert!(t.repeated_delay_ps(10.0) < 0.9 * t.unrepeated_delay_ps(10.0));
+        assert!(t.repeated_delay_ps(50.0) < 0.5 * t.unrepeated_delay_ps(50.0));
+    }
+
+    #[test]
+    fn optimal_segment_count_is_near_l_crit() {
+        // Splitting at l_crit should be within a hair of the best integer
+        // segmentation.
+        let t = Technology::um_180();
+        let length = 4.2;
+        let auto = t.repeated_delay_ps(length);
+        let best = (1..40)
+            .map(|n| t.segmented_delay_ps(length, n))
+            .fold(f64::INFINITY, f64::min);
+        assert!(auto <= best * 1.05, "auto {auto} vs best {best}");
+    }
+
+    #[test]
+    fn single_cycle_length_meets_budget() {
+        let t = Technology::um_180();
+        let l = t.max_single_cycle_length_mm();
+        assert!(l > 1.0, "a 0.18um chip crosses several mm per cycle");
+        assert!(t.repeated_delay_ps(l * 0.99) < t.clock_period_ps);
+        assert!(t.repeated_delay_ps(l * 1.01) > t.clock_period_ps);
+    }
+
+    #[test]
+    fn library_from_technology_matches_paper_library() {
+        let t = Technology::um_180();
+        let lib = t.to_library();
+        assert_eq!(lib.link_count(), 1);
+        let (_, wire) = lib.links().next().unwrap();
+        assert!((wire.max_length - 0.6).abs() < 1e-9);
+        assert_eq!(lib.node_cost(NodeKind::Repeater), Some(1.0));
+        assert_eq!(
+            lib.segmentation(),
+            SegmentationPolicy::RepeaterPerCriticalLength
+        );
+    }
+
+    #[test]
+    fn mpeg4_reproduces_with_derived_library() {
+        // The Fig. 5 experiment goes through unchanged when the library
+        // comes from the technology model instead of the constant.
+        let t = Technology::um_180();
+        let lib = t.to_library();
+        let mut b = crate::constraint::ConstraintGraph::builder(ccs_geom::Norm::Manhattan);
+        let s = b.add_port("s", ccs_geom::Point2::new(0.0, 0.0));
+        let d = b.add_port("d", ccs_geom::Point2::new(1.2, 0.8));
+        b.add_channel(s, d, Bandwidth::from_gbps(1.0)).unwrap();
+        let g = b.build().unwrap();
+        let r = crate::synthesis::Synthesizer::new(&g, &lib).run().unwrap();
+        // Manhattan 2.0 mm → ⌊2.0/0.6⌋ = 3 repeaters.
+        assert_eq!(r.implementation.repeater_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _ = Technology::um_180().segmented_delay_ps(1.0, 0);
+    }
+
+    fn spread_instance() -> crate::constraint::ConstraintGraph {
+        // Channels from 1 mm to 40 mm so both regimes appear.
+        let mut b = crate::constraint::ConstraintGraph::builder(ccs_geom::Norm::Manhattan);
+        for (i, len) in [1.0, 4.0, 12.0, 25.0, 40.0].iter().enumerate() {
+            let s = b.add_port(format!("s{i}"), ccs_geom::Point2::new(0.0, i as f64));
+            let t = b.add_port(format!("t{i}"), ccs_geom::Point2::new(*len, i as f64));
+            b.add_channel(s, t, Bandwidth::from_mbps(100.0)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn timing_report_splits_regimes() {
+        let t = Technology::um_180();
+        let g = spread_instance();
+        let r = t.timing_report(&g);
+        assert_eq!(r.channels.len(), 5);
+        // Short channels are single-cycle; the 40 mm one cannot be.
+        assert!(r.channels[0].single_cycle);
+        assert!(!r.channels[4].single_cycle);
+        assert!(r.channels[4].latches_needed >= 1);
+        // Latches are exactly ⌈delay/clock⌉ − 1.
+        for c in &r.channels {
+            let cycles = (c.delay_ps / t.clock_period_ps).ceil().max(1.0) as u32;
+            assert_eq!(c.latches_needed, cycles - 1);
+            assert_eq!(c.single_cycle, cycles == 1);
+        }
+    }
+
+    #[test]
+    fn dsm_nodes_have_fewer_single_cycle_wires() {
+        // The paper's conclusion, quantified: at 0.13 µm fewer channels
+        // are single-cycle and more latches are needed.
+        let g = spread_instance();
+        let old = Technology::um_180().timing_report(&g);
+        let new = Technology::um_130().timing_report(&g);
+        assert!(new.single_cycle_fraction() <= old.single_cycle_fraction());
+        assert!(new.total_latches() >= old.total_latches());
+    }
+
+    #[test]
+    fn empty_graph_is_all_single_cycle() {
+        let g = crate::constraint::ConstraintGraph::builder(ccs_geom::Norm::Manhattan)
+            .build()
+            .unwrap();
+        let r = Technology::um_180().timing_report(&g);
+        assert_eq!(r.single_cycle_fraction(), 1.0);
+        assert_eq!(r.total_latches(), 0);
+    }
+}

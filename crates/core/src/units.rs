@@ -1,0 +1,207 @@
+//! Quantity newtypes for the synthesis model.
+//!
+//! Distances stay in raw coordinate units (the application chooses km or
+//! mm); bandwidth gets a newtype because mixing Mb/s and Gb/s is exactly
+//! the kind of mistake a type should prevent. Costs are plain `f64`
+//! "dollars" — an application-defined optimality figure (Def. 2.2), with
+//! no unit of its own.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A channel or link bandwidth.
+///
+/// Stored internally in Mb/s. Construct with [`Bandwidth::from_mbps`] or
+/// [`Bandwidth::from_gbps`]; compare and add freely.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::units::Bandwidth;
+///
+/// let radio = Bandwidth::from_mbps(11.0);
+/// let fiber = Bandwidth::from_gbps(1.0);
+/// assert!(fiber > radio);
+/// assert_eq!((radio + radio).as_mbps(), 22.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Creates a bandwidth from megabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is negative or non-finite.
+    pub fn from_mbps(mbps: f64) -> Self {
+        assert!(
+            mbps.is_finite() && mbps >= 0.0,
+            "bandwidth must be finite and non-negative, got {mbps}"
+        );
+        Bandwidth(mbps)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is negative or non-finite.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_mbps(gbps * 1000.0)
+    }
+
+    /// The value in megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0
+    }
+
+    /// The value in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// `true` for exactly zero bandwidth.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// How many lanes of `self` are needed to carry `demand`
+    /// (`⌈demand / self⌉`), the duplication count of Def. 2.7.
+    ///
+    /// Returns `None` when `self` is zero and demand is positive.
+    ///
+    /// ```
+    /// use ccs_core::units::Bandwidth;
+    /// let lane = Bandwidth::from_mbps(11.0);
+    /// assert_eq!(lane.lanes_for(Bandwidth::from_mbps(10.0)), Some(1));
+    /// assert_eq!(lane.lanes_for(Bandwidth::from_mbps(30.0)), Some(3));
+    /// assert_eq!(Bandwidth::ZERO.lanes_for(Bandwidth::from_mbps(1.0)), None);
+    /// ```
+    pub fn lanes_for(self, demand: Bandwidth) -> Option<u32> {
+        if demand.0 <= 0.0 {
+            return Some(1);
+        }
+        if self.0 <= 0.0 {
+            return None;
+        }
+        // Tiny epsilon absorbs float noise so demand == capacity → 1 lane.
+        Some((demand.0 / self.0 - 1e-12).ceil().max(1.0) as u32)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    /// Saturating at zero: bandwidth is never negative.
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div for Bandwidth {
+    type Output = f64;
+    fn div(self, rhs: Bandwidth) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.3} Gb/s", self.as_gbps())
+        } else {
+            write!(f, "{:.3} Mb/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Bandwidth::from_mbps(250.0).as_mbps(), 250.0);
+        assert_eq!(Bandwidth::from_gbps(1.0).as_mbps(), 1000.0);
+        assert_eq!(Bandwidth::from_mbps(500.0).as_gbps(), 0.5);
+        assert!(Bandwidth::ZERO.is_zero());
+        assert!(!Bandwidth::from_mbps(1.0).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Bandwidth::from_mbps(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Bandwidth::from_mbps(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Bandwidth::from_mbps(10.0);
+        let b = Bandwidth::from_mbps(4.0);
+        assert_eq!((a + b).as_mbps(), 14.0);
+        assert_eq!((a - b).as_mbps(), 6.0);
+        assert_eq!((b - a).as_mbps(), 0.0); // saturating
+        assert_eq!((a * 3.0).as_mbps(), 30.0);
+        assert_eq!(a / b, 2.5);
+        let total: Bandwidth = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_mbps(), 18.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Bandwidth::from_gbps(1.0) > Bandwidth::from_mbps(999.0));
+        assert!(Bandwidth::ZERO < Bandwidth::from_mbps(0.1));
+    }
+
+    #[test]
+    fn lanes_for_exact_and_fractional() {
+        let lane = Bandwidth::from_mbps(10.0);
+        assert_eq!(lane.lanes_for(Bandwidth::from_mbps(10.0)), Some(1));
+        assert_eq!(lane.lanes_for(Bandwidth::from_mbps(10.1)), Some(2));
+        assert_eq!(lane.lanes_for(Bandwidth::from_mbps(99.9)), Some(10));
+        assert_eq!(lane.lanes_for(Bandwidth::ZERO), Some(1));
+        assert_eq!(Bandwidth::ZERO.lanes_for(Bandwidth::ZERO), Some(1));
+    }
+
+    #[test]
+    fn display_units_switch() {
+        assert_eq!(Bandwidth::from_mbps(11.0).to_string(), "11.000 Mb/s");
+        assert_eq!(Bandwidth::from_gbps(2.0).to_string(), "2.000 Gb/s");
+    }
+}

@@ -1,0 +1,811 @@
+//! A weighted **Unate Covering Problem** (UCP) solver.
+//!
+//! The second phase of the DAC-2002 synthesis algorithm selects, from the
+//! candidate arc implementations `S`, a minimum-cost subset that implements
+//! every constraint arc. The paper maps this to a weighted UCP — rows are
+//! constraint arcs, columns are candidate implementations, the entry
+//! `(i, j)` is 1 when candidate `j` implements arc `i`, and each column is
+//! weighted by its implementation cost — and points at the state-of-the-art
+//! solvers of Goldberg et al. (ref. \[4\], branch-and-bound with "negative
+//! thinking") and Liao/Devadas (ref. \[8\], LP lower bounds). This crate is a
+//! from-scratch solver in that tradition:
+//!
+//! * the classic **reductions** — essential columns, row dominance, column
+//!   dominance — applied to closure at every search node;
+//! * a **maximal-independent-set lower bound** for pruning;
+//! * best-first **branch-and-bound** on the hardest row;
+//! * a **greedy** heuristic (used both standalone and as the initial upper
+//!   bound) and an **exhaustive oracle** for testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccs_covering::CoverMatrix;
+//!
+//! // Rows 0..3; three candidate columns.
+//! let mut m = CoverMatrix::new(3);
+//! m.add_column(5.0, [0, 1]);
+//! m.add_column(5.0, [1, 2]);
+//! m.add_column(7.0, [0, 1, 2]);
+//! let cover = m.solve_exact().unwrap();
+//! assert_eq!(cover.cost, 7.0);
+//! assert_eq!(cover.columns, vec![2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+
+use bitset::BitSet;
+use std::fmt;
+
+/// Errors returned by the covering solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoverError {
+    /// A row is covered by no column; no cover exists. Carries the row id.
+    Infeasible(usize),
+    /// A column weight was non-finite or not strictly positive.
+    InvalidWeight(f64),
+    /// A column referenced a row outside `0..n_rows`.
+    RowOutOfRange(usize),
+    /// The exhaustive oracle refuses instances with too many columns.
+    TooLarge(usize),
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::Infeasible(r) => write!(f, "row {r} is covered by no column"),
+            CoverError::InvalidWeight(w) => {
+                write!(f, "column weight {w} is not strictly positive and finite")
+            }
+            CoverError::RowOutOfRange(r) => write!(f, "row index {r} out of range"),
+            CoverError::TooLarge(c) => {
+                write!(f, "exhaustive solver limited to 25 columns, got {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// A solution: the selected columns (ascending) and their total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cover {
+    /// Indices of selected columns, in ascending order.
+    pub columns: Vec<usize>,
+    /// Sum of the selected columns' weights.
+    pub cost: f64,
+}
+
+/// Search statistics from the exact solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes visited.
+    pub nodes: u64,
+    /// Columns selected because they were essential.
+    pub essentials: u64,
+    /// Columns removed by column dominance.
+    pub dominated_columns: u64,
+    /// Rows removed by row dominance.
+    pub dominated_rows: u64,
+    /// Subtrees pruned by the lower bound.
+    pub bound_prunes: u64,
+    /// `true` when the search ran to completion — the returned cover is
+    /// proven optimal. `false` only in anytime mode after hitting the
+    /// node budget.
+    pub proven_optimal: bool,
+}
+
+/// A weighted unate covering matrix.
+///
+/// Rows are the objects to cover (constraint arcs); columns are weighted
+/// candidate sets (candidate arc implementations).
+#[derive(Debug, Clone)]
+pub struct CoverMatrix {
+    n_rows: usize,
+    weights: Vec<f64>,
+    cols: Vec<BitSet>,
+}
+
+impl CoverMatrix {
+    /// Creates a matrix with `n_rows` rows and no columns.
+    pub fn new(n_rows: usize) -> Self {
+        CoverMatrix {
+            n_rows,
+            weights: Vec::new(),
+            cols: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Adds a column covering `rows` with the given `weight`; returns its
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not strictly positive and finite, or a row is
+    /// out of range (these are programming errors when assembling the
+    /// matrix, not runtime conditions).
+    pub fn add_column<I: IntoIterator<Item = usize>>(&mut self, weight: f64, rows: I) -> usize {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "column weight must be strictly positive and finite, got {weight}"
+        );
+        let mut set = BitSet::new(self.n_rows);
+        for r in rows {
+            assert!(r < self.n_rows, "row {r} out of range {}", self.n_rows);
+            set.insert(r);
+        }
+        self.cols.push(set);
+        self.weights.push(weight);
+        self.cols.len() - 1
+    }
+
+    /// The weight of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a column index.
+    pub fn weight(&self, c: usize) -> f64 {
+        self.weights[c]
+    }
+
+    /// The rows covered by column `c`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a column index.
+    pub fn rows_of(&self, c: usize) -> Vec<usize> {
+        self.cols[c].iter().collect()
+    }
+
+    /// Checks that `columns` covers every row; returns the total cost.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] naming the first uncovered row;
+    /// [`CoverError::RowOutOfRange`] if a column index is invalid (reported
+    /// with the offending index).
+    pub fn validate_cover(&self, columns: &[usize]) -> Result<f64, CoverError> {
+        let mut covered = BitSet::new(self.n_rows);
+        let mut cost = 0.0;
+        for &c in columns {
+            if c >= self.cols.len() {
+                return Err(CoverError::RowOutOfRange(c));
+            }
+            covered.union(&self.cols[c]);
+            cost += self.weights[c];
+        }
+        for r in 0..self.n_rows {
+            if !covered.contains(r) {
+                return Err(CoverError::Infeasible(r));
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Exact minimum-weight cover via branch-and-bound.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_exact(&self) -> Result<Cover, CoverError> {
+        self.solve_exact_with_stats().map(|(c, _)| c)
+    }
+
+    /// Like [`solve_exact`](Self::solve_exact) but also returns search
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_exact_with_stats(&self) -> Result<(Cover, SolveStats), CoverError> {
+        self.solve_anytime(u64::MAX)
+    }
+
+    /// Anytime variant of the exact solver: explores at most `node_limit`
+    /// branch-and-bound nodes and returns the best cover found so far.
+    /// [`SolveStats::proven_optimal`] reports whether the search
+    /// completed (it always does when the limit is not hit).
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_anytime(&self, node_limit: u64) -> Result<(Cover, SolveStats), CoverError> {
+        self.check_feasible()?;
+        let mut stats = SolveStats {
+            proven_optimal: true,
+            ..SolveStats::default()
+        };
+        // Greedy upper bound seeds the search (and guarantees a valid
+        // result even at node_limit = 0).
+        let mut best: Option<(f64, Vec<usize>)> =
+            self.solve_greedy().ok().map(|c| (c.cost, c.columns));
+        let rows = BitSet::full(self.n_rows);
+        let cols = BitSet::full(self.cols.len());
+        let mut budget = node_limit;
+        self.branch(
+            rows,
+            cols,
+            0.0,
+            &mut Vec::new(),
+            &mut best,
+            &mut stats,
+            &mut budget,
+        );
+        let (cost, mut columns) = best.ok_or(CoverError::Infeasible(0))?;
+        columns.sort_unstable();
+        columns.dedup();
+        // Recompute the cost from the final column set for exactness.
+        let cost_check: f64 = columns.iter().map(|&c| self.weights[c]).sum();
+        debug_assert!((cost - cost_check).abs() < 1e-9);
+        Ok((
+            Cover {
+                columns,
+                cost: cost_check,
+            },
+            stats,
+        ))
+    }
+
+    /// Greedy heuristic: repeatedly select the column minimizing
+    /// `weight / newly-covered-rows`.
+    ///
+    /// The result is a valid cover (or an error), typically within a log
+    /// factor of optimal; used as the exact solver's initial upper bound
+    /// and as a baseline in benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_greedy(&self) -> Result<Cover, CoverError> {
+        self.check_feasible()?;
+        let mut uncovered = BitSet::full(self.n_rows);
+        let mut chosen = Vec::new();
+        let mut cost = 0.0;
+        while !uncovered.is_empty() {
+            let mut best: Option<(f64, usize)> = None; // (ratio, col)
+            for (c, rows) in self.cols.iter().enumerate() {
+                let gain = rows.intersection_count(&uncovered);
+                if gain == 0 {
+                    continue;
+                }
+                let ratio = self.weights[c] / gain as f64;
+                if best.is_none_or(|(r, bc)| ratio < r || (ratio == r && c < bc)) {
+                    best = Some((ratio, c));
+                }
+            }
+            let (_, c) = best.expect("feasibility checked above");
+            chosen.push(c);
+            cost += self.weights[c];
+            uncovered.subtract(&self.cols[c]);
+        }
+        chosen.sort_unstable();
+        Ok(Cover {
+            columns: chosen,
+            cost,
+        })
+    }
+
+    /// Exhaustive oracle over all `2^n_cols` subsets — test use only.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::TooLarge`] beyond 25 columns;
+    /// [`CoverError::Infeasible`] when no subset covers all rows.
+    pub fn solve_exhaustive(&self) -> Result<Cover, CoverError> {
+        let n = self.cols.len();
+        if n > 25 {
+            return Err(CoverError::TooLarge(n));
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for mask in 0u32..(1u32 << n) {
+            let mut covered = BitSet::new(self.n_rows);
+            let mut cost = 0.0;
+            for c in 0..n {
+                if mask & (1 << c) != 0 {
+                    covered.union(&self.cols[c]);
+                    cost += self.weights[c];
+                }
+            }
+            if covered.count() == self.n_rows && best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, mask));
+            }
+        }
+        let (cost, mask) = best.ok_or_else(|| CoverError::Infeasible(first_uncoverable(self)))?;
+        let columns = (0..n).filter(|c| mask & (1 << c) != 0).collect();
+        Ok(Cover { columns, cost })
+    }
+
+    fn check_feasible(&self) -> Result<(), CoverError> {
+        'rows: for r in 0..self.n_rows {
+            for c in &self.cols {
+                if c.contains(r) {
+                    continue 'rows;
+                }
+            }
+            return Err(CoverError::Infeasible(r));
+        }
+        Ok(())
+    }
+
+    /// Columns of `active_cols` covering row `r`.
+    fn covering(&self, r: usize, active_cols: &BitSet) -> Vec<usize> {
+        active_cols
+            .iter()
+            .filter(|&c| self.cols[c].contains(r))
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal recursion, not public API
+    fn branch(
+        &self,
+        mut rows: BitSet,
+        mut cols: BitSet,
+        mut cost: f64,
+        chosen: &mut Vec<usize>,
+        best: &mut Option<(f64, Vec<usize>)>,
+        stats: &mut SolveStats,
+        budget: &mut u64,
+    ) {
+        if *budget == 0 {
+            stats.proven_optimal = false;
+            return;
+        }
+        *budget -= 1;
+        stats.nodes += 1;
+        let chosen_mark = chosen.len();
+
+        // ---- Reduction to closure -------------------------------------
+        loop {
+            let mut changed = false;
+
+            // Essential columns: a row covered by exactly one column.
+            // Apply all essentials found in one sweep.
+            let mut essentials: Vec<usize> = Vec::new();
+            for r in rows.iter() {
+                let mut only = None;
+                let mut count = 0;
+                for c in cols.iter() {
+                    if self.cols[c].contains(r) {
+                        count += 1;
+                        only = Some(c);
+                        if count > 1 {
+                            break;
+                        }
+                    }
+                }
+                match count {
+                    0 => {
+                        // Dead end: undo and return.
+                        chosen.truncate(chosen_mark);
+                        return;
+                    }
+                    1 => essentials.push(only.expect("count == 1")),
+                    _ => {}
+                }
+            }
+            essentials.sort_unstable();
+            essentials.dedup();
+            for c in essentials {
+                if !cols.contains(c) {
+                    continue; // already taken this sweep
+                }
+                stats.essentials += 1;
+                chosen.push(c);
+                cost += self.weights[c];
+                rows.subtract(&self.cols[c]);
+                cols.remove(c);
+                changed = true;
+            }
+
+            if rows.is_empty() {
+                break;
+            }
+
+            // Column dominance costs O(C²) per pass; above this many
+            // active columns the pass would dominate the node time, and
+            // skipping it only weakens pruning, never correctness.
+            const COL_DOMINANCE_LIMIT: usize = 320;
+
+            if !changed && cols.count() <= COL_DOMINANCE_LIMIT {
+                // Column dominance: drop c2 when some c1 covers at least
+                // the same active rows no more expensively (ties keep the
+                // lower-indexed column). Batch-removed in one pass; the
+                // tie-break makes mutual domination impossible.
+                let active: Vec<usize> = cols.iter().collect();
+                let masked: Vec<BitSet> = active
+                    .iter()
+                    .map(|&c| {
+                        let mut m = self.cols[c].clone();
+                        m.intersect(&rows);
+                        m
+                    })
+                    .collect();
+                for (i2, &c2) in active.iter().enumerate() {
+                    for (i1, &c1) in active.iter().enumerate() {
+                        if c1 == c2 {
+                            continue;
+                        }
+                        let cheaper = self.weights[c1] < self.weights[c2]
+                            || (self.weights[c1] == self.weights[c2] && c1 < c2);
+                        if cheaper && masked[i2].is_subset(&masked[i1]) {
+                            cols.remove(c2);
+                            stats.dominated_columns += 1;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                // Row dominance: if every column covering r2 also covers
+                // r1, r1 is implied by r2 and can be dropped. Batched; the
+                // index tie-break keeps one of an identical pair.
+                let active_rows: Vec<usize> = rows.iter().collect();
+                let covs: Vec<BitSet> = active_rows
+                    .iter()
+                    .map(|&r| {
+                        let mut s = BitSet::new(self.cols.len());
+                        for c in cols.iter() {
+                            if self.cols[c].contains(r) {
+                                s.insert(c);
+                            }
+                        }
+                        s
+                    })
+                    .collect();
+                for (i1, &r1) in active_rows.iter().enumerate() {
+                    for (i2, &r2) in active_rows.iter().enumerate() {
+                        if r1 == r2 || !rows.contains(r2) {
+                            continue;
+                        }
+                        let implies = covs[i2].is_subset(&covs[i1]);
+                        let tie = covs[i1].count() == covs[i2].count();
+                        if implies && (!tie || r2 < r1) {
+                            rows.remove(r1);
+                            stats.dominated_rows += 1;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        // ---- Terminal / bound ------------------------------------------
+        if rows.is_empty() {
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                *best = Some((cost, chosen.clone()));
+            }
+            chosen.truncate(chosen_mark);
+            return;
+        }
+        if let Some((bc, _)) = best {
+            let lb = self.dual_ascent_bound(&rows, &cols);
+            if cost + lb >= *bc - 1e-12 {
+                stats.bound_prunes += 1;
+                chosen.truncate(chosen_mark);
+                return;
+            }
+        }
+
+        // ---- Branch on the hardest row ---------------------------------
+        let branch_row = rows
+            .iter()
+            .min_by_key(|&r| self.covering(r, &cols).len())
+            .expect("rows non-empty");
+        let mut options = self.covering(branch_row, &cols);
+        options.sort_by(|&a, &b| self.weights[a].total_cmp(&self.weights[b]));
+        let mut excluded = cols.clone();
+        for c in options {
+            // Any cover must use one of the covering columns; trying them
+            // in turn while excluding previously tried ones is complete
+            // and avoids revisiting symmetric solutions.
+            let mut sub_cols = excluded.clone();
+            let mut sub_rows = rows.clone();
+            sub_cols.remove(c);
+            sub_rows.subtract(&self.cols[c]);
+            chosen.push(c);
+            self.branch(
+                sub_rows,
+                sub_cols,
+                cost + self.weights[c],
+                chosen,
+                best,
+                stats,
+                budget,
+            );
+            chosen.pop();
+            excluded.remove(c);
+        }
+        chosen.truncate(chosen_mark);
+    }
+
+    /// Lower bound by dual ascent on the LP relaxation (the spirit of
+    /// Liao/Devadas' LP lower bounds, ref. [8] of the paper): maintain
+    /// row duals `u_r ≥ 0` with `Σ_{r ∈ rows(c)} u_r ≤ w_c` for every
+    /// active column; any cover costs at least `Σ u_r`. Rows are raised
+    /// hardest-first; with disjoint rows this reduces to the classic
+    /// maximal-independent-set bound, and it is strictly stronger when
+    /// columns overlap.
+    fn dual_ascent_bound(&self, rows: &BitSet, cols: &BitSet) -> f64 {
+        let active_cols: Vec<usize> = cols.iter().collect();
+        // covering[k] = indices into active_cols of columns covering row k.
+        let mut order: Vec<(usize, Vec<usize>)> = rows
+            .iter()
+            .map(|r| {
+                let cov: Vec<usize> = active_cols
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| self.cols[c].contains(r))
+                    .map(|(i, _)| i)
+                    .collect();
+                (r, cov)
+            })
+            .collect();
+        order.sort_by_key(|(_, cov)| cov.len());
+        let ascend = |order: &[&(usize, Vec<usize>)]| -> f64 {
+            let mut slack: Vec<f64> = active_cols.iter().map(|&c| self.weights[c]).collect();
+            let mut bound = 0.0;
+            for (_, cov) in order {
+                let raise = cov.iter().map(|&i| slack[i]).fold(f64::INFINITY, f64::min);
+                if raise <= 0.0 || !raise.is_finite() {
+                    continue;
+                }
+                bound += raise;
+                for &i in cov {
+                    slack[i] -= raise;
+                }
+            }
+            bound
+        };
+        // The ascent is order-sensitive; try hardest-first and
+        // easiest-first and keep the better bound.
+        let fwd: Vec<&(usize, Vec<usize>)> = order.iter().collect();
+        let rev: Vec<&(usize, Vec<usize>)> = order.iter().rev().collect();
+        ascend(&fwd).max(ascend(&rev))
+    }
+}
+
+fn first_uncoverable(m: &CoverMatrix) -> usize {
+    (0..m.n_rows)
+        .find(|&r| m.cols.iter().all(|c| !c.contains(r)))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_matrix_has_empty_cover() {
+        let m = CoverMatrix::new(0);
+        let c = m.solve_exact().unwrap();
+        assert!(c.columns.is_empty());
+        assert_eq!(c.cost, 0.0);
+        assert!(m.solve_greedy().unwrap().columns.is_empty());
+        assert!(m.solve_exhaustive().unwrap().columns.is_empty());
+    }
+
+    #[test]
+    fn single_row_single_column() {
+        let mut m = CoverMatrix::new(1);
+        m.add_column(3.0, [0]);
+        let c = m.solve_exact().unwrap();
+        assert_eq!(c.columns, vec![0]);
+        assert_eq!(c.cost, 3.0);
+    }
+
+    #[test]
+    fn infeasible_row_reported() {
+        let mut m = CoverMatrix::new(2);
+        m.add_column(1.0, [0]);
+        assert_eq!(m.solve_exact(), Err(CoverError::Infeasible(1)));
+        assert_eq!(m.solve_greedy(), Err(CoverError::Infeasible(1)));
+        assert_eq!(m.solve_exhaustive(), Err(CoverError::Infeasible(1)));
+    }
+
+    #[test]
+    fn prefers_cheap_combination_over_big_column() {
+        let mut m = CoverMatrix::new(3);
+        m.add_column(2.0, [0]);
+        m.add_column(2.0, [1]);
+        m.add_column(2.0, [2]);
+        m.add_column(7.0, [0, 1, 2]);
+        let c = m.solve_exact().unwrap();
+        assert_eq!(c.columns, vec![0, 1, 2]);
+        assert_eq!(c.cost, 6.0);
+    }
+
+    #[test]
+    fn prefers_big_column_when_cheaper() {
+        let mut m = CoverMatrix::new(3);
+        m.add_column(3.0, [0]);
+        m.add_column(3.0, [1]);
+        m.add_column(3.0, [2]);
+        m.add_column(7.0, [0, 1, 2]);
+        let c = m.solve_exact().unwrap();
+        assert_eq!(c.columns, vec![3]);
+        assert_eq!(c.cost, 7.0);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_valid() {
+        // Classic greedy trap: one medium column looks best by ratio.
+        let mut m = CoverMatrix::new(4);
+        m.add_column(3.5, [0, 1, 2, 3]); // ratio 0.875 — greedy takes it
+        m.add_column(2.0, [0, 1]);
+        m.add_column(1.0, [2, 3]);
+        let g = m.solve_greedy().unwrap();
+        assert!(m.validate_cover(&g.columns).is_ok());
+        let e = m.solve_exact().unwrap();
+        assert_eq!(e.cost, 3.0);
+        assert!(g.cost >= e.cost);
+    }
+
+    #[test]
+    fn validate_cover_detects_gaps() {
+        let mut m = CoverMatrix::new(2);
+        let c0 = m.add_column(1.0, [0]);
+        let c1 = m.add_column(1.0, [1]);
+        assert_eq!(m.validate_cover(&[c0]), Err(CoverError::Infeasible(1)));
+        assert_eq!(m.validate_cover(&[c0, c1]), Ok(2.0));
+        assert_eq!(m.validate_cover(&[9]), Err(CoverError::RowOutOfRange(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_weight_rejected() {
+        CoverMatrix::new(1).add_column(0.0, [0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_row_rejected() {
+        CoverMatrix::new(1).add_column(1.0, [5]);
+    }
+
+    #[test]
+    fn exhaustive_rejects_large_instances() {
+        let mut m = CoverMatrix::new(1);
+        for _ in 0..26 {
+            m.add_column(1.0, [0]);
+        }
+        assert_eq!(m.solve_exhaustive(), Err(CoverError::TooLarge(26)));
+    }
+
+    #[test]
+    fn stats_reflect_reductions() {
+        let mut m = CoverMatrix::new(2);
+        m.add_column(1.0, [0]); // essential for row 0
+        m.add_column(1.0, [1]); // essential for row 1
+        let (c, stats) = m.solve_exact_with_stats().unwrap();
+        assert_eq!(c.cost, 2.0);
+        assert!(stats.essentials >= 1);
+        assert!(stats.nodes >= 1);
+    }
+
+    #[test]
+    fn duplicate_identical_columns_keep_one() {
+        let mut m = CoverMatrix::new(2);
+        m.add_column(4.0, [0, 1]);
+        m.add_column(4.0, [0, 1]);
+        let c = m.solve_exact().unwrap();
+        assert_eq!(c.columns.len(), 1);
+        assert_eq!(c.cost, 4.0);
+    }
+
+    #[test]
+    fn useless_empty_column_never_selected() {
+        let mut m = CoverMatrix::new(1);
+        m.add_column(0.1, std::iter::empty());
+        m.add_column(5.0, [0]);
+        let c = m.solve_exact().unwrap();
+        assert_eq!(c.columns, vec![1]);
+    }
+
+    #[test]
+    fn anytime_zero_budget_returns_greedy() {
+        let mut m = CoverMatrix::new(4);
+        m.add_column(3.5, [0, 1, 2, 3]);
+        m.add_column(2.0, [0, 1]);
+        m.add_column(1.0, [2, 3]);
+        let (cover, stats) = m.solve_anytime(0).unwrap();
+        assert!(!stats.proven_optimal);
+        assert!(m.validate_cover(&cover.columns).is_ok());
+        // Zero exploration → the greedy seed comes back.
+        assert_eq!(cover.cost, m.solve_greedy().unwrap().cost);
+    }
+
+    #[test]
+    fn anytime_full_budget_proves_optimality() {
+        let mut m = CoverMatrix::new(3);
+        m.add_column(2.0, [0]);
+        m.add_column(2.0, [1]);
+        m.add_column(2.0, [2]);
+        m.add_column(7.0, [0, 1, 2]);
+        let (cover, stats) = m.solve_anytime(u64::MAX).unwrap();
+        assert!(stats.proven_optimal);
+        assert_eq!(cover.cost, 6.0);
+    }
+
+    #[test]
+    fn anytime_result_improves_monotonically_with_budget() {
+        // Build a mildly adversarial instance and check budgets only help.
+        let mut m = CoverMatrix::new(6);
+        for r in 0..6 {
+            m.add_column(2.0 + r as f64 * 0.1, [r]);
+        }
+        m.add_column(5.5, [0, 1, 2]);
+        m.add_column(5.5, [3, 4, 5]);
+        m.add_column(9.0, [0, 2, 4]);
+        m.add_column(9.0, [1, 3, 5]);
+        let mut last = f64::INFINITY;
+        for budget in [0u64, 2, 8, 32, 1 << 20] {
+            let (cover, _) = m.solve_anytime(budget).unwrap();
+            assert!(cover.cost <= last + 1e-9, "budget {budget} regressed");
+            last = cover.cost;
+        }
+        assert_eq!(last, m.solve_exhaustive().unwrap().cost);
+    }
+
+    /// Random instance generator for oracle comparison.
+    fn random_instance() -> impl Strategy<Value = CoverMatrix> {
+        (1usize..7, 1usize..10).prop_flat_map(|(rows, cols)| {
+            let col = (0.5f64..10.0, proptest::collection::vec(0..rows, 1..=rows));
+            proptest::collection::vec(col, cols).prop_map(move |cs| {
+                let mut m = CoverMatrix::new(rows);
+                for (w, rws) in cs {
+                    m.add_column(w, rws);
+                }
+                m
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Exact solver matches the exhaustive oracle on random instances.
+        #[test]
+        fn exact_matches_oracle(m in random_instance()) {
+            match (m.solve_exact(), m.solve_exhaustive()) {
+                (Ok(e), Ok(o)) => {
+                    prop_assert!((e.cost - o.cost).abs() < 1e-9,
+                        "exact {} vs oracle {}", e.cost, o.cost);
+                    prop_assert!(m.validate_cover(&e.columns).is_ok());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "disagree: {a:?} vs {b:?}"),
+            }
+        }
+
+        /// Greedy always returns a valid (if suboptimal) cover.
+        #[test]
+        fn greedy_valid_and_no_better_than_exact(m in random_instance()) {
+            if let Ok(g) = m.solve_greedy() {
+                prop_assert!(m.validate_cover(&g.columns).is_ok());
+                let e = m.solve_exact().unwrap();
+                prop_assert!(g.cost >= e.cost - 1e-9);
+            }
+        }
+    }
+}

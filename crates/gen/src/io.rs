@@ -1,0 +1,476 @@
+//! Plain-text persistence for instances and libraries.
+//!
+//! A deliberately simple line-oriented format (no extra dependencies)
+//! so experiments are replayable and instances can be shipped in bug
+//! reports:
+//!
+//! ```text
+//! ccs-instance v1
+//! norm euclidean
+//! port A.out0 0 0
+//! port D.in0 64.815 76.387
+//! channel 0 1 10            # src-port dst-port Mb/s
+//! ```
+//!
+//! ```text
+//! ccs-library v1
+//! segmentation minimal
+//! link radio 11 inf per-length 2000
+//! link wire 1000 0.6 per-segment 0
+//! node repeater 0
+//! ```
+//!
+//! Port names must be whitespace-free (builders in this crate generate
+//! such names); `#` starts a comment.
+
+use ccs_core::constraint::{ConstraintGraph, PortId};
+use ccs_core::library::{Library, Link, LinkCost, NodeKind, SegmentationPolicy};
+use ccs_core::units::Bandwidth;
+use ccs_geom::{Norm, Point2};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure: the offending 1-based line and a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Serializes a constraint graph.
+///
+/// # Panics
+///
+/// Panics if any port name contains whitespace (the generators in this
+/// crate never produce such names).
+pub fn instance_to_string(graph: &ConstraintGraph) -> String {
+    let mut s = String::from("ccs-instance v1\n");
+    let _ = writeln!(s, "norm {}", graph.norm());
+    for (_, p) in graph.ports() {
+        assert!(
+            !p.name.chars().any(char::is_whitespace),
+            "port name {:?} contains whitespace",
+            p.name
+        );
+        let _ = writeln!(s, "port {} {} {}", p.name, p.position.x, p.position.y);
+    }
+    for (_, a) in graph.arcs() {
+        match a.max_hops {
+            Some(h) => {
+                let _ = writeln!(
+                    s,
+                    "channel {} {} {} {h}",
+                    a.src.index(),
+                    a.dst.index(),
+                    a.bandwidth.as_mbps()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "channel {} {} {}",
+                    a.src.index(),
+                    a.dst.index(),
+                    a.bandwidth.as_mbps()
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Parses a constraint graph saved by [`instance_to_string`].
+///
+/// # Errors
+///
+/// [`ParseError`] naming the offending line for malformed syntax, unknown
+/// norms, or semantic failures (self-loops, coincident ports, …).
+pub fn instance_from_str(text: &str) -> Result<ConstraintGraph, ParseError> {
+    let mut lines = numbered_lines(text);
+    let (n, header) = lines.next().ok_or(ParseError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    if header != "ccs-instance v1" {
+        return err(
+            n,
+            format!("expected header `ccs-instance v1`, got {header:?}"),
+        );
+    }
+    let mut builder: Option<ccs_core::constraint::ConstraintGraphBuilder> = None;
+    let mut ports = 0u32;
+    for (n, line) in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("norm") => {
+                let norm = match parts.next() {
+                    Some("euclidean") => Norm::Euclidean,
+                    Some("manhattan") => Norm::Manhattan,
+                    Some("chebyshev") => Norm::Chebyshev,
+                    other => return err(n, format!("unknown norm {other:?}")),
+                };
+                builder = Some(ConstraintGraph::builder(norm));
+            }
+            Some("port") => {
+                let Some(b) = builder.as_mut() else {
+                    return err(n, "`port` before `norm`");
+                };
+                let name = parts.next().ok_or(ParseError {
+                    line: n,
+                    message: "port needs a name".into(),
+                })?;
+                let x = parse_f64(&mut parts, n, "port x")?;
+                let y = parse_f64(&mut parts, n, "port y")?;
+                b.add_port(name, Point2::new(x, y));
+                ports += 1;
+            }
+            Some("channel") => {
+                let Some(b) = builder.as_mut() else {
+                    return err(n, "`channel` before `norm`");
+                };
+                let src = parse_u32(&mut parts, n, "channel src")?;
+                let dst = parse_u32(&mut parts, n, "channel dst")?;
+                let mbps = parse_f64(&mut parts, n, "channel Mb/s")?;
+                let max_hops = match parts.next() {
+                    None => None,
+                    Some(tok) => Some(tok.parse().map_err(|_| ParseError {
+                        line: n,
+                        message: format!("bad hop bound {tok:?}"),
+                    })?),
+                };
+                if src >= ports || dst >= ports {
+                    return err(n, format!("port index out of range (have {ports})"));
+                }
+                if !(mbps.is_finite() && mbps > 0.0) {
+                    return err(n, format!("invalid bandwidth {mbps}"));
+                }
+                b.add_channel_limited(
+                    PortId(src),
+                    PortId(dst),
+                    Bandwidth::from_mbps(mbps),
+                    max_hops,
+                )
+                .map_err(|e| ParseError {
+                    line: n,
+                    message: e.to_string(),
+                })?;
+            }
+            Some(other) => return err(n, format!("unknown directive {other:?}")),
+            None => unreachable!("blank lines are filtered"),
+        }
+    }
+    builder
+        .ok_or(ParseError {
+            line: 1,
+            message: "missing `norm` line".into(),
+        })?
+        .build()
+        .map_err(|e| ParseError {
+            line: 1,
+            message: e.to_string(),
+        })
+}
+
+/// Serializes a library.
+pub fn library_to_string(library: &Library) -> String {
+    let mut s = String::from("ccs-library v1\n");
+    let seg = match library.segmentation() {
+        SegmentationPolicy::MinimalRepeaters => "minimal",
+        SegmentationPolicy::RepeaterPerCriticalLength => "per-critical-length",
+    };
+    let _ = writeln!(s, "segmentation {seg}");
+    for (_, l) in library.links() {
+        let len = if l.max_length.is_infinite() {
+            "inf".to_string()
+        } else {
+            l.max_length.to_string()
+        };
+        let (model, figure) = match l.cost {
+            LinkCost::PerLength(r) => ("per-length", r),
+            LinkCost::PerSegment(c) => ("per-segment", c),
+        };
+        let _ = writeln!(
+            s,
+            "link {} {} {} {} {}",
+            l.name,
+            l.bandwidth.as_mbps(),
+            len,
+            model,
+            figure
+        );
+    }
+    for kind in NodeKind::ALL {
+        if let Some(c) = library.node_cost(kind) {
+            let _ = writeln!(s, "node {kind} {c}");
+        }
+    }
+    s
+}
+
+/// Parses a library saved by [`library_to_string`].
+///
+/// # Errors
+///
+/// [`ParseError`] naming the offending line.
+pub fn library_from_str(text: &str) -> Result<Library, ParseError> {
+    let mut lines = numbered_lines(text);
+    let (n, header) = lines.next().ok_or(ParseError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    if header != "ccs-library v1" {
+        return err(
+            n,
+            format!("expected header `ccs-library v1`, got {header:?}"),
+        );
+    }
+    let mut b = Library::builder();
+    for (n, line) in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("segmentation") => {
+                let policy = match parts.next() {
+                    Some("minimal") => SegmentationPolicy::MinimalRepeaters,
+                    Some("per-critical-length") => SegmentationPolicy::RepeaterPerCriticalLength,
+                    other => return err(n, format!("unknown segmentation {other:?}")),
+                };
+                b = b.segmentation(policy);
+            }
+            Some("link") => {
+                let name = parts.next().ok_or(ParseError {
+                    line: n,
+                    message: "link needs a name".into(),
+                })?;
+                let mbps = parse_f64(&mut parts, n, "link Mb/s")?;
+                let len_tok = parts.next().ok_or(ParseError {
+                    line: n,
+                    message: "link needs a max length".into(),
+                })?;
+                let max_length = if len_tok == "inf" {
+                    f64::INFINITY
+                } else {
+                    len_tok.parse().map_err(|_| ParseError {
+                        line: n,
+                        message: format!("bad length {len_tok:?}"),
+                    })?
+                };
+                let model = parts.next();
+                let figure = parse_f64(&mut parts, n, "link cost")?;
+                let cost = match model {
+                    Some("per-length") => LinkCost::PerLength(figure),
+                    Some("per-segment") => LinkCost::PerSegment(figure),
+                    other => return err(n, format!("unknown cost model {other:?}")),
+                };
+                b = b.link(Link {
+                    name: name.into(),
+                    bandwidth: Bandwidth::from_mbps(mbps),
+                    max_length,
+                    cost,
+                });
+            }
+            Some("node") => {
+                let kind = match parts.next() {
+                    Some("repeater") => NodeKind::Repeater,
+                    Some("mux") => NodeKind::Mux,
+                    Some("demux") => NodeKind::Demux,
+                    Some("switch") => NodeKind::Switch,
+                    other => return err(n, format!("unknown node kind {other:?}")),
+                };
+                let cost = parse_f64(&mut parts, n, "node cost")?;
+                b = b.node(kind, cost);
+            }
+            Some(other) => return err(n, format!("unknown directive {other:?}")),
+            None => unreachable!("blank lines are filtered"),
+        }
+    }
+    b.build().map_err(|e| ParseError {
+        line: 1,
+        message: e.to_string(),
+    })
+}
+
+/// 1-based, comment-stripped, non-blank lines.
+fn numbered_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty())
+}
+
+fn parse_f64<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<f64, ParseError> {
+    let tok = parts.next().ok_or(ParseError {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad {what}: {tok:?}"),
+    })
+}
+
+fn parse_u32<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<u32, ParseError> {
+    let tok = parts.next().ok_or(ParseError {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad {what}: {tok:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{clustered_wan, ClusteredWanConfig};
+    use crate::{mpeg4, wan};
+
+    #[test]
+    fn wan_instance_round_trips() {
+        let g = wan::paper_instance();
+        let text = instance_to_string(&g);
+        let back = instance_from_str(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn mpeg4_instance_round_trips() {
+        let g = mpeg4::paper_instance();
+        let back = instance_from_str(&instance_to_string(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn random_instances_round_trip() {
+        for seed in [1u64, 2, 3] {
+            let g = clustered_wan(&ClusteredWanConfig {
+                seed,
+                ..ClusteredWanConfig::default()
+            });
+            let back = instance_from_str(&instance_to_string(&g)).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn libraries_round_trip() {
+        for lib in [wan::paper_library(), mpeg4::paper_library()] {
+            let text = library_to_string(&lib);
+            let back = library_from_str(&text).unwrap();
+            assert_eq!(lib, back);
+        }
+    }
+
+    #[test]
+    fn hop_bounds_round_trip() {
+        use ccs_core::constraint::ConstraintGraph;
+        use ccs_core::units::Bandwidth;
+        use ccs_geom::{Norm, Point2};
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(9.0, 0.0));
+        b.add_channel_limited(s, t, Bandwidth::from_mbps(5.0), Some(2))
+            .unwrap();
+        b.add_channel(t, s, Bandwidth::from_mbps(5.0)).unwrap();
+        let g = b.build().unwrap();
+        let text = instance_to_string(&g);
+        assert!(text.contains("channel 0 1 5 2"));
+        let back = instance_from_str(&text).unwrap();
+        assert_eq!(g, back);
+        // Bad bound is reported with its line.
+        let bad = text.replace("channel 0 1 5 2", "channel 0 1 5 x");
+        let e = instance_from_str(&bad).unwrap_err();
+        assert!(e.message.contains("hop bound"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "ccs-instance v1\n# a comment\n\nnorm euclidean\nport a 0 0\nport b 1 0  # inline\nchannel 0 1 5\n";
+        let g = instance_from_str(text).unwrap();
+        assert_eq!(g.arc_count(), 1);
+        assert_eq!(g.port_count(), 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let e = instance_from_str("nope\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("header"));
+    }
+
+    #[test]
+    fn unknown_directive_line_is_reported() {
+        let e = instance_from_str("ccs-instance v1\nnorm euclidean\nbogus 1 2\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn semantic_errors_carry_line() {
+        // Self-loop channel.
+        let e = instance_from_str("ccs-instance v1\nnorm euclidean\nport a 0 0\nchannel 0 0 5\n")
+            .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("itself"));
+        // Out-of-range port.
+        let e = instance_from_str("ccs-instance v1\nnorm euclidean\nport a 0 0\nchannel 0 9 5\n")
+            .unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let e = instance_from_str("ccs-instance v1\nnorm euclidean\nport a x 0\n").unwrap_err();
+        assert!(e.message.contains("port x"));
+        let e = library_from_str("ccs-library v1\nlink l abc inf per-length 1\n").unwrap_err();
+        assert!(e.message.contains("Mb/s"));
+    }
+
+    #[test]
+    fn display_formats_line() {
+        let e = ParseError {
+            line: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "line 7: boom");
+    }
+
+    #[test]
+    fn loaded_instance_synthesizes_identically() {
+        let g = wan::paper_instance();
+        let lib = wan::paper_library();
+        let loaded_g = instance_from_str(&instance_to_string(&g)).unwrap();
+        let loaded_lib = library_from_str(&library_to_string(&lib)).unwrap();
+        let a = ccs_core::synthesis::Synthesizer::new(&g, &lib)
+            .run()
+            .unwrap();
+        let b = ccs_core::synthesis::Synthesizer::new(&loaded_g, &loaded_lib)
+            .run()
+            .unwrap();
+        assert_eq!(a.total_cost(), b.total_cost());
+    }
+}

@@ -1,0 +1,23 @@
+//! Workload generators for constraint-driven communication synthesis.
+//!
+//! * [`wan`] — the DAC-2002 paper's WAN example (Fig. 3, Tables 1–2),
+//!   reconstructed from the published matrices, plus the paper's expected
+//!   values for comparison;
+//! * [`mpeg4`] — a synthetic multi-processor MPEG-4 decoder floorplan
+//!   reproducing the paper's on-chip experiment (Fig. 5, 55 repeaters at
+//!   `l_crit = 0.6 mm`);
+//! * [`io`] — a plain-text save/load format for instances and libraries
+//!   (replayable experiments, shareable bug reports);
+//! * [`noc`] — mesh network-on-chip workloads (uniform / transpose /
+//!   hotspot traffic);
+//! * [`random`] — seeded random instance generators (clustered WANs and
+//!   SoC floorplans) for scaling studies and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod mpeg4;
+pub mod noc;
+pub mod random;
+pub mod wan;

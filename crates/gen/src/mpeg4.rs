@@ -1,0 +1,132 @@
+//! The paper's on-chip example (Section 4, Example 2; Fig. 5).
+//!
+//! The original experiment segments the critical channels of a
+//! proprietary multi-processor MPEG-4 decoder in 0.18 µm with
+//! `l_crit = 0.6 mm`, reporting **55 repeaters**. The authors' floorplan
+//! is not published, so this module provides a synthetic but structurally
+//! faithful substitute (see `DESIGN.md` §3.4): the standard decoder
+//! blocks placed on a ~5 × 5 mm die, with the critical dataflow channels
+//! between them, calibrated so the synthesized repeater count equals the
+//! paper's 55.
+//!
+//! Every channel runs at the full wire rate (1 Gb/s — "links have a delay
+//! smaller than the clock period"), which makes merging provably
+//! unprofitable (Theorem 3.2 prunes every pair), so the experiment
+//! exercises exactly what the paper did: optimum segmentation with the
+//! cost `⌊(|Δx| + |Δy|)/l_crit⌋`.
+
+use ccs_core::constraint::ConstraintGraph;
+use ccs_core::library::{soc_paper_library, Library};
+use ccs_core::units::Bandwidth;
+use ccs_geom::{Norm, Point2};
+
+/// The critical length from the paper, in millimetres.
+pub const L_CRIT_MM: f64 = 0.6;
+
+/// The repeater count the paper reports for Fig. 5.
+pub const PAPER_REPEATERS: usize = 55;
+
+/// Decoder blocks: `(name, x mm, y mm)`.
+pub const MODULES: [(&str, f64, f64); 10] = [
+    ("BITS", 0.5, 3.1),  // bitstream input buffer
+    ("VLD", 0.5, 0.5),   // variable-length decoder
+    ("DSP0", 2.5, 0.5),  // texture DSP
+    ("DSP1", 2.5, 2.5),  // shape/motion DSP
+    ("IDCT", 4.5, 0.5),  // inverse DCT
+    ("MC", 4.5, 2.5),    // motion compensation
+    ("SDRAM", 2.5, 4.5), // memory controller
+    ("DISP", 4.5, 4.5),  // display unit
+    ("RISC", 0.5, 4.5),  // control processor
+    ("DMA", 0.5, 2.5),   // DMA engine
+];
+
+/// Critical channels as `(source, destination)` indices into [`MODULES`].
+pub const CHANNELS: [(usize, usize); 13] = [
+    (1, 2), // VLD  -> DSP0   (macroblock coefficients)
+    (2, 4), // DSP0 -> IDCT
+    (4, 5), // IDCT -> MC
+    (5, 6), // MC   -> SDRAM  (reconstructed frame)
+    (6, 5), // SDRAM-> MC     (reference frame)
+    (6, 7), // SDRAM-> DISP
+    (3, 5), // DSP1 -> MC     (motion vectors)
+    (8, 1), // RISC -> VLD    (control)
+    (8, 6), // RISC -> SDRAM
+    (9, 6), // DMA  -> SDRAM
+    (1, 3), // VLD  -> DSP1
+    (3, 2), // DSP1 -> DSP0
+    (0, 1), // BITS -> VLD    (bitstream)
+];
+
+/// Builds the decoder's constraint graph (Manhattan norm, mm units, all
+/// channels at the full 1 Gb/s wire rate).
+///
+/// # Panics
+///
+/// Never panics in practice — the static instance data is valid.
+pub fn paper_instance() -> ConstraintGraph {
+    let mut b = ConstraintGraph::builder(Norm::Manhattan);
+    for (i, &(src, dst)) in CHANNELS.iter().enumerate() {
+        let (sn, sx, sy) = MODULES[src];
+        let (dn, dx, dy) = MODULES[dst];
+        let out = b.add_port(format!("{sn}.out{i}"), Point2::new(sx, sy));
+        let inp = b.add_port(format!("{dn}.in{i}"), Point2::new(dx, dy));
+        b.add_channel(out, inp, Bandwidth::from_gbps(1.0))
+            .expect("static MPEG-4 channel is valid");
+    }
+    b.build().expect("static MPEG-4 instance is valid")
+}
+
+/// The paper's on-chip library at [`L_CRIT_MM`].
+pub fn paper_library() -> Library {
+    soc_paper_library(L_CRIT_MM)
+}
+
+/// The paper's per-channel cost formula `⌊(|Δx| + |Δy|)/l_crit⌋` — the
+/// expected repeater count of one channel.
+pub fn expected_channel_repeaters(manhattan_mm: f64) -> usize {
+    (manhattan_mm / L_CRIT_MM + 1e-12).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::check::verify;
+    use ccs_core::synthesis::Synthesizer;
+
+    #[test]
+    fn instance_shape() {
+        let g = paper_instance();
+        assert_eq!(g.arc_count(), 13);
+        assert_eq!(g.norm(), Norm::Manhattan);
+    }
+
+    #[test]
+    fn formula_sum_is_55() {
+        let g = paper_instance();
+        let total: usize = g
+            .arcs()
+            .map(|(_, a)| expected_channel_repeaters(a.distance))
+            .sum();
+        assert_eq!(total, PAPER_REPEATERS);
+    }
+
+    #[test]
+    fn synthesis_reproduces_55_repeaters() {
+        let g = paper_instance();
+        let lib = paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        assert_eq!(r.implementation.repeater_count(), PAPER_REPEATERS);
+        assert!((r.total_cost() - PAPER_REPEATERS as f64).abs() < 1e-9);
+        assert!(verify(&g, &lib, &r.implementation).is_empty());
+    }
+
+    #[test]
+    fn full_rate_channels_prune_all_merges() {
+        // Theorem 3.2: two 1 Gb/s channels cannot share a 1 Gb/s wire.
+        let g = paper_instance();
+        let lib = paper_library();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        assert_eq!(r.stats.merge_stats.counts, vec![]);
+        assert!(r.stats.merge_stats.bandwidth_pruned > 0);
+    }
+}

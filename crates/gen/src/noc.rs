@@ -1,0 +1,278 @@
+//! Network-on-chip style workloads: a mesh of tiles with classic traffic
+//! patterns.
+//!
+//! The paper is early NoC-synthesis work (it seeded the COSI line of
+//! tools), so a mesh-tile workload generator belongs in its evaluation
+//! kit. Tiles sit on a regular grid; the traffic pattern decides the
+//! channel set:
+//!
+//! * [`TrafficPattern::UniformRandom`] — random tile pairs;
+//! * [`TrafficPattern::Transpose`] — tile `(i, j)` talks to `(j, i)`,
+//!   the classic adversarial pattern;
+//! * [`TrafficPattern::Hotspot`] — every listed tile talks to one hot
+//!   tile (a memory controller), the merge-friendly pattern.
+//!
+//! Distances are Manhattan (on-chip wiring); bandwidths are drawn from a
+//! configured range so merging stays possible on 1 Gb/s wires.
+
+use ccs_core::constraint::ConstraintGraph;
+use ccs_core::units::Bandwidth;
+use ccs_geom::{Norm, Point2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which channels a [`NocConfig`] generates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficPattern {
+    /// `channels` random ordered tile pairs (no self-traffic).
+    UniformRandom {
+        /// Number of channels to draw.
+        channels: usize,
+    },
+    /// One channel from every off-diagonal tile `(r, c)` to `(c, r)`
+    /// (requires a square mesh).
+    Transpose,
+    /// One channel from every tile (except the hotspot itself) to the
+    /// hotspot tile.
+    Hotspot {
+        /// Grid coordinates `(row, col)` of the hot tile.
+        hot: (usize, usize),
+    },
+}
+
+/// Configuration for [`noc_instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocConfig {
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Tile pitch, mm.
+    pub tile_mm: f64,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Channel bandwidths drawn uniformly from this range, Mb/s.
+    pub bandwidth_mbps: (f64, f64),
+    /// RNG seed (bandwidths and the uniform pattern).
+    pub seed: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            rows: 4,
+            cols: 4,
+            tile_mm: 1.2,
+            pattern: TrafficPattern::Hotspot { hot: (1, 1) },
+            bandwidth_mbps: (50.0, 250.0),
+            seed: 0x70C,
+        }
+    }
+}
+
+/// Tile centre position for grid coordinates `(row, col)`.
+pub fn tile_position(cfg: &NocConfig, row: usize, col: usize) -> Point2 {
+    Point2::new(
+        (col as f64 + 0.5) * cfg.tile_mm,
+        (row as f64 + 0.5) * cfg.tile_mm,
+    )
+}
+
+/// Generates the mesh instance.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration: zero-sized mesh, non-positive
+/// tile pitch or bandwidths, a non-square mesh with
+/// [`TrafficPattern::Transpose`], or a hotspot outside the mesh.
+pub fn noc_instance(cfg: &NocConfig) -> ConstraintGraph {
+    assert!(cfg.rows > 0 && cfg.cols > 0, "mesh must be non-empty");
+    assert!(cfg.tile_mm > 0.0, "tile pitch must be positive");
+    assert!(
+        cfg.bandwidth_mbps.0 > 0.0 && cfg.bandwidth_mbps.1 >= cfg.bandwidth_mbps.0,
+        "bad bandwidth range"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut pairs: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    match &cfg.pattern {
+        TrafficPattern::UniformRandom { channels } => {
+            assert!(
+                cfg.rows * cfg.cols > 1,
+                "uniform traffic needs at least two tiles"
+            );
+            let mut guard = 0;
+            while pairs.len() < *channels {
+                guard += 1;
+                assert!(guard < channels * 1000 + 1000, "could not draw channels");
+                let s = (rng.random_range(0..cfg.rows), rng.random_range(0..cfg.cols));
+                let d = (rng.random_range(0..cfg.rows), rng.random_range(0..cfg.cols));
+                if s != d {
+                    pairs.push((s, d));
+                }
+            }
+        }
+        TrafficPattern::Transpose => {
+            assert_eq!(cfg.rows, cfg.cols, "transpose needs a square mesh");
+            for r in 0..cfg.rows {
+                for c in 0..cfg.cols {
+                    if r != c {
+                        pairs.push(((r, c), (c, r)));
+                    }
+                }
+            }
+        }
+        TrafficPattern::Hotspot { hot } => {
+            assert!(
+                hot.0 < cfg.rows && hot.1 < cfg.cols,
+                "hotspot outside the mesh"
+            );
+            for r in 0..cfg.rows {
+                for c in 0..cfg.cols {
+                    if (r, c) != *hot {
+                        pairs.push(((r, c), *hot));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut b = ConstraintGraph::builder(Norm::Manhattan);
+    for (i, (s, d)) in pairs.iter().enumerate() {
+        let bw =
+            Bandwidth::from_mbps(rng.random_range(cfg.bandwidth_mbps.0..=cfg.bandwidth_mbps.1));
+        let out = b.add_port(
+            format!("t{}_{}.out{i}", s.0, s.1),
+            tile_position(cfg, s.0, s.1),
+        );
+        let inp = b.add_port(
+            format!("t{}_{}.in{i}", d.0, d.1),
+            tile_position(cfg, d.0, d.1),
+        );
+        b.add_channel(out, inp, bw)
+            .expect("mesh channels are valid");
+    }
+    b.build().expect("mesh instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_channel_count() {
+        let cfg = NocConfig::default(); // 4×4, hotspot
+        let g = noc_instance(&cfg);
+        assert_eq!(g.arc_count(), 15);
+        assert_eq!(g.norm(), Norm::Manhattan);
+    }
+
+    #[test]
+    fn hotspot_all_point_at_hot_tile() {
+        let cfg = NocConfig::default();
+        let g = noc_instance(&cfg);
+        let hot = tile_position(&cfg, 1, 1);
+        for (id, a) in g.arcs() {
+            assert_eq!(g.position(a.dst), hot, "{id}");
+        }
+    }
+
+    #[test]
+    fn transpose_count_and_symmetry() {
+        let cfg = NocConfig {
+            pattern: TrafficPattern::Transpose,
+            ..NocConfig::default()
+        };
+        let g = noc_instance(&cfg);
+        assert_eq!(g.arc_count(), 12); // 16 tiles minus 4 diagonal
+                                       // Each channel's reverse also exists as another channel.
+        let endpoints: Vec<(Point2, Point2)> = g
+            .arcs()
+            .map(|(_, a)| (g.position(a.src), g.position(a.dst)))
+            .collect();
+        for &(s, d) in &endpoints {
+            assert!(endpoints.iter().any(|&(s2, d2)| s2 == d && d2 == s));
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let cfg = NocConfig {
+            pattern: TrafficPattern::UniformRandom { channels: 9 },
+            ..NocConfig::default()
+        };
+        assert_eq!(noc_instance(&cfg), noc_instance(&cfg));
+        let other = NocConfig {
+            seed: 99,
+            ..cfg.clone()
+        };
+        assert_ne!(noc_instance(&cfg), noc_instance(&other));
+    }
+
+    #[test]
+    fn bandwidths_in_range() {
+        let cfg = NocConfig::default();
+        let g = noc_instance(&cfg);
+        for (_, a) in g.arcs() {
+            assert!(a.bandwidth.as_mbps() >= cfg.bandwidth_mbps.0);
+            assert!(a.bandwidth.as_mbps() <= cfg.bandwidth_mbps.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square mesh")]
+    fn transpose_rejects_rectangles() {
+        let cfg = NocConfig {
+            rows: 2,
+            cols: 3,
+            pattern: TrafficPattern::Transpose,
+            ..NocConfig::default()
+        };
+        let _ = noc_instance(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn hotspot_must_be_inside() {
+        let cfg = NocConfig {
+            pattern: TrafficPattern::Hotspot { hot: (9, 9) },
+            ..NocConfig::default()
+        };
+        let _ = noc_instance(&cfg);
+    }
+
+    #[test]
+    fn synthesis_on_hotspot_merges_wiring() {
+        // Moderate-rate channels into one hot tile: trunk sharing must
+        // beat dedicated wiring (this is the NoC motivation in one test).
+        let cfg = NocConfig {
+            bandwidth_mbps: (50.0, 120.0),
+            ..NocConfig::default()
+        };
+        let g = noc_instance(&cfg);
+        // Per-length on-chip wiring cost model so savings are continuous.
+        let lib = ccs_core::library::Library::builder()
+            .link(ccs_core::library::Link::per_length(
+                "wire",
+                Bandwidth::from_gbps(1.0),
+                1.0,
+            ))
+            .node(ccs_core::library::NodeKind::Repeater, 0.0)
+            .node(ccs_core::library::NodeKind::Mux, 0.1)
+            .node(ccs_core::library::NodeKind::Demux, 0.1)
+            .build()
+            .unwrap();
+        let mut sc = ccs_core::synthesis::SynthesisConfig::default();
+        sc.merge.max_k = Some(4);
+        let r = ccs_core::synthesis::Synthesizer::new(&g, &lib)
+            .with_config(sc)
+            .run()
+            .unwrap();
+        assert!(
+            r.total_cost() < r.stats.p2p_cost,
+            "hotspot traffic should merge: {} vs {}",
+            r.total_cost(),
+            r.stats.p2p_cost
+        );
+        assert!(ccs_core::check::verify(&g, &lib, &r.implementation).is_empty());
+    }
+}

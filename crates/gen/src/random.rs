@@ -1,0 +1,263 @@
+//! Seeded random instance generators for scaling studies and property
+//! tests.
+//!
+//! Both generators are deterministic functions of their configuration
+//! (including the seed), so every benchmark run and test failure is
+//! reproducible.
+
+use ccs_core::constraint::{ConstraintGraph, PortId};
+use ccs_core::units::Bandwidth;
+use ccs_geom::{Norm, Point2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`clustered_wan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteredWanConfig {
+    /// Number of geographic clusters.
+    pub clusters: usize,
+    /// Nodes per cluster.
+    pub nodes_per_cluster: usize,
+    /// Number of channels to draw.
+    pub channels: usize,
+    /// Side of the square world, km.
+    pub world_km: f64,
+    /// Half-side of the square each cluster's nodes scatter over, km.
+    pub cluster_spread_km: f64,
+    /// Channel bandwidths are drawn uniformly from this range (Mb/s).
+    pub bandwidth_mbps: (f64, f64),
+    /// Fraction of channels drawn within a single cluster (the rest cross
+    /// clusters — those are the merge opportunities).
+    pub intra_cluster_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusteredWanConfig {
+    fn default() -> Self {
+        ClusteredWanConfig {
+            clusters: 3,
+            nodes_per_cluster: 4,
+            channels: 12,
+            world_km: 200.0,
+            cluster_spread_km: 6.0,
+            bandwidth_mbps: (2.0, 10.0),
+            intra_cluster_fraction: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generates a clustered WAN: nodes in tight geographic clusters spread
+/// across a large world, with a mix of intra- and inter-cluster channels
+/// (inter-cluster channels from the same cluster pair are exactly the
+/// profitable mergings the paper targets).
+///
+/// # Panics
+///
+/// Panics if the configuration has zero clusters, nodes, or channels, or
+/// a non-positive bandwidth range.
+pub fn clustered_wan(cfg: &ClusteredWanConfig) -> ConstraintGraph {
+    assert!(cfg.clusters > 0 && cfg.nodes_per_cluster > 0 && cfg.channels > 0);
+    assert!(cfg.bandwidth_mbps.0 > 0.0 && cfg.bandwidth_mbps.1 >= cfg.bandwidth_mbps.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Place cluster centres, then nodes around them.
+    let mut nodes: Vec<(usize, Point2)> = Vec::new(); // (cluster, pos)
+    for c in 0..cfg.clusters {
+        let centre = Point2::new(
+            rng.random_range(0.0..cfg.world_km),
+            rng.random_range(0.0..cfg.world_km),
+        );
+        for _ in 0..cfg.nodes_per_cluster {
+            let p = Point2::new(
+                centre.x + rng.random_range(-cfg.cluster_spread_km..cfg.cluster_spread_km),
+                centre.y + rng.random_range(-cfg.cluster_spread_km..cfg.cluster_spread_km),
+            );
+            nodes.push((c, p));
+        }
+    }
+
+    let mut b = ConstraintGraph::builder(Norm::Euclidean);
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < cfg.channels {
+        guard += 1;
+        assert!(
+            guard < cfg.channels * 1000,
+            "could not draw enough valid channels; check the configuration"
+        );
+        let intra = rng.random_range(0.0..1.0) < cfg.intra_cluster_fraction;
+        let (si, di) = if intra {
+            let c = rng.random_range(0..cfg.clusters);
+            let base = c * cfg.nodes_per_cluster;
+            let s = base + rng.random_range(0..cfg.nodes_per_cluster);
+            let d = base + rng.random_range(0..cfg.nodes_per_cluster);
+            (s, d)
+        } else {
+            (
+                rng.random_range(0..nodes.len()),
+                rng.random_range(0..nodes.len()),
+            )
+        };
+        if si == di {
+            continue;
+        }
+        let (_, sp) = nodes[si];
+        let (_, dp) = nodes[di];
+        if Norm::Euclidean.distance(sp, dp) <= 1e-9 {
+            continue;
+        }
+        let bw =
+            Bandwidth::from_mbps(rng.random_range(cfg.bandwidth_mbps.0..=cfg.bandwidth_mbps.1));
+        let out = b.add_port(format!("n{si}.out{added}"), sp);
+        let inp = b.add_port(format!("n{di}.in{added}"), dp);
+        if b.add_channel(out, inp, bw).is_ok() {
+            added += 1;
+        }
+    }
+    b.build().expect("generated instance is valid")
+}
+
+/// Configuration for [`soc_floorplan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConfig {
+    /// Number of modules on the die.
+    pub modules: usize,
+    /// Number of channels.
+    pub channels: usize,
+    /// Die side, mm.
+    pub die_mm: f64,
+    /// Channel bandwidths, Mb/s.
+    pub bandwidth_mbps: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            modules: 9,
+            channels: 14,
+            die_mm: 5.0,
+            bandwidth_mbps: (100.0, 1000.0),
+            seed: 0x50C,
+        }
+    }
+}
+
+/// Generates a random SoC floorplan: modules on a jittered grid over the
+/// die, random channels between distinct modules, Manhattan norm.
+///
+/// # Panics
+///
+/// Panics if the configuration has fewer than two modules or zero
+/// channels.
+pub fn soc_floorplan(cfg: &SocConfig) -> ConstraintGraph {
+    assert!(cfg.modules >= 2 && cfg.channels > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let grid = (cfg.modules as f64).sqrt().ceil() as usize;
+    let cell = cfg.die_mm / grid as f64;
+    let mut positions = Vec::with_capacity(cfg.modules);
+    for m in 0..cfg.modules {
+        let gx = (m % grid) as f64;
+        let gy = (m / grid) as f64;
+        positions.push(Point2::new(
+            (gx + rng.random_range(0.2..0.8)) * cell,
+            (gy + rng.random_range(0.2..0.8)) * cell,
+        ));
+    }
+    let mut b = ConstraintGraph::builder(Norm::Manhattan);
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < cfg.channels {
+        guard += 1;
+        assert!(guard < cfg.channels * 1000, "could not draw valid channels");
+        let s = rng.random_range(0..cfg.modules);
+        let d = rng.random_range(0..cfg.modules);
+        if s == d {
+            continue;
+        }
+        let bw =
+            Bandwidth::from_mbps(rng.random_range(cfg.bandwidth_mbps.0..=cfg.bandwidth_mbps.1));
+        let out = b.add_port(format!("m{s}.out{added}"), positions[s]);
+        let inp = b.add_port(format!("m{d}.in{added}"), positions[d]);
+        if b.add_channel(out, inp, bw).is_ok() {
+            added += 1;
+        }
+    }
+    b.build().expect("generated instance is valid")
+}
+
+/// Ports of the generated graphs are created in channel order; this
+/// helper recovers the `(src, dst)` port pair of channel `i`.
+pub fn channel_ports(i: usize) -> (PortId, PortId) {
+    (PortId(2 * i as u32), PortId(2 * i as u32 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_wan_is_deterministic() {
+        let cfg = ClusteredWanConfig::default();
+        let a = clustered_wan(&cfg);
+        let b = clustered_wan(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = clustered_wan(&ClusteredWanConfig::default());
+        let b = clustered_wan(&ClusteredWanConfig {
+            seed: 7,
+            ..ClusteredWanConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clustered_wan_shape_and_validity() {
+        let cfg = ClusteredWanConfig {
+            channels: 20,
+            ..ClusteredWanConfig::default()
+        };
+        let g = clustered_wan(&cfg);
+        assert_eq!(g.arc_count(), 20);
+        assert_eq!(g.port_count(), 40);
+        for (_, a) in g.arcs() {
+            assert!(a.distance > 0.0);
+            assert!(a.bandwidth.as_mbps() >= cfg.bandwidth_mbps.0);
+            assert!(a.bandwidth.as_mbps() <= cfg.bandwidth_mbps.1);
+        }
+    }
+
+    #[test]
+    fn soc_floorplan_within_die() {
+        let cfg = SocConfig::default();
+        let g = soc_floorplan(&cfg);
+        assert_eq!(g.arc_count(), cfg.channels);
+        for (_, p) in g.ports() {
+            assert!(p.position.x >= 0.0 && p.position.x <= cfg.die_mm);
+            assert!(p.position.y >= 0.0 && p.position.y <= cfg.die_mm);
+        }
+        assert_eq!(g.norm(), Norm::Manhattan);
+    }
+
+    #[test]
+    fn soc_floorplan_deterministic() {
+        let cfg = SocConfig::default();
+        assert_eq!(soc_floorplan(&cfg), soc_floorplan(&cfg));
+    }
+
+    #[test]
+    fn channel_ports_helper_matches_layout() {
+        let g = clustered_wan(&ClusteredWanConfig::default());
+        for (i, (_, a)) in g.arcs().enumerate() {
+            let (s, d) = channel_ports(i);
+            assert_eq!(a.src, s);
+            assert_eq!(a.dst, d);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's WAN example (Section 4, Example 1; Fig. 3, Tables 1–2,
+//! Fig. 4).
+//!
+//! The paper publishes the Γ and Δ matrices but not the node coordinates.
+//! Both matrices are mutually consistent and over-determined, so the
+//! instance is recoverable (see `DESIGN.md` §3.1):
+//!
+//! * solving `Γ(aᵢ, aⱼ) = d(aᵢ) + d(aⱼ)` yields the eight arc lengths;
+//! * matching Δ entries against inter-node distances identifies the arcs
+//!   as `a1=(A,B), a2=(A,C), a3=(B,C), a4=(B,D), a5=(A,D), a6=(C,D),
+//!   a7=(E,D), a8=(D,E)`;
+//! * a planar embedding is then fixed up to congruence. The published
+//!   tables are rounded to 2 decimals and slightly inconsistent around
+//!   node `E`, so the embedding below reproduces every entry to within
+//!   **±0.15 km** (most to ±0.01).
+//!
+//! Every channel requires 10 Mb/s; the library is the radio/optical pair
+//! of [`ccs_core::library::wan_paper_library`].
+
+use ccs_core::constraint::ConstraintGraph;
+use ccs_core::library::{wan_paper_library, Library};
+use ccs_core::units::Bandwidth;
+use ccs_geom::{Norm, Point2};
+
+/// Node coordinates (km): `A, B, C, D, E`.
+pub const NODES: [(f64, f64); 5] = [
+    (0.0, 0.0),          // A
+    (5.0, 0.0),          // B
+    (-2.79581, 4.59650), // C
+    (64.8152, 76.38732), // D
+    (64.82, 80.05),      // E
+];
+
+/// The arcs as `(source node, destination node)` indices into [`NODES`],
+/// in the paper's order `a1..a8`.
+pub const ARCS: [(usize, usize); 8] = [
+    (0, 1), // a1 = (A, B)
+    (0, 2), // a2 = (A, C)
+    (1, 2), // a3 = (B, C)
+    (1, 3), // a4 = (B, D)
+    (0, 3), // a5 = (A, D)
+    (2, 3), // a6 = (C, D)
+    (4, 3), // a7 = (E, D)
+    (3, 4), // a8 = (D, E)
+];
+
+/// Node names matching [`NODES`].
+pub const NODE_NAMES: [&str; 5] = ["A", "B", "C", "D", "E"];
+
+/// The channel bandwidth shared by all eight arcs (10 Mb/s).
+pub fn channel_bandwidth() -> Bandwidth {
+    Bandwidth::from_mbps(10.0)
+}
+
+/// Builds the paper's constraint graph: one dedicated port per channel
+/// endpoint, all ports of a node at the node position (the approximation
+/// the paper states explicitly).
+///
+/// # Panics
+///
+/// Never panics in practice — the static instance data is valid.
+pub fn paper_instance() -> ConstraintGraph {
+    let mut b = ConstraintGraph::builder(Norm::Euclidean);
+    for (i, &(src, dst)) in ARCS.iter().enumerate() {
+        let out = b.add_port(
+            format!("{}.out_a{}", NODE_NAMES[src], i + 1),
+            Point2::new(NODES[src].0, NODES[src].1),
+        );
+        let inp = b.add_port(
+            format!("{}.in_a{}", NODE_NAMES[dst], i + 1),
+            Point2::new(NODES[dst].0, NODES[dst].1),
+        );
+        b.add_channel(out, inp, channel_bandwidth())
+            .expect("static WAN arc is valid");
+    }
+    b.build().expect("static WAN instance is valid")
+}
+
+/// The paper's WAN library (radio + optical).
+pub fn paper_library() -> Library {
+    wan_paper_library()
+}
+
+/// Table 1 of the paper: the Γ upper triangle, `PAPER_GAMMA[i][j - i - 1]`
+/// holding `Γ(a_{i+1}, a_{j+1})` in km.
+pub const PAPER_GAMMA: [&[f64]; 7] = [
+    &[10.38, 14.05, 102.02, 105.18, 103.61, 8.60, 8.60],
+    &[14.44, 102.40, 105.56, 104.00, 8.99, 8.99],
+    &[106.07, 109.23, 107.67, 12.66, 12.66],
+    &[197.20, 195.63, 100.62, 100.62],
+    &[198.79, 103.78, 103.78],
+    &[102.22, 102.22],
+    &[7.21],
+];
+
+/// Table 2 of the paper: the Δ upper triangle, same layout as
+/// [`PAPER_GAMMA`].
+pub const PAPER_DELTA: [&[f64]; 7] = [
+    &[9.05, 14.05, 102.02, 97.02, 102.40, 200.09, 200.17],
+    &[5.0, 103.61, 98.61, 104.00, 201.69, 201.58],
+    &[98.61, 103.61, 107.67, 198.61, 198.42],
+    &[5.0, 9.05, 100.00, 100.63],
+    &[5.38, 103.07, 103.78],
+    &[101.40, 102.22],
+    &[7.21],
+];
+
+/// Candidate-merging counts the paper reports in prose:
+/// `(k, count)` — thirteen 2-way, twenty-one 3-way, sixteen 4-way, five
+/// 5-way.
+pub const PAPER_CANDIDATE_COUNTS: [(usize, usize); 4] = [(2, 13), (3, 21), (4, 16), (5, 5)];
+
+/// Counts this reproduction measures under the default
+/// `LastArcPivot` rule: k = 2..4 match the paper exactly; at k = 5 we
+/// keep one extra subset (`{a1..a5}`) and at k = 6 the all-short-and-long
+/// set `{a1..a6}` — neither is ever selected by the covering step, so
+/// Fig. 4 is unaffected (see `EXPERIMENTS.md`).
+pub const MEASURED_CANDIDATE_COUNTS: [(usize, usize); 5] =
+    [(2, 13), (3, 21), (4, 16), (5, 6), (6, 1)];
+
+/// Tolerance (km) within which the reconstructed instance reproduces
+/// every published table entry.
+pub const TABLE_TOLERANCE: f64 = 0.15;
+
+/// The arcs merged in the paper's optimal architecture (Fig. 4):
+/// `{a4, a5, a6}` as 0-based indices.
+pub const PAPER_MERGED_ARCS: [usize; 3] = [3, 4, 5];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::matrices::DistanceMatrices;
+    use ccs_core::merging::{enumerate, EnumerationStrategy, MergeConfig};
+
+    #[test]
+    fn instance_shape() {
+        let g = paper_instance();
+        assert_eq!(g.arc_count(), 8);
+        assert_eq!(g.port_count(), 16);
+        assert_eq!(g.norm(), Norm::Euclidean);
+        for (_, a) in g.arcs() {
+            assert_eq!(a.bandwidth, channel_bandwidth());
+        }
+    }
+
+    #[test]
+    fn arc_lengths_match_derivation() {
+        let g = paper_instance();
+        let expected = [5.00, 5.38, 9.05, 97.02, 100.18, 98.61, 3.605, 3.605];
+        for (i, (_, a)) in g.arcs().enumerate() {
+            assert!(
+                (a.distance - expected[i]).abs() < 0.08,
+                "a{}: {} vs {}",
+                i + 1,
+                a.distance,
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_matches_table_1() {
+        let g = paper_instance();
+        let m = DistanceMatrices::compute(&g);
+        let mut max_dev: f64 = 0.0;
+        for (i, row) in PAPER_GAMMA.iter().enumerate() {
+            for (off, &exp) in row.iter().enumerate() {
+                let j = i + 1 + off;
+                max_dev = max_dev.max((m.gamma(i, j) - exp).abs());
+            }
+        }
+        assert!(max_dev < TABLE_TOLERANCE, "max Γ deviation {max_dev}");
+    }
+
+    #[test]
+    fn delta_matches_table_2() {
+        let g = paper_instance();
+        let m = DistanceMatrices::compute(&g);
+        let mut max_dev: f64 = 0.0;
+        for (i, row) in PAPER_DELTA.iter().enumerate() {
+            for (off, &exp) in row.iter().enumerate() {
+                let j = i + 1 + off;
+                max_dev = max_dev.max((m.delta(i, j) - exp).abs());
+            }
+        }
+        assert!(max_dev < TABLE_TOLERANCE, "max Δ deviation {max_dev}");
+    }
+
+    #[test]
+    fn candidate_counts_reproduce() {
+        let g = paper_instance();
+        let lib = paper_library();
+        let m = DistanceMatrices::compute(&g);
+        let cfg = MergeConfig {
+            strategy: EnumerationStrategy::Exhaustive,
+            ..MergeConfig::default()
+        };
+        let e = enumerate(&g, &lib, &m, &cfg);
+        assert_eq!(
+            e.stats.counts,
+            MEASURED_CANDIDATE_COUNTS.to_vec(),
+            "per-k candidate counts"
+        );
+        // The paper-prose counts match exactly for k = 2..4.
+        for (paper, measured) in PAPER_CANDIDATE_COUNTS.iter().zip(&e.stats.counts).take(3) {
+            assert_eq!(paper, measured);
+        }
+    }
+
+    #[test]
+    fn a8_is_unmergeable() {
+        // "arc a8 is not mergeable with any other arc" — Section 4.
+        let g = paper_instance();
+        let lib = paper_library();
+        let m = DistanceMatrices::compute(&g);
+        let e = enumerate(&g, &lib, &m, &MergeConfig::default());
+        assert!(e.all_subsets().all(|s| !s.contains(&7)));
+        assert_eq!(e.stats.deactivated_at[7], Some(2));
+    }
+
+    #[test]
+    fn a7_leaves_by_level_five() {
+        // The paper says a7 is in no 4-way merging; under our pruning it
+        // survives one 4-way set ({a4,a5,a6,a7}) and leaves at k = 5 —
+        // the documented deviation.
+        let g = paper_instance();
+        let lib = paper_library();
+        let m = DistanceMatrices::compute(&g);
+        let e = enumerate(&g, &lib, &m, &MergeConfig::default());
+        assert_eq!(e.stats.deactivated_at[6], Some(5));
+    }
+}

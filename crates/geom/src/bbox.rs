@@ -1,0 +1,150 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point2;
+
+/// An axis-aligned bounding box, used to bound hub-placement searches and
+/// to describe floorplan extents.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_geom::{Aabb, Point2};
+///
+/// let b = Aabb::from_points([Point2::new(1.0, 5.0), Point2::new(-2.0, 3.0)]).unwrap();
+/// assert_eq!(b.min, Point2::new(-2.0, 3.0));
+/// assert_eq!(b.max, Point2::new(1.0, 5.0));
+/// assert!(b.contains(Point2::new(0.0, 4.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Aabb {
+    /// Corner with the smallest coordinates.
+    pub min: Point2,
+    /// Corner with the largest coordinates.
+    pub max: Point2,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Aabb {
+            min: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The tightest box containing all `points`; `None` when empty.
+    pub fn from_points<I: IntoIterator<Item = Point2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = Aabb::new(first, first);
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand(&mut self, p: Point2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Width (x extent) of the box.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent) of the box.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point of the box.
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// Half the perimeter — the classic HPWL wirelength estimate used in
+    /// floorplanning.
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Returns a copy grown by `margin` on all four sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        Aabb {
+            min: Point2::new(self.min.x - margin, self.min.y - margin),
+            max: Point2::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = Aabb::new(Point2::new(3.0, -1.0), Point2::new(-2.0, 4.0));
+        assert_eq!(b.min, Point2::new(-2.0, -1.0));
+        assert_eq!(b.max, Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert_eq!(Aabb::from_points(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn from_points_single() {
+        let p = Point2::new(2.0, 2.0);
+        let b = Aabb::from_points([p]).unwrap();
+        assert_eq!(b.min, p);
+        assert_eq!(b.max, p);
+        assert_eq!(b.width(), 0.0);
+        assert!(b.contains(p));
+    }
+
+    #[test]
+    fn expand_and_contains() {
+        let mut b = Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0));
+        b.expand(Point2::new(5.0, -3.0));
+        assert!(b.contains(Point2::new(4.0, -2.0)));
+        assert!(!b.contains(Point2::new(6.0, 0.0)));
+        assert_eq!(b.width(), 5.0);
+        assert_eq!(b.height(), 4.0);
+    }
+
+    #[test]
+    fn center_and_half_perimeter() {
+        let b = Aabb::new(Point2::ORIGIN, Point2::new(4.0, 2.0));
+        assert_eq!(b.center(), Point2::new(2.0, 1.0));
+        assert_eq!(b.half_perimeter(), 6.0);
+    }
+
+    #[test]
+    fn inflated_grows_all_sides() {
+        let b = Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0)).inflated(2.0);
+        assert_eq!(b.min, Point2::new(-2.0, -2.0));
+        assert_eq!(b.max, Point2::new(3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn inflated_rejects_negative() {
+        let _ = Aabb::new(Point2::ORIGIN, Point2::ORIGIN).inflated(-1.0);
+    }
+}

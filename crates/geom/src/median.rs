@@ -1,0 +1,173 @@
+//! Exact 1-D weighted medians.
+//!
+//! Under the Manhattan norm the Weber problem decomposes per coordinate,
+//! and each coordinate's optimum is a weighted median of the anchor
+//! coordinates — computed exactly here (no iteration, no tolerance).
+
+/// Returns a value `m` minimizing `Σ wᵢ·|xᵢ − m|` over the weighted samples.
+///
+/// When the minimizer is a whole interval (total weight splits evenly), the
+/// midpoint of that interval is returned, which keeps hub placements
+/// symmetric and deterministic.
+///
+/// Zero-weight samples are ignored. Returns `None` when there is no sample
+/// with positive weight.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or any value is non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_geom::median::weighted_median;
+///
+/// let m = weighted_median(&[(1.0, 1.0), (2.0, 1.0), (10.0, 1.0)]);
+/// assert_eq!(m, Some(2.0));
+///
+/// // Even split: the midpoint of the optimal interval [2, 10].
+/// let m = weighted_median(&[(2.0, 1.0), (10.0, 1.0)]);
+/// assert_eq!(m, Some(6.0));
+///
+/// // Weights break the tie.
+/// let m = weighted_median(&[(2.0, 3.0), (10.0, 1.0)]);
+/// assert_eq!(m, Some(2.0));
+/// ```
+pub fn weighted_median(samples: &[(f64, f64)]) -> Option<f64> {
+    let mut pts: Vec<(f64, f64)> = samples
+        .iter()
+        .copied()
+        .inspect(|&(x, w)| {
+            assert!(x.is_finite(), "non-finite sample value {x}");
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+        })
+        .filter(|&(_, w)| w > 0.0)
+        .collect();
+    if pts.is_empty() {
+        return None;
+    }
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = pts.iter().map(|&(_, w)| w).sum();
+    let half = total / 2.0;
+    let mut acc = 0.0;
+    for (i, &(x, w)) in pts.iter().enumerate() {
+        acc += w;
+        if acc > half + 1e-12 * total {
+            return Some(x);
+        }
+        if (acc - half).abs() <= 1e-12 * total {
+            // Exactly half the weight is at or below x: every point between
+            // x and the next sample is optimal; return the midpoint.
+            let next = pts.get(i + 1).map_or(x, |&(nx, _)| nx);
+            return Some((x + next) / 2.0);
+        }
+    }
+    // Floating-point slack: fall back to the largest sample.
+    pts.last().map(|&(x, _)| x)
+}
+
+/// Total weighted absolute deviation `Σ wᵢ·|xᵢ − m|`.
+///
+/// Useful for checking candidate medians in tests and for evaluating the
+/// cost of a fixed hub coordinate.
+///
+/// ```
+/// use ccs_geom::median::{weighted_median, deviation};
+/// let s = [(0.0, 1.0), (4.0, 1.0), (10.0, 2.0)];
+/// let m = weighted_median(&s).unwrap();
+/// assert!(deviation(&s, m) <= deviation(&s, m + 0.5));
+/// ```
+pub fn deviation(samples: &[(f64, f64)], m: f64) -> f64 {
+    samples.iter().map(|&(x, w)| w * (x - m).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_zero_weight() {
+        assert_eq!(weighted_median(&[]), None);
+        assert_eq!(weighted_median(&[(5.0, 0.0)]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(weighted_median(&[(7.0, 2.0)]), Some(7.0));
+    }
+
+    #[test]
+    fn odd_unweighted() {
+        assert_eq!(
+            weighted_median(&[(5.0, 1.0), (1.0, 1.0), (3.0, 1.0)]),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn even_unweighted_returns_interval_midpoint() {
+        assert_eq!(
+            weighted_median(&[(1.0, 1.0), (3.0, 1.0), (5.0, 1.0), (11.0, 1.0)]),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn heavy_weight_dominates() {
+        assert_eq!(
+            weighted_median(&[(0.0, 10.0), (100.0, 1.0), (50.0, 1.0)]),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn duplicate_values() {
+        assert_eq!(
+            weighted_median(&[(2.0, 1.0), (2.0, 1.0), (9.0, 1.0)]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        let _ = weighted_median(&[(1.0, -1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample value")]
+    fn nan_value_panics() {
+        let _ = weighted_median(&[(f64::NAN, 1.0)]);
+    }
+
+    proptest! {
+        /// The returned median is no worse than any sample point or small
+        /// perturbation of itself (1-D convexity makes this a certificate of
+        /// global optimality).
+        #[test]
+        fn median_minimizes_deviation(
+            samples in proptest::collection::vec((-1e3..1e3f64, 0.01..10.0f64), 1..20)
+        ) {
+            let m = weighted_median(&samples).unwrap();
+            let best = deviation(&samples, m);
+            for &(x, _) in &samples {
+                prop_assert!(best <= deviation(&samples, x) + 1e-7);
+            }
+            for delta in [-1.0, -1e-3, 1e-3, 1.0] {
+                prop_assert!(best <= deviation(&samples, m + delta) + 1e-7);
+            }
+        }
+
+        /// The median lies within the sample range.
+        #[test]
+        fn median_within_range(
+            samples in proptest::collection::vec((-1e3..1e3f64, 0.01..10.0f64), 1..20)
+        ) {
+            let m = weighted_median(&samples).unwrap();
+            let lo = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().map(|s| s.0).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! 2-D points and vector arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or displacement vector) in the plane.
+///
+/// Positions of module ports in a constraint graph are `Point2`s; the
+/// coordinate unit is whatever the application chose (kilometres for a WAN,
+/// millimetres for a die) — distances inherit that unit.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_geom::Point2;
+///
+/// let a = Point2::new(1.0, 2.0);
+/// let b = Point2::new(4.0, 6.0);
+/// assert_eq!((b - a).len2(), 5.0 * 5.0);
+/// assert_eq!(a.midpoint(b), Point2::new(2.5, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    ///
+    /// ```
+    /// use ccs_geom::Point2;
+    /// let p = Point2::new(3.0, -1.5);
+    /// assert_eq!(p.x, 3.0);
+    /// ```
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Squared Euclidean length of `self` viewed as a vector.
+    ///
+    /// ```
+    /// use ccs_geom::Point2;
+    /// assert_eq!(Point2::new(3.0, 4.0).len2(), 25.0);
+    /// ```
+    #[inline]
+    pub fn len2(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean length of `self` viewed as a vector.
+    ///
+    /// ```
+    /// use ccs_geom::Point2;
+    /// assert_eq!(Point2::new(3.0, 4.0).len(), 5.0);
+    /// ```
+    #[inline]
+    pub fn len(self) -> f64 {
+        self.len2().sqrt()
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product (signed parallelogram area).
+    #[inline]
+    pub fn cross(self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates along the same line.
+    ///
+    /// ```
+    /// use ccs_geom::Point2;
+    /// let a = Point2::new(0.0, 0.0);
+    /// let b = Point2::new(10.0, 0.0);
+    /// assert_eq!(a.lerp(b, 0.3), Point2::new(3.0, 0.0));
+    /// ```
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Returns `true` when `self` and `other` are within `tol` of each other
+    /// in both coordinates.
+    #[inline]
+    pub fn approx_eq(self, other: Point2, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol && (self.y - other.y).abs() <= tol
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Point2> for f64 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, rhs: Point2) -> Point2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn div(self, rhs: f64) -> Point2 {
+        Point2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Point2::new(1.5, -2.0);
+        assert_eq!(p.x, 1.5);
+        assert_eq!(p.y, -2.0);
+        assert_eq!(Point2::ORIGIN, Point2::new(0.0, 0.0));
+        assert_eq!(Point2::default(), Point2::ORIGIN);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, 5.0);
+        assert_eq!(a + b, Point2::new(4.0, 7.0));
+        assert_eq!(b - a, Point2::new(2.0, 3.0));
+        assert_eq!(-a, Point2::new(-1.0, -2.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Point2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point2::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn lengths_and_products() {
+        let v = Point2::new(3.0, 4.0);
+        assert_eq!(v.len2(), 25.0);
+        assert_eq!(v.len(), 5.0);
+        assert_eq!(v.dot(Point2::new(1.0, 1.0)), 7.0);
+        assert_eq!(Point2::new(1.0, 0.0).cross(Point2::new(0.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(4.0, 8.0);
+        assert_eq!(a.midpoint(b), Point2::new(2.0, 4.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25), Point2::new(1.0, 2.0));
+        // extrapolation
+        assert_eq!(a.lerp(b, 2.0), Point2::new(8.0, 16.0));
+    }
+
+    #[test]
+    fn finiteness_and_approx_eq() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point2::new(0.0, f64::INFINITY).is_finite());
+        let a = Point2::new(1.0, 1.0);
+        assert!(a.approx_eq(Point2::new(1.0 + 1e-10, 1.0 - 1e-10), 1e-9));
+        assert!(!a.approx_eq(Point2::new(1.1, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point2 = (2.0, 3.0).into();
+        assert_eq!(p, Point2::new(2.0, 3.0));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 3.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", Point2::new(1.0, 2.0));
+        assert!(s.contains("1.000") && s.contains("2.000"));
+    }
+}

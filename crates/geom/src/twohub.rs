@@ -1,0 +1,512 @@
+//! Two-hub placement: the geometry of a k-way arc merging.
+//!
+//! A k-way merging realizes k constraint arcs `(uᵢ, vᵢ)` as: a branch link
+//! from each source `uᵢ` to a mux hub `M₁`, a shared trunk (the paper's
+//! *common path* `q*`) from `M₁` to a demux hub `M₂`, and a branch link
+//! from `M₂` to each destination `vᵢ`. With per-length link prices as
+//! weights, the cheapest hubs minimize
+//!
+//! ```text
+//! f(M₁, M₂) = Σᵢ aᵢ‖uᵢ − M₁‖ + q·‖M₁ − M₂‖ + Σᵢ bᵢ‖M₂ − vᵢ‖
+//! ```
+//!
+//! `f` is jointly convex (a sum of norms of affine maps). Under the
+//! Manhattan norm it separates per coordinate into convex piecewise-linear
+//! 1-D problems whose optima lie on breakpoints, so those are solved
+//! *exactly*; Chebyshev reduces to Manhattan by a 45° rotation. The smooth
+//! Euclidean case uses alternating Weber solves followed by a joint
+//! pattern-search polish.
+
+use crate::weber::WeberProblem;
+use crate::{Norm, Point2};
+
+/// Convergence threshold on the objective between alternating sweeps.
+const TWOHUB_TOL: f64 = 1e-9;
+/// Maximum alternating sweeps; convergence is typically < 40.
+const TWOHUB_MAX_ITER: usize = 80;
+
+/// A two-hub (mux/demux) placement problem.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_geom::{Norm, Point2, twohub::TwoHubProblem};
+///
+/// // Three channels from a cluster on the left all target the same
+/// // destination far right; branch links cost 2/unit, the shared trunk 4.
+/// let dest = Point2::new(100.0, 2.0);
+/// let p = TwoHubProblem::new(
+///     vec![
+///         (Point2::new(0.0, 0.0), 2.0),
+///         (Point2::new(0.0, 4.0), 2.0),
+///         (Point2::new(2.0, 2.0), 2.0),
+///     ],
+///     vec![(dest, 2.0), (dest, 2.0), (dest, 2.0)],
+///     4.0,
+/// );
+/// let sol = p.solve(Norm::Euclidean);
+/// // The demux hub collapses onto the shared destination (the three
+/// // destination branches outweigh the trunk) and the mux sits in the
+/// // source cluster.
+/// assert!(sol.hub_b.approx_eq(dest, 1e-4));
+/// assert!(sol.hub_a.x < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoHubProblem {
+    sources: Vec<(Point2, f64)>,
+    sinks: Vec<(Point2, f64)>,
+    trunk_weight: f64,
+}
+
+/// The result of a [`TwoHubProblem::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoHubSolution {
+    /// Position of the source-side hub (mux).
+    pub hub_a: Point2,
+    /// Position of the destination-side hub (demux).
+    pub hub_b: Point2,
+    /// Objective value at the returned hubs.
+    pub cost: f64,
+    /// Number of alternating sweeps performed (0 for the exact solvers).
+    pub iterations: usize,
+}
+
+impl TwoHubProblem {
+    /// Creates a problem from weighted sources, weighted sinks, and the
+    /// trunk's per-length weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either terminal set is empty, or any weight is negative
+    /// or non-finite.
+    pub fn new(sources: Vec<(Point2, f64)>, sinks: Vec<(Point2, f64)>, trunk_weight: f64) -> Self {
+        assert!(
+            !sources.is_empty(),
+            "two-hub problem needs at least one source"
+        );
+        assert!(!sinks.is_empty(), "two-hub problem needs at least one sink");
+        assert!(
+            trunk_weight.is_finite() && trunk_weight >= 0.0,
+            "invalid trunk weight {trunk_weight}"
+        );
+        for &(p, w) in sources.iter().chain(&sinks) {
+            assert!(p.is_finite(), "non-finite terminal {p}");
+            assert!(w.is_finite() && w >= 0.0, "invalid terminal weight {w}");
+        }
+        TwoHubProblem {
+            sources,
+            sinks,
+            trunk_weight,
+        }
+    }
+
+    /// The weighted source terminals.
+    pub fn sources(&self) -> &[(Point2, f64)] {
+        &self.sources
+    }
+
+    /// The weighted sink terminals.
+    pub fn sinks(&self) -> &[(Point2, f64)] {
+        &self.sinks
+    }
+
+    /// The trunk's per-length weight.
+    pub fn trunk_weight(&self) -> f64 {
+        self.trunk_weight
+    }
+
+    /// Objective value for a candidate hub pair.
+    pub fn cost(&self, hub_a: Point2, hub_b: Point2, norm: Norm) -> f64 {
+        let src: f64 = self
+            .sources
+            .iter()
+            .map(|&(p, w)| w * norm.distance(p, hub_a))
+            .sum();
+        let dst: f64 = self
+            .sinks
+            .iter()
+            .map(|&(p, w)| w * norm.distance(hub_b, p))
+            .sum();
+        src + dst + self.trunk_weight * norm.distance(hub_a, hub_b)
+    }
+
+    /// Solves for the optimal hub pair under `norm`.
+    ///
+    /// Manhattan and Chebyshev solutions are exact (breakpoint
+    /// enumeration); the Euclidean solution is the alternating-Weber
+    /// optimum polished by a joint pattern search.
+    pub fn solve(&self, norm: Norm) -> TwoHubSolution {
+        match norm {
+            Norm::Euclidean => self.solve_euclidean(),
+            Norm::Manhattan => self.solve_manhattan(),
+            Norm::Chebyshev => self.solve_chebyshev(),
+        }
+    }
+
+    fn solve_manhattan(&self) -> TwoHubSolution {
+        let sx: Vec<(f64, f64)> = self.sources.iter().map(|&(p, w)| (p.x, w)).collect();
+        let tx: Vec<(f64, f64)> = self.sinks.iter().map(|&(p, w)| (p.x, w)).collect();
+        let sy: Vec<(f64, f64)> = self.sources.iter().map(|&(p, w)| (p.y, w)).collect();
+        let ty: Vec<(f64, f64)> = self.sinks.iter().map(|&(p, w)| (p.y, w)).collect();
+        let (ax, bx, _) = solve_1d(&sx, &tx, self.trunk_weight);
+        let (ay, by, _) = solve_1d(&sy, &ty, self.trunk_weight);
+        let hub_a = Point2::new(ax, ay);
+        let hub_b = Point2::new(bx, by);
+        TwoHubSolution {
+            hub_a,
+            hub_b,
+            cost: self.cost(hub_a, hub_b, Norm::Manhattan),
+            iterations: 0,
+        }
+    }
+
+    fn solve_chebyshev(&self) -> TwoHubSolution {
+        // With u = x + y, v = x − y: ‖Δ‖∞ = (|Δu| + |Δv|)/2, so solve two
+        // Manhattan 1-D problems with halved weights and rotate back.
+        let su: Vec<(f64, f64)> = self
+            .sources
+            .iter()
+            .map(|&(p, w)| (p.x + p.y, w / 2.0))
+            .collect();
+        let tu: Vec<(f64, f64)> = self
+            .sinks
+            .iter()
+            .map(|&(p, w)| (p.x + p.y, w / 2.0))
+            .collect();
+        let sv: Vec<(f64, f64)> = self
+            .sources
+            .iter()
+            .map(|&(p, w)| (p.x - p.y, w / 2.0))
+            .collect();
+        let tv: Vec<(f64, f64)> = self
+            .sinks
+            .iter()
+            .map(|&(p, w)| (p.x - p.y, w / 2.0))
+            .collect();
+        let (au, bu, _) = solve_1d(&su, &tu, self.trunk_weight / 2.0);
+        let (av, bv, _) = solve_1d(&sv, &tv, self.trunk_weight / 2.0);
+        let hub_a = Point2::new((au + av) / 2.0, (au - av) / 2.0);
+        let hub_b = Point2::new((bu + bv) / 2.0, (bu - bv) / 2.0);
+        TwoHubSolution {
+            hub_a,
+            hub_b,
+            cost: self.cost(hub_a, hub_b, Norm::Chebyshev),
+            iterations: 0,
+        }
+    }
+
+    fn solve_euclidean(&self) -> TwoHubSolution {
+        let src_centroid = centroid(&self.sources);
+        let dst_centroid = centroid(&self.sinks);
+        let mid = src_centroid.midpoint(dst_centroid);
+        let starts = [
+            (src_centroid, dst_centroid),
+            (mid, mid),
+            (self.sources[0].0, self.sinks[0].0),
+        ];
+        let mut best: Option<TwoHubSolution> = None;
+        for &(a0, b0) in &starts {
+            let sol = self.alternate_from(a0, b0);
+            if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
+                best = Some(sol);
+            }
+        }
+        let mut sol = best.expect("at least one start evaluated");
+        self.polish(&mut sol, Norm::Euclidean);
+        sol
+    }
+
+    fn alternate_from(&self, mut hub_a: Point2, mut hub_b: Point2) -> TwoHubSolution {
+        let norm = Norm::Euclidean;
+        let mut cost = self.cost(hub_a, hub_b, norm);
+        let mut iterations = 0;
+        for it in 0..TWOHUB_MAX_ITER {
+            iterations = it + 1;
+            // Optimize hub_a with hub_b fixed (the trunk end acts as one
+            // more weighted anchor), then the converse. The fast
+            // (unpolished) Weber solve suffices here — the joint pattern
+            // search at the end removes the residual error.
+            let mut a_anchors = self.sources.clone();
+            a_anchors.push((hub_b, self.trunk_weight));
+            hub_a = WeberProblem::new(a_anchors).solve_euclidean_fast(200);
+
+            let mut b_anchors = self.sinks.clone();
+            b_anchors.push((hub_a, self.trunk_weight));
+            hub_b = WeberProblem::new(b_anchors).solve_euclidean_fast(200);
+
+            let next = self.cost(hub_a, hub_b, norm);
+            if cost - next < TWOHUB_TOL * cost.max(1.0) {
+                cost = next;
+                break;
+            }
+            cost = next;
+        }
+        TwoHubSolution {
+            hub_a,
+            hub_b,
+            cost,
+            iterations,
+        }
+    }
+
+    /// Joint pattern-search polish: escapes the rare stall points of
+    /// alternating minimization (e.g. a hub pinned on an anchor).
+    fn polish(&self, sol: &mut TwoHubSolution, norm: Norm) {
+        let extent = self
+            .sources
+            .iter()
+            .chain(&self.sinks)
+            .map(|&(p, _)| norm.distance(p, sol.hub_a))
+            .fold(1.0, f64::max);
+        let mut h = extent / 4.0;
+        let dirs = [
+            Point2::new(1.0, 0.0),
+            Point2::new(-1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.0, -1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(-1.0, -1.0),
+            Point2::new(1.0, -1.0),
+            Point2::new(-1.0, 1.0),
+        ];
+        let mut budget = 12_000usize;
+        while h > 1e-9 && budget > 0 {
+            let mut improved = false;
+            for &d in &dirs {
+                for (da, db) in [
+                    (d * h, Point2::ORIGIN),
+                    (Point2::ORIGIN, d * h),
+                    (d * h, d * h),
+                ] {
+                    budget = budget.saturating_sub(1);
+                    let c = self.cost(sol.hub_a + da, sol.hub_b + db, norm);
+                    if c + 1e-12 < sol.cost {
+                        sol.hub_a = sol.hub_a + da;
+                        sol.hub_b = sol.hub_b + db;
+                        sol.cost = c;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                h /= 2.0;
+            }
+        }
+    }
+}
+
+/// Exact 1-D two-hub solve: minimize
+/// `Σ aᵢ|sᵢ − m₁| + q|m₁ − m₂| + Σ bⱼ|tⱼ − m₂|`.
+///
+/// The objective is convex piecewise linear, so an optimum exists with both
+/// hubs on breakpoints (sample coordinates); all pairs are enumerated.
+fn solve_1d(sources: &[(f64, f64)], sinks: &[(f64, f64)], q: f64) -> (f64, f64, f64) {
+    let mut breaks: Vec<f64> = sources.iter().chain(sinks).map(|&(x, _)| x).collect();
+    breaks.sort_by(f64::total_cmp);
+    breaks.dedup();
+    let eval = |m1: f64, m2: f64| -> f64 {
+        let s: f64 = sources.iter().map(|&(x, w)| w * (x - m1).abs()).sum();
+        let t: f64 = sinks.iter().map(|&(x, w)| w * (x - m2).abs()).sum();
+        s + t + q * (m1 - m2).abs()
+    };
+    let mut best = (breaks[0], breaks[0], eval(breaks[0], breaks[0]));
+    for &m1 in &breaks {
+        for &m2 in &breaks {
+            let c = eval(m1, m2);
+            if c < best.2 {
+                best = (m1, m2, c);
+            }
+        }
+    }
+    best
+}
+
+fn centroid(pts: &[(Point2, f64)]) -> Point2 {
+    let tw: f64 = pts.iter().map(|&(_, w)| w).sum();
+    if tw <= 0.0 {
+        return pts[0].0;
+    }
+    let mut c = Point2::ORIGIN;
+    for &(p, w) in pts {
+        c = c + p * w;
+    }
+    c / tw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerate_single_source_single_sink() {
+        // One source, one sink, trunk cheaper than branches: the trunk
+        // should span (almost) the whole distance, hubs at the terminals.
+        let s = Point2::new(0.0, 0.0);
+        let t = Point2::new(10.0, 0.0);
+        let p = TwoHubProblem::new(vec![(s, 5.0)], vec![(t, 5.0)], 1.0);
+        let sol = p.solve(Norm::Euclidean);
+        assert!((sol.cost - 10.0).abs() < 1e-6, "cost {}", sol.cost);
+        assert!(sol.hub_a.approx_eq(s, 1e-4));
+        assert!(sol.hub_b.approx_eq(t, 1e-4));
+    }
+
+    #[test]
+    fn expensive_trunk_collapses_hubs() {
+        // Trunk far more expensive than branches: the hubs coincide and the
+        // trunk has zero length.
+        let p = TwoHubProblem::new(
+            vec![(Point2::new(0.0, 0.0), 1.0), (Point2::new(0.0, 2.0), 1.0)],
+            vec![(Point2::new(4.0, 1.0), 1.0)],
+            1_000.0,
+        );
+        let sol = p.solve(Norm::Euclidean);
+        assert!(
+            Norm::Euclidean.distance(sol.hub_a, sol.hub_b) < 1e-6,
+            "hubs should coincide: {} vs {}",
+            sol.hub_a,
+            sol.hub_b
+        );
+    }
+
+    #[test]
+    fn shared_destination_puts_demux_at_destination() {
+        // Three 10 Mbps channels into the same destination D: the cheapest
+        // demux position is D itself, so the "common path" ends at D — the
+        // shape of the paper's WAN solution (Fig. 4).
+        let d = Point2::new(64.8, 76.4);
+        let p = TwoHubProblem::new(
+            vec![
+                (Point2::new(0.0, 0.0), 2.0),
+                (Point2::new(5.0, 0.0), 2.0),
+                (Point2::new(-2.8, 4.6), 2.0),
+            ],
+            vec![(d, 2.0), (d, 2.0), (d, 2.0)],
+            4.0,
+        );
+        let sol = p.solve(Norm::Euclidean);
+        assert!(sol.hub_b.approx_eq(d, 1e-4), "demux at {}", sol.hub_b);
+        // The mux must sit near the source cluster, not near D.
+        assert!(
+            Norm::Euclidean.distance(sol.hub_a, Point2::new(0.7, 1.5)) < 6.0,
+            "mux at {}",
+            sol.hub_a
+        );
+    }
+
+    #[test]
+    fn manhattan_solution_is_exact() {
+        let p = TwoHubProblem::new(
+            vec![(Point2::new(0.0, 0.0), 1.0), (Point2::new(0.0, 10.0), 1.0)],
+            vec![(Point2::new(20.0, 5.0), 1.0)],
+            1.5,
+        );
+        let sol = p.solve(Norm::Manhattan);
+        // Verify against perturbations around the solution.
+        for dx in [-0.5, 0.0, 0.5] {
+            for dy in [-0.5, 0.0, 0.5] {
+                let c = p.cost(
+                    sol.hub_a + Point2::new(dx, dy),
+                    sol.hub_b + Point2::new(dy, dx),
+                    Norm::Manhattan,
+                );
+                assert!(sol.cost <= c + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_matches_rotated_manhattan_cost() {
+        let p = TwoHubProblem::new(
+            vec![(Point2::new(0.0, 0.0), 1.0), (Point2::new(3.0, 7.0), 2.0)],
+            vec![(Point2::new(10.0, 2.0), 1.0)],
+            2.0,
+        );
+        let sol = p.solve(Norm::Chebyshev);
+        let recomputed = p.cost(sol.hub_a, sol.hub_b, Norm::Chebyshev);
+        assert!((sol.cost - recomputed).abs() < 1e-9);
+        // Coarse optimality check.
+        for dx in [-1.0, 1.0] {
+            let c = p.cost(sol.hub_a + Point2::new(dx, 0.0), sol.hub_b, Norm::Chebyshev);
+            assert!(sol.cost <= c + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_panic() {
+        let _ = TwoHubProblem::new(vec![], vec![(Point2::ORIGIN, 1.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trunk weight")]
+    fn negative_trunk_weight_panics() {
+        let _ = TwoHubProblem::new(
+            vec![(Point2::ORIGIN, 1.0)],
+            vec![(Point2::ORIGIN, 1.0)],
+            -2.0,
+        );
+    }
+
+    fn terminals(n: usize) -> impl Strategy<Value = Vec<(Point2, f64)>> {
+        proptest::collection::vec(
+            ((-30.0..30.0f64, -30.0..30.0f64), 0.5..4.0f64)
+                .prop_map(|((x, y), w)| (Point2::new(x, y), w)),
+            1..n,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Perturbing either hub never improves the returned solution.
+        #[test]
+        fn local_optimality(
+            sources in terminals(6),
+            sinks in terminals(6),
+            trunk in 0.1..8.0f64,
+        ) {
+            let p = TwoHubProblem::new(sources, sinks, trunk);
+            for norm in [Norm::Euclidean, Norm::Manhattan] {
+                let sol = p.solve(norm);
+                for (dx, dy) in [(0.05, 0.0), (-0.05, 0.0), (0.0, 0.05), (0.0, -0.05),
+                                 (1.0, 1.0), (-1.0, 1.0)] {
+                    let d = Point2::new(dx, dy);
+                    prop_assert!(sol.cost <= p.cost(sol.hub_a + d, sol.hub_b, norm) + 1e-6);
+                    prop_assert!(sol.cost <= p.cost(sol.hub_a, sol.hub_b + d, norm) + 1e-6);
+                    prop_assert!(sol.cost <= p.cost(sol.hub_a + d, sol.hub_b + d, norm) + 1e-6);
+                }
+            }
+        }
+
+        /// The objective reported equals an independent recomputation.
+        #[test]
+        fn reported_cost_is_consistent(
+            sources in terminals(5),
+            sinks in terminals(5),
+            trunk in 0.0..5.0f64,
+        ) {
+            let p = TwoHubProblem::new(sources, sinks, trunk);
+            let sol = p.solve(Norm::Euclidean);
+            let recomputed = p.cost(sol.hub_a, sol.hub_b, Norm::Euclidean);
+            prop_assert!((sol.cost - recomputed).abs() < 1e-9);
+        }
+
+        /// Manhattan: the exact solver is never worse than alternating
+        /// coordinate medians started from the terminals.
+        #[test]
+        fn manhattan_never_worse_than_terminal_hubs(
+            sources in terminals(5),
+            sinks in terminals(5),
+            trunk in 0.1..5.0f64,
+        ) {
+            let p = TwoHubProblem::new(sources.clone(), sinks.clone(), trunk);
+            let sol = p.solve(Norm::Manhattan);
+            for &(s, _) in &sources {
+                for &(t, _) in &sinks {
+                    prop_assert!(sol.cost <= p.cost(s, t, Norm::Manhattan) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Graph algorithms: traversals, shortest paths, topological sort,
+//! connectivity.
+
+use crate::{Digraph, EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Nodes reachable from `start` (including `start`), in BFS order.
+///
+/// # Panics
+///
+/// Panics if `start` is not a node of `g`.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_graph::{Digraph, algo};
+///
+/// let mut g: Digraph<(), ()> = Digraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// let order = algo::bfs(&g, a);
+/// assert_eq!(order, vec![a, b]);
+/// assert!(!order.contains(&c));
+/// ```
+pub fn bfs<N, E>(g: &Digraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    assert!(start.index() < g.node_count(), "unknown start {start}");
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for (_, e) in g.out_edges(n) {
+            if !seen[e.dst.index()] {
+                seen[e.dst.index()] = true;
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start` (including `start`), in DFS preorder.
+///
+/// # Panics
+///
+/// Panics if `start` is not a node of `g`.
+pub fn dfs<N, E>(g: &Digraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    assert!(start.index() < g.node_count(), "unknown start {start}");
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        order.push(n);
+        // Push in reverse so the first out-edge is visited first.
+        let mut next: Vec<NodeId> = g.out_edges(n).map(|(_, e)| e.dst).collect();
+        next.reverse();
+        stack.extend(next);
+    }
+    order
+}
+
+/// A shortest path found by [`dijkstra`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Visited nodes, from source to target inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges, one fewer than `nodes`.
+    pub edges: Vec<EdgeId>,
+    /// Total cost under the supplied edge-cost function.
+    pub cost: f64,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; tie-break on node id for determinism.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path from `src` to `dst` under a non-negative
+/// edge-cost function. Returns `None` when `dst` is unreachable.
+///
+/// # Panics
+///
+/// Panics if an edge cost is negative or NaN, or if either endpoint is not
+/// a node of `g`.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_graph::{Digraph, algo};
+///
+/// let mut g: Digraph<(), f64> = Digraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 1.0);
+/// g.add_edge(a, c, 5.0);
+/// let p = algo::dijkstra(&g, a, c, |_, e| e.data).unwrap();
+/// assert_eq!(p.cost, 2.0);
+/// assert_eq!(p.nodes.len(), 3);
+/// ```
+pub fn dijkstra<N, E>(
+    g: &Digraph<N, E>,
+    src: NodeId,
+    dst: NodeId,
+    mut cost: impl FnMut(EdgeId, &crate::Edge<E>) -> f64,
+) -> Option<Path> {
+    assert!(src.index() < g.node_count(), "unknown source {src}");
+    assert!(dst.index() < g.node_count(), "unknown destination {dst}");
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[src.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { cost: d, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == dst {
+            break;
+        }
+        for (eid, e) in g.out_edges(node) {
+            let w = cost(eid, e);
+            assert!(w >= 0.0, "negative edge cost {w} on {eid}");
+            let nd = d + w;
+            if nd < dist[e.dst.index()] {
+                dist[e.dst.index()] = nd;
+                prev[e.dst.index()] = Some((node, eid));
+                heap.push(HeapItem {
+                    cost: nd,
+                    node: e.dst,
+                });
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while let Some((p, e)) = prev[cur.index()] {
+        nodes.push(p);
+        edges.push(e);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some(Path {
+        nodes,
+        edges,
+        cost: dist[dst.index()],
+    })
+}
+
+/// Topological order of all nodes, or `None` if the graph has a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_graph::{Digraph, algo};
+///
+/// let mut g: Digraph<(), ()> = Digraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// assert_eq!(algo::topo_sort(&g), Some(vec![a, b]));
+/// g.add_edge(b, a, ());
+/// assert_eq!(algo::topo_sort(&g), None);
+/// ```
+pub fn topo_sort<N, E>(g: &Digraph<N, E>) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let mut queue: std::collections::VecDeque<NodeId> =
+        g.node_ids().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (_, e) in g.out_edges(v) {
+            indeg[e.dst.index()] -= 1;
+            if indeg[e.dst.index()] == 0 {
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Weakly connected components; each node is labelled with a component id
+/// in `0..k`, and `k` is returned.
+pub fn weak_components<N, E>(g: &Digraph<N, E>) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut k = 0;
+    for s in g.node_ids() {
+        if comp[s.index()] != usize::MAX {
+            continue;
+        }
+        // Flood fill ignoring edge direction.
+        let mut stack = vec![s];
+        comp[s.index()] = k;
+        while let Some(v) = stack.pop() {
+            let nbrs = g
+                .out_edges(v)
+                .map(|(_, e)| e.dst)
+                .chain(g.in_edges(v).map(|(_, e)| e.src));
+            for u in nbrs {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = k;
+                    stack.push(u);
+                }
+            }
+        }
+        k += 1;
+    }
+    (comp, k)
+}
+
+/// `true` when every node is reachable from every other ignoring direction.
+pub fn is_weakly_connected<N, E>(g: &Digraph<N, E>) -> bool {
+    g.is_empty() || weak_components(g).1 == 1
+}
+
+/// Enumerates *all* simple paths from `src` to `dst` whose interior nodes
+/// satisfy `via` (the constraint-arc checker uses this with "interior
+/// nodes must be communication vertices", Def. 2.4 item 1).
+///
+/// Exponential in the worst case — callers bound the graph size. `limit`
+/// caps the number of returned paths as a safety valve.
+pub fn simple_paths<N, E>(
+    g: &Digraph<N, E>,
+    src: NodeId,
+    dst: NodeId,
+    mut via: impl FnMut(NodeId) -> bool,
+    limit: usize,
+) -> Vec<Path> {
+    let mut result = Vec::new();
+    let mut node_stack = vec![src];
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut on_path = vec![false; g.node_count()];
+    on_path[src.index()] = true;
+    // Iterator stack: index into the out-edge list of each node on the path.
+    let mut iter_stack = vec![0usize];
+    while !node_stack.is_empty() {
+        if result.len() >= limit {
+            break;
+        }
+        let cur = *node_stack.last().expect("non-empty stack");
+        let i = *iter_stack.last().expect("non-empty stack");
+        let out: Vec<EdgeId> = g.out_edges(cur).map(|(id, _)| id).collect();
+        if i >= out.len() {
+            node_stack.pop();
+            iter_stack.pop();
+            on_path[cur.index()] = false;
+            if !node_stack.is_empty() {
+                edge_stack.pop();
+                *iter_stack.last_mut().expect("non-empty stack") += 1;
+            }
+            continue;
+        }
+        let eid = out[i];
+        let next = g.edge(eid).dst;
+        if next == dst {
+            let mut nodes = node_stack.clone();
+            nodes.push(dst);
+            let mut edges = edge_stack.clone();
+            edges.push(eid);
+            result.push(Path {
+                nodes,
+                edges,
+                cost: 0.0,
+            });
+            *iter_stack.last_mut().expect("non-empty stack") += 1;
+            continue;
+        }
+        if !on_path[next.index()] && via(next) {
+            on_path[next.index()] = true;
+            node_stack.push(next);
+            edge_stack.push(eid);
+            iter_stack.push(0);
+        } else {
+            *iter_stack.last_mut().expect("non-empty stack") += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (Digraph<(), f64>, Vec<NodeId>) {
+        let mut g = Digraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.0);
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_visits_reachable_only() {
+        let (mut g, ids) = chain(4);
+        let island = g.add_node(());
+        let order = bfs(&g, ids[0]);
+        assert_eq!(order.len(), 4);
+        assert!(!order.contains(&island));
+    }
+
+    #[test]
+    fn dfs_preorder_on_tree() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let r = g.add_node(());
+        let l1 = g.add_node(());
+        let l2 = g.add_node(());
+        let l1a = g.add_node(());
+        g.add_edge(r, l1, ());
+        g.add_edge(r, l2, ());
+        g.add_edge(l1, l1a, ());
+        assert_eq!(dfs(&g, r), vec![r, l1, l1a, l2]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_route() {
+        let mut g: Digraph<(), f64> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, c, 10.0);
+        g.add_edge(a, b, 3.0);
+        g.add_edge(b, c, 3.0);
+        let p = dijkstra(&g, a, c, |_, e| e.data).unwrap();
+        assert_eq!(p.cost, 6.0);
+        assert_eq!(p.nodes, vec![a, b, c]);
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let (mut g, ids) = chain(2);
+        let island = g.add_node(());
+        assert!(dijkstra(&g, ids[0], island, |_, e| e.data).is_none());
+    }
+
+    #[test]
+    fn dijkstra_src_equals_dst() {
+        let (g, ids) = chain(3);
+        let p = dijkstra(&g, ids[1], ids[1], |_, e| e.data).unwrap();
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(p.nodes, vec![ids[1]]);
+        assert!(p.edges.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative edge cost")]
+    fn dijkstra_rejects_negative_costs() {
+        let (g, ids) = chain(3);
+        let _ = dijkstra(&g, ids[0], ids[2], |_, _| -1.0);
+    }
+
+    #[test]
+    fn topo_sort_dag_and_cycle() {
+        let (mut g, ids) = chain(5);
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order, ids);
+        g.add_edge(ids[4], ids[0], 0.0);
+        assert!(topo_sort(&g).is_none());
+    }
+
+    #[test]
+    fn weak_components_counts_islands() {
+        let (mut g, _) = chain(3);
+        let x = g.add_node(());
+        let y = g.add_node(());
+        g.add_edge(y, x, 0.0); // direction must not matter
+        let (comp, k) = weak_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[x.index()], comp[y.index()]);
+    }
+
+    #[test]
+    fn weakly_connected_trivial_cases() {
+        let g: Digraph<(), ()> = Digraph::new();
+        assert!(is_weakly_connected(&g));
+        let (g, _) = chain(4);
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn simple_paths_diamond() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let s = g.add_node(());
+        let m1 = g.add_node(());
+        let m2 = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, m1, ());
+        g.add_edge(s, m2, ());
+        g.add_edge(m1, t, ());
+        g.add_edge(m2, t, ());
+        g.add_edge(s, t, ());
+        let paths = simple_paths(&g, s, t, |_| true, 100);
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert_eq!(p.nodes.first(), Some(&s));
+            assert_eq!(p.nodes.last(), Some(&t));
+            assert_eq!(p.edges.len(), p.nodes.len() - 1);
+        }
+    }
+
+    #[test]
+    fn simple_paths_via_filter_blocks_interior() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let s = g.add_node(());
+        let blocked = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, blocked, ());
+        g.add_edge(blocked, t, ());
+        let all = simple_paths(&g, s, t, |_| true, 10);
+        assert_eq!(all.len(), 1);
+        let none = simple_paths(&g, s, t, |n| n != blocked, 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn simple_paths_respects_limit() {
+        // Complete bipartite-ish blowup: s -> xi -> t for i in 0..6.
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        for _ in 0..6 {
+            let x = g.add_node(());
+            g.add_edge(s, x, ());
+            g.add_edge(x, t, ());
+        }
+        let paths = simple_paths(&g, s, t, |_| true, 3);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn simple_paths_excludes_non_simple() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, ());
+        g.add_edge(a, a, ()); // self-loop must be ignored
+        g.add_edge(a, t, ());
+        let paths = simple_paths(&g, s, t, |_| true, 10);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![s, a, t]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz DOT export for visual inspection of constraint and
+//! implementation graphs.
+
+use crate::Digraph;
+use std::fmt::Write as _;
+
+/// Renders `g` in Graphviz DOT syntax using caller-supplied labellers.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_graph::{Digraph, dot};
+///
+/// let mut g: Digraph<&str, f64> = Digraph::new();
+/// let a = g.add_node("src");
+/// let b = g.add_node("dst");
+/// g.add_edge(a, b, 1.5);
+/// let out = dot::to_dot(&g, "demo", |n| n.to_string(), |e| format!("{e:.1}"));
+/// assert!(out.contains("digraph demo"));
+/// assert!(out.contains("\"src\""));
+/// assert!(out.contains("1.5"));
+/// ```
+pub fn to_dot<N, E>(
+    g: &Digraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(&N) -> String,
+    mut edge_label: impl FnMut(&E) -> String,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (id, n) in g.nodes() {
+        let _ = writeln!(s, "  {} [label=\"{}\"];", id.0, escape(&node_label(n)));
+    }
+    for (_, e) in g.edges() {
+        let _ = writeln!(
+            s,
+            "  {} -> {} [label=\"{}\"];",
+            e.src.0,
+            e.dst.0,
+            escape(&edge_label(&e.data))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_renders() {
+        let g: Digraph<(), ()> = Digraph::new();
+        let out = to_dot(&g, "g", |_| String::new(), |_| String::new());
+        assert!(out.starts_with("digraph g {"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: Digraph<&str, ()> = Digraph::new();
+        g.add_node("he said \"hi\"");
+        let out = to_dot(&g, "g", |n| n.to_string(), |_| String::new());
+        assert!(out.contains("\\\"hi\\\""));
+    }
+
+    #[test]
+    fn edges_reference_node_indices() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(b, a, ());
+        let out = to_dot(&g, "g", |_| "x".into(), |_| "y".into());
+        assert!(out.contains("1 -> 0"));
+    }
+}

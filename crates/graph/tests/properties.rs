@@ -1,0 +1,121 @@
+#![allow(clippy::needless_range_loop)] // oracle tables are naturally indexed
+
+//! Property tests for the graph substrate: algorithm results checked
+//! against brute-force oracles on random graphs.
+
+use ccs_graph::{algo, Digraph, NodeId};
+use proptest::prelude::*;
+
+/// A random digraph as (node count, edge list with weights).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, f64)]) -> Digraph<(), f64> {
+    let mut g = Digraph::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for &(s, d, w) in edges {
+        g.add_edge(ids[s], ids[d], w);
+    }
+    g
+}
+
+/// Floyd–Warshall oracle for all-pairs shortest distances.
+fn floyd_warshall(n: usize, edges: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for &(s, t, w) in edges {
+        if w < d[s][t] {
+            d[s][t] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dijkstra agrees with Floyd–Warshall on every pair.
+    #[test]
+    fn dijkstra_matches_floyd_warshall((n, edges) in graph_strategy()) {
+        let g = build(n, &edges);
+        let oracle = floyd_warshall(n, &edges);
+        for s in 0..n {
+            for t in 0..n {
+                let got = algo::dijkstra(&g, NodeId(s as u32), NodeId(t as u32), |_, e| e.data);
+                match got {
+                    Some(p) => {
+                        prop_assert!((p.cost - oracle[s][t]).abs() < 1e-9,
+                            "{}->{}: {} vs {}", s, t, p.cost, oracle[s][t]);
+                        // The returned path actually exists and sums up.
+                        let sum: f64 = p.edges.iter().map(|&e| g.edge(e).data).sum();
+                        prop_assert!((sum - p.cost).abs() < 1e-9);
+                    }
+                    None => prop_assert!(oracle[s][t].is_infinite(),
+                        "{}->{} should be reachable", s, t),
+                }
+            }
+        }
+    }
+
+    /// BFS reaches exactly the nodes with finite oracle distance.
+    #[test]
+    fn bfs_reachability_matches_oracle((n, edges) in graph_strategy()) {
+        let g = build(n, &edges);
+        let oracle = floyd_warshall(n, &edges);
+        for s in 0..n {
+            let reached: std::collections::HashSet<u32> =
+                algo::bfs(&g, NodeId(s as u32)).into_iter().map(|v| v.0).collect();
+            for (t, dist) in oracle[s].iter().enumerate() {
+                prop_assert_eq!(reached.contains(&(t as u32)), dist.is_finite());
+            }
+        }
+    }
+
+    /// A returned topological order respects every edge; `None` implies a
+    /// cycle reachable from some node.
+    #[test]
+    fn topo_sort_orders_are_valid((n, edges) in graph_strategy()) {
+        let g = build(n, &edges);
+        if let Some(order) = algo::topo_sort(&g) {
+            let pos: std::collections::HashMap<u32, usize> =
+                order.iter().enumerate().map(|(i, v)| (v.0, i)).collect();
+            for (_, e) in g.edges() {
+                prop_assert!(pos[&e.src.0] < pos[&e.dst.0]);
+            }
+        } else {
+            // There must be a cycle: some edge (s, t) where t reaches s.
+            let oracle = floyd_warshall(n, &edges);
+            let has_cycle = edges.iter().any(|&(s, t, _)| oracle[t][s].is_finite());
+            prop_assert!(has_cycle, "topo_sort returned None on an acyclic graph");
+        }
+    }
+
+    /// Weak components partition the nodes and respect edges.
+    #[test]
+    fn weak_components_are_consistent((n, edges) in graph_strategy()) {
+        let g = build(n, &edges);
+        let (comp, k) = algo::weak_components(&g);
+        prop_assert_eq!(comp.len(), n);
+        for &c in &comp {
+            prop_assert!(c < k);
+        }
+        for &(s, t, _) in &edges {
+            prop_assert_eq!(comp[s], comp[t], "edge endpoints in different components");
+        }
+    }
+}

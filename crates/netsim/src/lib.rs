@@ -1,0 +1,371 @@
+//! A flow-level network simulator for synthesized architectures.
+//!
+//! Synthesis proves constraints are satisfiable on paper; this crate
+//! *exercises* the architecture. Each constraint channel is injected as a
+//! fluid flow along its implementation route; lane-group capacities are
+//! shared proportionally among the flows crossing them; the simulator
+//! reports per-channel delivered bandwidth, hop counts and propagation
+//! latencies, plus per-group utilization. Failure injection removes lane
+//! groups and shows which channels black out — the style of dynamic
+//! validation the paper's related work (Knudsen/Madsen, Lahiri et al.)
+//! uses for communication architectures.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccs_core::prelude::*;
+//! use ccs_netsim::NetSim;
+//!
+//! let mut b = ConstraintGraph::builder(Norm::Euclidean);
+//! let s = b.add_port("s", Point2::new(0.0, 0.0));
+//! let t = b.add_port("t", Point2::new(10.0, 0.0));
+//! b.add_channel(s, t, Bandwidth::from_mbps(8.0))?;
+//! let g = b.build()?;
+//! let lib = ccs_core::library::wan_paper_library();
+//! let arch = Synthesizer::new(&g, &lib).run()?.implementation;
+//!
+//! let report = NetSim::new(&g, &arch).run();
+//! assert!(report.all_satisfied());
+//! assert_eq!(report.flows[0].hops, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ccs_core::constraint::{ArcId, ConstraintGraph};
+use ccs_core::implementation::{EdgeKind, ImplementationGraph};
+use ccs_core::units::Bandwidth;
+use std::collections::{HashMap, HashSet};
+
+pub mod packet;
+
+/// Propagation speed assumed for latency estimates, in coordinate units
+/// per microsecond (2e2 km/ms ≈ fiber; the absolute number only matters
+/// for relative comparisons).
+pub const UNITS_PER_US: f64 = 0.2;
+
+/// Per-hop processing delay charged at every repeater/mux/demux, µs.
+pub const HOP_DELAY_US: f64 = 0.05;
+
+/// The simulated state of one constraint channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// The channel.
+    pub arc: ArcId,
+    /// Its bandwidth requirement.
+    pub demand: Bandwidth,
+    /// Bandwidth actually delivered after capacity sharing (equals the
+    /// demand when the architecture is correct and unfailed).
+    pub delivered: Bandwidth,
+    /// Link hops along the route (attachments excluded).
+    pub hops: usize,
+    /// Propagation plus hop latency, µs.
+    pub latency_us: f64,
+    /// `true` when the route was severed by a failure.
+    pub blackout: bool,
+}
+
+impl FlowReport {
+    /// Whether the delivered bandwidth meets the demand.
+    pub fn satisfied(&self) -> bool {
+        !self.blackout && self.delivered.as_mbps() >= self.demand.as_mbps() * (1.0 - 1e-9)
+    }
+}
+
+/// Utilization of one lane group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupLoad {
+    /// The lane group id.
+    pub group: u32,
+    /// Total demand routed across the group.
+    pub demand: Bandwidth,
+    /// Aggregate capacity (lanes × link bandwidth).
+    pub capacity: Bandwidth,
+}
+
+impl GroupLoad {
+    /// `demand / capacity` (∞ when capacity is zero).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity.as_mbps() <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.demand.as_mbps() / self.capacity.as_mbps()
+        }
+    }
+}
+
+/// The full simulation output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-channel results, in arc order.
+    pub flows: Vec<FlowReport>,
+    /// Per-lane-group loads, sorted by group id.
+    pub groups: Vec<GroupLoad>,
+}
+
+impl SimReport {
+    /// `true` when every channel receives its full demand.
+    pub fn all_satisfied(&self) -> bool {
+        self.flows.iter().all(FlowReport::satisfied)
+    }
+
+    /// The highest lane-group utilization (0 when there are no groups).
+    pub fn max_utilization(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(GroupLoad::utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Channels that failed to receive their demand.
+    pub fn unsatisfied(&self) -> impl Iterator<Item = &FlowReport> + '_ {
+        self.flows.iter().filter(|f| !f.satisfied())
+    }
+}
+
+/// The simulator: borrow a constraint graph and its architecture,
+/// optionally fail lane groups, then [`run`](Self::run).
+#[derive(Debug, Clone)]
+pub struct NetSim<'a> {
+    graph: &'a ConstraintGraph,
+    imp: &'a ImplementationGraph,
+    failed: HashSet<u32>,
+}
+
+impl<'a> NetSim<'a> {
+    /// Creates a simulator over `graph` and its implementation `imp`.
+    pub fn new(graph: &'a ConstraintGraph, imp: &'a ImplementationGraph) -> Self {
+        NetSim {
+            graph,
+            imp,
+            failed: HashSet::new(),
+        }
+    }
+
+    /// Marks a lane group as failed (all its lanes go down).
+    #[must_use]
+    pub fn with_failed_group(mut self, group: u32) -> Self {
+        self.failed.insert(group);
+        self
+    }
+
+    /// Runs the fluid simulation.
+    pub fn run(&self) -> SimReport {
+        // Map each consecutive route pair to the lane group connecting it.
+        let mut arc_groups: Vec<Vec<u32>> = Vec::with_capacity(self.graph.arc_count());
+        let mut arc_lengths: Vec<f64> = Vec::with_capacity(self.graph.arc_count());
+        for (aid, _) in self.graph.arcs() {
+            let route = self.imp.route(aid);
+            let mut groups = Vec::new();
+            let mut length = 0.0;
+            for w in route.windows(2) {
+                // Any edge between the pair; all parallel lanes share the
+                // group and capacity, so one suffices.
+                let edge = self
+                    .imp
+                    .graph()
+                    .out_edges(w[0])
+                    .find(|(_, e)| e.dst == w[1]);
+                if let Some((_, e)) = edge {
+                    if let EdgeKind::Link(_) = e.data.kind {
+                        groups.push(e.data.lane_group);
+                        length += e.data.length;
+                    }
+                }
+            }
+            groups.dedup();
+            arc_groups.push(groups);
+            arc_lengths.push(length);
+        }
+
+        // Aggregate demand and capacity per group.
+        let mut demand: HashMap<u32, f64> = HashMap::new();
+        let mut capacity: HashMap<u32, f64> = HashMap::new();
+        for (i, (_, arc)) in self.graph.arcs().enumerate() {
+            for &g in &arc_groups[i] {
+                *demand.entry(g).or_insert(0.0) += arc.bandwidth.as_mbps();
+            }
+        }
+        for g in 0..self.imp.group_count() {
+            if let Some((_, e)) = self.imp.group_edges(g).next() {
+                let cap = if self.failed.contains(&g) {
+                    0.0
+                } else {
+                    e.data.capacity.as_mbps() * e.data.lanes as f64
+                };
+                capacity.insert(g, cap);
+            }
+        }
+
+        // Proportional sharing: each flow gets min over its groups of
+        // its fair share.
+        let mut flows = Vec::with_capacity(self.graph.arc_count());
+        for (i, (aid, arc)) in self.graph.arcs().enumerate() {
+            let mut delivered = arc.bandwidth.as_mbps();
+            let mut blackout = arc_groups[i].is_empty() && self.imp.route(aid).len() < 2;
+            for &g in &arc_groups[i] {
+                let cap = capacity.get(&g).copied().unwrap_or(0.0);
+                let dem = demand.get(&g).copied().unwrap_or(0.0);
+                if cap <= 0.0 {
+                    delivered = 0.0;
+                    blackout = blackout || self.failed.contains(&g);
+                } else if dem > cap {
+                    delivered = delivered.min(arc.bandwidth.as_mbps() * cap / dem);
+                }
+            }
+            // Hops per group = edges / lanes (parallel lanes replicate
+            // the same chain).
+            let hops = arc_groups[i]
+                .iter()
+                .map(|&g| {
+                    let edges = self.imp.group_edges(g).count();
+                    let lanes = self
+                        .imp
+                        .group_edges(g)
+                        .next()
+                        .map_or(1, |(_, e)| e.data.lanes.max(1) as usize);
+                    edges / lanes
+                })
+                .sum();
+            let latency_us = arc_lengths[i] / UNITS_PER_US + hops as f64 * HOP_DELAY_US;
+            flows.push(FlowReport {
+                arc: aid,
+                demand: arc.bandwidth,
+                delivered: Bandwidth::from_mbps(delivered.max(0.0)),
+                hops,
+                latency_us,
+                blackout,
+            });
+        }
+
+        let mut groups: Vec<GroupLoad> = capacity
+            .iter()
+            .map(|(&g, &cap)| GroupLoad {
+                group: g,
+                demand: Bandwidth::from_mbps(demand.get(&g).copied().unwrap_or(0.0)),
+                capacity: Bandwidth::from_mbps(cap),
+            })
+            .collect();
+        groups.sort_by_key(|g| g.group);
+        SimReport { flows, groups }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::library::wan_paper_library;
+    use ccs_core::synthesis::Synthesizer;
+    use ccs_geom::{Norm, Point2};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn merged_instance() -> (ConstraintGraph, ImplementationGraph) {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        b.add_channel(a, d, mbps(10.0)).unwrap();
+        b.add_channel(c, d, mbps(10.0)).unwrap();
+        b.add_channel(e, d, mbps(10.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        (g, imp)
+    }
+
+    #[test]
+    fn synthesized_architecture_delivers_all_demands() {
+        let (g, imp) = merged_instance();
+        let report = NetSim::new(&g, &imp).run();
+        assert!(report.all_satisfied(), "{report:#?}");
+        assert!(report.max_utilization() <= 1.0 + 1e-9);
+        assert_eq!(report.flows.len(), 3);
+        for f in &report.flows {
+            assert_eq!(f.delivered, f.demand);
+            assert!(f.latency_us > 0.0);
+            assert!(f.hops >= 1);
+        }
+    }
+
+    #[test]
+    fn trunk_failure_blacks_out_merged_channels() {
+        let (g, imp) = merged_instance();
+        // Find the trunk group: the one whose demand is the 30 Mb/s sum.
+        let base = NetSim::new(&g, &imp).run();
+        let trunk = base
+            .groups
+            .iter()
+            .find(|gl| (gl.demand.as_mbps() - 30.0).abs() < 1e-6)
+            .expect("trunk group exists")
+            .group;
+        let failed = NetSim::new(&g, &imp).with_failed_group(trunk).run();
+        assert!(!failed.all_satisfied());
+        let dead = failed.unsatisfied().count();
+        assert_eq!(dead, 3, "all merged channels lose the trunk");
+        for f in failed.flows.iter() {
+            assert!(f.blackout);
+            assert!(f.delivered.is_zero());
+        }
+    }
+
+    #[test]
+    fn branch_failure_is_contained() {
+        let (g, imp) = merged_instance();
+        let base = NetSim::new(&g, &imp).run();
+        // A branch group carries exactly one 10 Mb/s flow.
+        let branch = base
+            .groups
+            .iter()
+            .find(|gl| (gl.demand.as_mbps() - 10.0).abs() < 1e-6)
+            .expect("branch group exists")
+            .group;
+        let failed = NetSim::new(&g, &imp).with_failed_group(branch).run();
+        assert_eq!(failed.unsatisfied().count(), 1);
+    }
+
+    #[test]
+    fn overload_shares_proportionally() {
+        // Two flows forced over one thin link by hand-constructing the
+        // demand: verify fair sharing math via a hot verification graph.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        b.add_channel(s, t, mbps(8.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+
+        // Verify against a hotter constraint graph (12 > 11 Mb/s radio).
+        let mut b2 = ConstraintGraph::builder(Norm::Euclidean);
+        let s2 = b2.add_port("s", Point2::new(0.0, 0.0));
+        let t2 = b2.add_port("t", Point2::new(10.0, 0.0));
+        b2.add_channel(s2, t2, mbps(22.0)).unwrap();
+        let hot = b2.build().unwrap();
+        let report = NetSim::new(&hot, &imp).run();
+        assert!(!report.all_satisfied());
+        let f = &report.flows[0];
+        assert!((f.delivered.as_mbps() - 11.0).abs() < 1e-6);
+        assert!(report.max_utilization() > 1.0);
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        let u = b.add_port("u", Point2::new(0.0, 100.0));
+        let v = b.add_port("v", Point2::new(0.0, 200.0));
+        b.add_channel(s, t, mbps(1.0)).unwrap();
+        b.add_channel(u, v, mbps(1.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        let report = NetSim::new(&g, &imp).run();
+        assert!(report.flows[1].latency_us > report.flows[0].latency_us * 5.0);
+    }
+}

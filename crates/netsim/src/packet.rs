@@ -1,0 +1,447 @@
+//! Packet-level discrete-event simulation.
+//!
+//! The fluid model in the crate root answers "does the capacity add up?";
+//! this module answers "what do packets actually experience?". Every
+//! channel injects fixed-size packets at its demanded rate; each lane
+//! group serves packets FIFO per lane at the link rate; packets queue
+//! when lanes are busy. The report carries per-channel latency statistics
+//! and delivered throughput, so contention on a merged trunk becomes
+//! visible even when capacities nominally suffice.
+//!
+//! Unit convenience: 1 Mb/s = 1 bit/µs, so a `packet_bits`-sized packet
+//! takes `packet_bits / rate_mbps` µs of service on a lane.
+
+use crate::{HOP_DELAY_US, UNITS_PER_US};
+use ccs_core::constraint::{ArcId, ConstraintGraph};
+use ccs_core::implementation::{EdgeKind, ImplementationGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration for [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketSimConfig {
+    /// Packet size in bits (default: 1 KiB packets).
+    pub packet_bits: f64,
+    /// Injection window, µs: each channel injects packets for this long.
+    pub horizon_us: f64,
+    /// Seed for the per-channel injection phase jitter.
+    pub seed: u64,
+    /// Lane groups to fail: packets reaching them are dropped.
+    pub failed_groups: Vec<u32>,
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        PacketSimConfig {
+            packet_bits: 8192.0,
+            horizon_us: 20_000.0,
+            seed: 1,
+            failed_groups: Vec::new(),
+        }
+    }
+}
+
+/// Per-channel packet statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPackets {
+    /// The channel.
+    pub arc: ArcId,
+    /// Packets injected during the horizon.
+    pub offered: u64,
+    /// Packets that completed (all complete eventually; the simulator
+    /// drains queues past the horizon).
+    pub delivered: u64,
+    /// Mean end-to-end latency, µs.
+    pub avg_latency_us: f64,
+    /// Worst packet latency, µs.
+    pub max_latency_us: f64,
+    /// Delivered goodput over the horizon, Mb/s.
+    pub throughput_mbps: f64,
+}
+
+/// The simulation output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketSimReport {
+    /// Per-channel results, in arc order.
+    pub channels: Vec<ChannelPackets>,
+}
+
+impl PacketSimReport {
+    /// `true` when every channel's goodput reaches its demand (within
+    /// one packet of rounding).
+    pub fn meets_demands(&self, graph: &ConstraintGraph, cfg: &PacketSimConfig) -> bool {
+        self.channels.iter().all(|c| {
+            let demand = graph.arc(c.arc).bandwidth.as_mbps();
+            let slack = cfg.packet_bits / cfg.horizon_us; // one packet
+            c.throughput_mbps >= demand - slack - 1e-9
+        })
+    }
+
+    /// Highest average latency across channels, µs.
+    pub fn worst_avg_latency_us(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(|c| c.avg_latency_us)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One in-flight packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Packet {
+    channel: usize,
+    injected_us: f64,
+    /// Index into the channel's group sequence.
+    stage: usize,
+}
+
+/// A lane group's servers: the next-free time of each lane.
+#[derive(Debug, Clone)]
+struct GroupState {
+    lane_free_us: Vec<f64>,
+    service_us: f64,
+    prop_us: f64,
+}
+
+/// Runs the packet simulation of `graph`'s channels over `imp`.
+///
+/// # Panics
+///
+/// Panics if the configuration would inject more than two million packets
+/// (raise the packet size or lower the horizon instead).
+pub fn simulate(
+    graph: &ConstraintGraph,
+    imp: &ImplementationGraph,
+    cfg: &PacketSimConfig,
+) -> PacketSimReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Per-channel group sequence (from the recorded routes).
+    let mut routes: Vec<Vec<u32>> = Vec::with_capacity(graph.arc_count());
+    for (aid, _) in graph.arcs() {
+        let route = imp.route(aid);
+        let mut groups = Vec::new();
+        for w in route.windows(2) {
+            if let Some((_, e)) = imp.graph().out_edges(w[0]).find(|(_, e)| e.dst == w[1]) {
+                if let EdgeKind::Link(_) = e.data.kind {
+                    groups.push(e.data.lane_group);
+                }
+            }
+        }
+        groups.dedup();
+        routes.push(groups);
+    }
+
+    // Group servers: lanes, per-packet service time, propagation delay of
+    // the whole group (hops × hop length + hop processing).
+    // Failed groups get no server, so packets reaching them are dropped.
+    let mut groups: HashMap<u32, GroupState> = HashMap::new();
+    for g in 0..imp.group_count() {
+        if cfg.failed_groups.contains(&g) {
+            continue;
+        }
+        let edges: Vec<_> = imp.group_edges(g).collect();
+        let Some((_, first)) = edges.first() else {
+            continue;
+        };
+        let lanes = first.data.lanes.max(1) as usize;
+        let hops = edges.len() / lanes;
+        let length: f64 = edges.iter().take(hops).map(|(_, e)| e.data.length).sum();
+        let service_us = cfg.packet_bits / first.data.capacity.as_mbps().max(1e-9);
+        let prop_us = length / UNITS_PER_US + hops as f64 * HOP_DELAY_US;
+        groups.insert(
+            g,
+            GroupState {
+                lane_free_us: vec![0.0; lanes],
+                service_us,
+                prop_us,
+            },
+        );
+    }
+
+    // Inject packets: deterministic inter-arrival with a random phase.
+    #[derive(PartialEq)]
+    struct Ev(f64, u64, Packet);
+    impl Eq for Ev {}
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .total_cmp(&other.0)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut offered = vec![0u64; graph.arc_count()];
+    let mut total_packets = 0u64;
+    for (i, (_, arc)) in graph.arcs().enumerate() {
+        let rate = arc.bandwidth.as_mbps(); // bits per µs
+        let interval = cfg.packet_bits / rate;
+        let phase: f64 = rng.random_range(0.0..interval);
+        // A phase-independent count keeps offered load (and therefore
+        // throughput figures) deterministic across seeds.
+        let count = (cfg.horizon_us / interval).floor() as u64;
+        for k in 0..count {
+            let t = phase + k as f64 * interval;
+            heap.push(Reverse(Ev(
+                t,
+                seq,
+                Packet {
+                    channel: i,
+                    injected_us: t,
+                    stage: 0,
+                },
+            )));
+            seq += 1;
+            offered[i] += 1;
+            total_packets += 1;
+            assert!(
+                total_packets <= 2_000_000,
+                "packet budget exceeded; raise packet_bits or lower horizon_us"
+            );
+        }
+    }
+
+    // Drain events.
+    let mut delivered = vec![0u64; graph.arc_count()];
+    let mut lat_sum = vec![0.0f64; graph.arc_count()];
+    let mut lat_max = vec![0.0f64; graph.arc_count()];
+    while let Some(Reverse(Ev(t, _, p))) = heap.pop() {
+        let route = &routes[p.channel];
+        if p.stage >= route.len() {
+            let latency = t - p.injected_us;
+            delivered[p.channel] += 1;
+            lat_sum[p.channel] += latency;
+            lat_max[p.channel] = lat_max[p.channel].max(latency);
+            continue;
+        }
+        let g = route[p.stage];
+        let Some(state) = groups.get_mut(&g) else {
+            continue; // failed/nonexistent group: packet lost
+        };
+        // Earliest-free lane, FIFO service.
+        let (lane, free) = state
+            .lane_free_us
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &f)| (i, f))
+            .expect("at least one lane");
+        let start = t.max(free);
+        let done = start + state.service_us;
+        state.lane_free_us[lane] = done;
+        let arrive_next = done + state.prop_us;
+        heap.push(Reverse(Ev(
+            arrive_next,
+            seq,
+            Packet {
+                stage: p.stage + 1,
+                ..p
+            },
+        )));
+        seq += 1;
+    }
+
+    let channels = graph
+        .arcs()
+        .enumerate()
+        .map(|(i, (aid, _))| ChannelPackets {
+            arc: aid,
+            offered: offered[i],
+            delivered: delivered[i],
+            avg_latency_us: if delivered[i] > 0 {
+                lat_sum[i] / delivered[i] as f64
+            } else {
+                f64::INFINITY
+            },
+            max_latency_us: lat_max[i],
+            throughput_mbps: delivered[i] as f64 * cfg.packet_bits / cfg.horizon_us,
+        })
+        .collect();
+    PacketSimReport { channels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::library::wan_paper_library;
+    use ccs_core::synthesis::Synthesizer;
+    use ccs_core::units::Bandwidth;
+    use ccs_geom::{Norm, Point2};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn single_channel(rate: f64) -> (ConstraintGraph, ImplementationGraph) {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        b.add_channel(s, t, mbps(rate)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        (g, imp)
+    }
+
+    #[test]
+    fn underloaded_channel_meets_demand_with_flat_latency() {
+        let (g, imp) = single_channel(5.0);
+        let cfg = PacketSimConfig::default();
+        let r = simulate(&g, &imp, &cfg);
+        assert!(r.meets_demands(&g, &cfg), "{r:#?}");
+        let c = &r.channels[0];
+        assert_eq!(c.offered, c.delivered);
+        // 5 Mb/s offered on an 11 Mb/s radio: no queueing, so every
+        // packet sees service + propagation only.
+        let service = cfg.packet_bits / 11.0;
+        let prop = 10.0 / crate::UNITS_PER_US + crate::HOP_DELAY_US;
+        assert!((c.avg_latency_us - (service + prop)).abs() < 1.0);
+        assert!((c.max_latency_us - c.avg_latency_us).abs() < 1.0);
+    }
+
+    #[test]
+    fn near_saturation_queues_but_still_delivers() {
+        let (g, imp) = single_channel(10.9); // 99% of the radio link
+        let cfg = PacketSimConfig::default();
+        let r = simulate(&g, &imp, &cfg);
+        let c = &r.channels[0];
+        assert_eq!(c.offered, c.delivered);
+        // Latency grows beyond the unloaded figure but stays finite.
+        let unloaded = cfg.packet_bits / 11.0 + 10.0 / crate::UNITS_PER_US;
+        assert!(c.avg_latency_us >= unloaded - 1.0);
+    }
+
+    #[test]
+    fn merged_trunk_carries_all_three_channels() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        b.add_channel(a, d, mbps(10.0)).unwrap();
+        b.add_channel(c, d, mbps(10.0)).unwrap();
+        b.add_channel(e, d, mbps(10.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        let cfg = PacketSimConfig::default();
+        let r = simulate(&g, &imp, &cfg);
+        assert!(r.meets_demands(&g, &cfg), "{r:#?}");
+        // Latency ≈ branch radio serialization (8192 bits / 11 Mb/s ≈
+        // 745 µs) + ~105 km propagation (~525 µs) + trunk service; the
+        // trunk itself (30 of 1000 Mb/s) adds almost no queueing.
+        assert!(
+            r.worst_avg_latency_us() < 2000.0,
+            "{}",
+            r.worst_avg_latency_us()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let (g, imp) = single_channel(8.0);
+        let cfg = PacketSimConfig::default();
+        assert_eq!(simulate(&g, &imp, &cfg), simulate(&g, &imp, &cfg));
+        let other = PacketSimConfig {
+            seed: 2,
+            ..PacketSimConfig::default()
+        };
+        // Different phase, same aggregate throughput.
+        let a = simulate(&g, &imp, &cfg);
+        let b = simulate(&g, &imp, &other);
+        assert_eq!(a.channels[0].offered, b.channels[0].offered);
+    }
+
+    #[test]
+    fn duplicated_lanes_share_the_load() {
+        // A 20 Mb/s channel on 11 Mb/s radio lanes: duplication gives two
+        // lanes; packets must use both to meet demand.
+        let (g, imp) = single_channel(20.0);
+        let cfg = PacketSimConfig::default();
+        let r = simulate(&g, &imp, &cfg);
+        assert!(r.meets_demands(&g, &cfg), "{r:#?}");
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use ccs_core::library::wan_paper_library;
+    use ccs_core::synthesis::Synthesizer;
+    use ccs_core::units::Bandwidth;
+    use ccs_geom::{Norm, Point2};
+
+    #[test]
+    fn failed_trunk_drops_merged_packets() {
+        let mut b = ccs_core::constraint::ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        b.add_channel(a, d, Bandwidth::from_mbps(10.0)).unwrap();
+        b.add_channel(c, d, Bandwidth::from_mbps(10.0)).unwrap();
+        b.add_channel(e, d, Bandwidth::from_mbps(10.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+
+        // Identify the trunk as the group with the highest fluid demand.
+        let fluid = crate::NetSim::new(&g, &imp).run();
+        let trunk = fluid
+            .groups
+            .iter()
+            .max_by(|x, y| x.demand.as_mbps().total_cmp(&y.demand.as_mbps()))
+            .unwrap()
+            .group;
+
+        let cfg = PacketSimConfig {
+            failed_groups: vec![trunk],
+            ..PacketSimConfig::default()
+        };
+        let r = simulate(&g, &imp, &cfg);
+        assert!(!r.meets_demands(&g, &cfg));
+        for c in &r.channels {
+            assert_eq!(c.delivered, 0, "trunk failure must black out {:?}", c.arc);
+            assert!(c.offered > 0);
+        }
+    }
+
+    #[test]
+    fn unrelated_failure_leaves_channel_intact() {
+        let mut b = ccs_core::constraint::ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        let u = b.add_port("u", Point2::new(0.0, 50.0));
+        let v = b.add_port("v", Point2::new(10.0, 50.0));
+        b.add_channel(s, t, Bandwidth::from_mbps(5.0)).unwrap();
+        b.add_channel(u, v, Bandwidth::from_mbps(5.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        // Fail the second channel's group only.
+        let fluid = crate::NetSim::new(&g, &imp).run();
+        let victim = fluid.groups.last().unwrap().group;
+        let cfg = PacketSimConfig {
+            failed_groups: vec![victim],
+            ..PacketSimConfig::default()
+        };
+        let r = simulate(&g, &imp, &cfg);
+        let dead: usize = r.channels.iter().filter(|c| c.delivered == 0).count();
+        let alive: usize = r
+            .channels
+            .iter()
+            .filter(|c| c.delivered == c.offered && c.offered > 0)
+            .count();
+        assert_eq!(dead, 1);
+        assert_eq!(alive, 1);
+    }
+}

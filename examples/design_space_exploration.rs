@@ -1,0 +1,87 @@
+//! Design-space exploration: sweep the per-channel bandwidth of the WAN
+//! example and watch the optimal architecture flip between dedicated
+//! radio links and a merged optical trunk — then stress the final
+//! architecture with a trunk failure in the flow simulator.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use ccs::core::constraint::ConstraintGraph;
+use ccs::core::placement::CandidateKind;
+use ccs::core::synthesis::Synthesizer;
+use ccs::gen::wan;
+use ccs::netsim::NetSim;
+use ccs::prelude::*;
+
+/// The WAN instance with every channel scaled to `mbps`.
+fn instance_at(mbps: f64) -> ConstraintGraph {
+    let mut b = ConstraintGraph::builder(Norm::Euclidean);
+    for (i, &(src, dst)) in wan::ARCS.iter().enumerate() {
+        let out = b.add_port(
+            format!("{}.out{}", wan::NODE_NAMES[src], i),
+            Point2::new(wan::NODES[src].0, wan::NODES[src].1),
+        );
+        let inp = b.add_port(
+            format!("{}.in{}", wan::NODE_NAMES[dst], i),
+            Point2::new(wan::NODES[dst].0, wan::NODES[dst].1),
+        );
+        b.add_channel(out, inp, Bandwidth::from_mbps(mbps))
+            .expect("valid channel");
+    }
+    b.build().expect("valid instance")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = wan::paper_library();
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>10} {:>22}",
+        "Mb/s", "p2p cost", "synth cost", "saving", "largest merge"
+    );
+    for mbps in [1.0, 4.0, 10.0, 11.0, 22.0, 50.0, 200.0, 600.0] {
+        let graph = instance_at(mbps);
+        let result = Synthesizer::new(&graph, &library).run()?;
+        let largest = result
+            .selected
+            .iter()
+            .filter(|c| matches!(c.kind, CandidateKind::Merging { .. }))
+            .map(|c| c.arcs.len())
+            .max()
+            .unwrap_or(1);
+        println!(
+            "{:>10.0} {:>14.0} {:>14.0} {:>9.1}% {:>22}",
+            mbps,
+            result.stats.p2p_cost,
+            result.total_cost(),
+            result.saving_vs_p2p() * 100.0,
+            if largest > 1 {
+                format!("{largest}-way merge")
+            } else {
+                "none (all dedicated)".to_string()
+            }
+        );
+    }
+
+    // Stress the nominal (10 Mb/s) architecture: kill the optical trunk.
+    let graph = instance_at(10.0);
+    let result = Synthesizer::new(&graph, &library).run()?;
+    let sim = NetSim::new(&graph, &result.implementation).run();
+    assert!(sim.all_satisfied());
+    let trunk = sim
+        .groups
+        .iter()
+        .max_by(|a, b| a.demand.as_mbps().total_cmp(&b.demand.as_mbps()))
+        .expect("architecture has links")
+        .group;
+    let failed = NetSim::new(&graph, &result.implementation)
+        .with_failed_group(trunk)
+        .run();
+    println!();
+    println!(
+        "failure injection: killing the busiest lane group blacks out {} of {} channels",
+        failed.unsatisfied().count(),
+        failed.flows.len()
+    );
+    Ok(())
+}

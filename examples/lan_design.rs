@@ -1,0 +1,70 @@
+//! LAN design: fiber, wireless, or a mix? (The paper's introduction
+//! motivates exactly this trade-off.)
+//!
+//! A campus with two buildings: six clients in building A, a server room
+//! in building B 800 m away. Wireless links are cheap to deploy but slow;
+//! fiber is fast but trenching costs dominate. The synthesizer decides
+//! per channel — and discovers that the six client uplinks should share
+//! one trenched fiber through a mux near building A.
+//!
+//! ```text
+//! cargo run --release --example lan_design
+//! ```
+
+use ccs::core::model::SystemSpec;
+use ccs::core::placement::CandidateKind;
+use ccs::core::report;
+use ccs::core::synthesis::Synthesizer;
+use ccs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Coordinates in metres.
+    let mut spec = SystemSpec::new(Norm::Euclidean);
+    let server = spec.add_module("server", Point2::new(800.0, 0.0));
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            spec.add_module(
+                format!("client{i}"),
+                Point2::new((i % 3) as f64 * 15.0, (i / 3) as f64 * 10.0),
+            )
+        })
+        .collect();
+    for &c in &clients {
+        spec.connect(c, server, Bandwidth::from_mbps(40.0)); // uplink
+    }
+    // One shared downlink broadcast channel, modelled to the first client.
+    spec.connect(server, clients[0], Bandwidth::from_mbps(90.0));
+    let graph = spec.to_constraint_graph()?;
+
+    // Library: 54 Mb/s wireless at $0.5/m (masts amortized per distance),
+    // 1 Gb/s fiber at $1.2/m (trenching), $100 switches.
+    let library = Library::builder()
+        .link(Link::per_length(
+            "wireless",
+            Bandwidth::from_mbps(54.0),
+            0.5,
+        ))
+        .link(Link::per_length("fiber", Bandwidth::from_gbps(1.0), 1.2))
+        .node(NodeKind::Repeater, 50.0)
+        .node(NodeKind::Mux, 100.0)
+        .node(NodeKind::Demux, 100.0)
+        .build()?;
+
+    let result = Synthesizer::new(&graph, &library).run()?;
+    println!("{}", report::arcs_table(&graph));
+    println!("{}", report::selection_summary(&result, &graph, &library));
+
+    let merged = result
+        .selected
+        .iter()
+        .filter(|c| matches!(c.kind, CandidateKind::Merging { .. }))
+        .count();
+    println!(
+        "merged groups: {merged}; savings vs all-point-to-point: {:.1}%",
+        result.saving_vs_p2p() * 100.0
+    );
+
+    let violations = ccs::core::check::verify(&graph, &library, &result.implementation);
+    assert!(violations.is_empty(), "verifier found {violations:?}");
+    Ok(())
+}

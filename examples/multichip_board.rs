@@ -1,0 +1,82 @@
+//! Multi-chip board-level synthesis (the third system class named in the
+//! paper's introduction, next to Systems-on-Chip and LANs).
+//!
+//! Four chips on a 30 cm board. Plain PCB traces are cheap but lose
+//! signal integrity beyond 8 cm, so longer channels need re-drivers
+//! (repeaters) — or a pricier SerDes link that spans the whole board in
+//! one hop. At these prices segmented traces win everywhere (seven
+//! re-drivers); raising the re-driver price or pinning hop bounds (see
+//! `latency_constrained`) flips the long channels onto SerDes.
+//!
+//! ```text
+//! cargo run --release --example multichip_board
+//! ```
+
+use ccs::core::library::SegmentationPolicy;
+use ccs::core::report;
+use ccs::core::synthesis::Synthesizer;
+use ccs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Chip placement in centimetres on a 30×10 cm board.
+    let mut b = ConstraintGraph::builder(Norm::Manhattan);
+    let cpu_tx = b.add_port("cpu.tx", Point2::new(2.0, 5.0));
+    let cpu_rx = b.add_port("cpu.rx", Point2::new(2.0, 5.0));
+    let fpga_tx = b.add_port("fpga.tx", Point2::new(12.0, 5.0));
+    let fpga_rx = b.add_port("fpga.rx", Point2::new(12.0, 5.0));
+    let ddr_rx0 = b.add_port("ddr.rx0", Point2::new(28.0, 5.0));
+    let ddr_rx1 = b.add_port("ddr.rx1", Point2::new(28.0, 5.0));
+    let nic_rx = b.add_port("nic.rx", Point2::new(22.0, 1.0));
+
+    // Short control channel: CPU ↔ FPGA (10 cm, low rate).
+    b.add_channel(cpu_tx, fpga_rx, Bandwidth::from_mbps(200.0))?;
+    b.add_channel(fpga_tx, cpu_rx, Bandwidth::from_mbps(200.0))?;
+    // Two memory streams crossing the board: CPU → DDR, FPGA → DDR.
+    let m0 = b.add_port("cpu.mem", Point2::new(2.0, 5.0));
+    let m1 = b.add_port("fpga.mem", Point2::new(12.0, 5.0));
+    b.add_channel(m0, ddr_rx0, Bandwidth::from_mbps(1600.0))?;
+    b.add_channel(m1, ddr_rx1, Bandwidth::from_mbps(1600.0))?;
+    // Outbound packets: FPGA → NIC.
+    let p0 = b.add_port("fpga.pkt", Point2::new(12.0, 5.0));
+    b.add_channel(p0, nic_rx, Bandwidth::from_mbps(800.0))?;
+    let graph = b.build()?;
+
+    // PCB trace: 2 Gb/s, max 8 cm per segment, $1/cm; a re-driver costs
+    // $4. SerDes: 10 Gb/s, any board distance, $9/cm (lane + macros).
+    let library = Library::builder()
+        .link(Link::per_length_capped(
+            "trace",
+            Bandwidth::from_gbps(2.0),
+            8.0,
+            1.0,
+        ))
+        .link(Link::per_length("serdes", Bandwidth::from_gbps(10.0), 9.0))
+        .node(NodeKind::Repeater, 4.0)
+        .node(NodeKind::Mux, 15.0)
+        .node(NodeKind::Demux, 15.0)
+        .segmentation(SegmentationPolicy::MinimalRepeaters)
+        .build()?;
+
+    let result = Synthesizer::new(&graph, &library).run()?;
+    println!("{}", report::arcs_table(&graph));
+    println!("{}", report::selection_summary(&result, &graph, &library));
+    println!(
+        "re-drivers used: {}",
+        result.implementation.repeater_count()
+    );
+
+    let violations = ccs::core::check::verify(&graph, &library, &result.implementation);
+    assert!(violations.is_empty(), "verifier found {violations:?}");
+
+    // The long memory streams must not be naive traces: either they are
+    // segmented with re-drivers or merged onto a SerDes trunk.
+    assert!(
+        result.implementation.repeater_count() > 0
+            || result
+                .selected
+                .iter()
+                .any(|c| matches!(c.kind, ccs::core::placement::CandidateKind::Merging { .. })),
+        "long channels need segmentation or merging"
+    );
+    Ok(())
+}

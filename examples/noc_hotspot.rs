@@ -1,0 +1,88 @@
+//! Network-on-chip hotspot synthesis with technology-derived wire
+//! libraries.
+//!
+//! A 4×4 tile mesh where every tile streams to one memory-controller
+//! tile. The on-chip library is *computed* from 0.18 µm process
+//! parameters (the paper's node, `l_crit = 0.6 mm`) and compared against
+//! 0.13 µm — the deep-sub-micron regime the paper's conclusion warns
+//! about — then the winning architecture is stressed with a packet-level
+//! simulation.
+//!
+//! ```text
+//! cargo run --release --example noc_hotspot
+//! ```
+
+use ccs::core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs::core::technology::Technology;
+use ccs::gen::noc::{noc_instance, NocConfig, TrafficPattern};
+use ccs::netsim::packet::{simulate, PacketSimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = NocConfig {
+        rows: 4,
+        cols: 4,
+        tile_mm: 1.2,
+        pattern: TrafficPattern::Hotspot { hot: (1, 1) },
+        bandwidth_mbps: (50.0, 250.0),
+        seed: 0x70C,
+    };
+    let graph = noc_instance(&cfg);
+    println!(
+        "4x4 mesh, {} channels into the memory-controller tile (1,1)",
+        graph.arc_count()
+    );
+
+    println!();
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "node", "l_crit mm", "1-cycle mm", "repeaters", "cost"
+    );
+    for tech in [Technology::um_180(), Technology::um_130()] {
+        let lib = tech.to_library();
+        let mut sc = SynthesisConfig::default();
+        sc.merge.max_k = Some(3);
+        let r = Synthesizer::new(&graph, &lib).with_config(sc).run()?;
+        println!(
+            "{:>8} {:>12.3} {:>12.2} {:>12} {:>10.0}",
+            tech.name,
+            tech.critical_length_mm(),
+            tech.max_single_cycle_length_mm(),
+            r.implementation.repeater_count(),
+            r.total_cost()
+        );
+        assert!(ccs::core::check::verify(&graph, &lib, &r.implementation).is_empty());
+    }
+
+    // Packet-level stress of the 0.18 µm architecture.
+    let tech = Technology::um_180();
+    let lib = tech.to_library();
+    let mut sc = SynthesisConfig::default();
+    sc.merge.max_k = Some(3);
+    let r = Synthesizer::new(&graph, &lib).with_config(sc).run()?;
+    let sim = simulate(
+        &graph,
+        &r.implementation,
+        &PacketSimConfig {
+            packet_bits: 1024.0,
+            horizon_us: 400.0,
+            seed: 3,
+            ..PacketSimConfig::default()
+        },
+    );
+    println!();
+    println!("packet simulation (1 Kb flits, 400 us):");
+    let worst = sim
+        .channels
+        .iter()
+        .max_by(|a, b| a.avg_latency_us.total_cmp(&b.avg_latency_us))
+        .expect("non-empty mesh");
+    println!(
+        "  worst channel {}: avg latency {:.2} us over {} packets ({:.0} Mb/s delivered)",
+        worst.arc, worst.avg_latency_us, worst.delivered, worst.throughput_mbps
+    );
+    let delivered: u64 = sim.channels.iter().map(|c| c.delivered).sum();
+    let offered: u64 = sim.channels.iter().map(|c| c.offered).sum();
+    println!("  {delivered}/{offered} packets delivered");
+    assert_eq!(delivered, offered);
+    Ok(())
+}

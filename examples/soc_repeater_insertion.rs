@@ -1,0 +1,57 @@
+//! The paper's Example 2: repeater insertion on the critical channels of
+//! a multi-processor MPEG-4 decoder (Fig. 5) — 55 repeaters at
+//! `l_crit = 0.6 mm` in a 0.18 µm process.
+//!
+//! ```text
+//! cargo run --release --example soc_repeater_insertion
+//! ```
+
+use ccs::core::library::NodeKind;
+use ccs::core::synthesis::Synthesizer;
+use ccs::gen::mpeg4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = mpeg4::paper_instance();
+    let library = mpeg4::paper_library();
+
+    println!("MPEG-4 decoder floorplan (synthetic, calibrated to the paper):");
+    for (name, x, y) in mpeg4::MODULES {
+        println!("  {name:>6} at ({x:.1}, {y:.1}) mm");
+    }
+    println!();
+    println!(
+        "{:>6} {:>18} {:>10} {:>10}",
+        "arc", "channel", "length mm", "repeaters"
+    );
+    for (id, a) in graph.arcs() {
+        let (s, d) = mpeg4::CHANNELS[id.index()];
+        println!(
+            "{:>6} {:>8} -> {:<7} {:>10.2} {:>10}",
+            id.to_string(),
+            mpeg4::MODULES[s].0,
+            mpeg4::MODULES[d].0,
+            a.distance,
+            mpeg4::expected_channel_repeaters(a.distance)
+        );
+    }
+
+    let result = Synthesizer::new(&graph, &library).run()?;
+    let repeaters = result.implementation.repeater_count();
+    println!();
+    println!(
+        "synthesized: {repeaters} repeaters (paper: {}), {} wire segments, {} mux, {} demux",
+        mpeg4::PAPER_REPEATERS,
+        result.implementation.link_count(),
+        result.implementation.count_nodes(NodeKind::Mux),
+        result.implementation.count_nodes(NodeKind::Demux),
+    );
+    assert_eq!(repeaters, mpeg4::PAPER_REPEATERS);
+
+    let violations = ccs::core::check::verify(&graph, &library, &result.implementation);
+    assert!(violations.is_empty(), "verifier found {violations:?}");
+    println!(
+        "architecture verified; total cost = {} repeaters",
+        result.total_cost()
+    );
+    Ok(())
+}

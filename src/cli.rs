@@ -1,0 +1,352 @@
+//! The `ccs` command-line interface (logic; the binary in `src/bin/ccs.rs`
+//! is a thin wrapper so everything here is testable in-process).
+//!
+//! ```text
+//! ccs synth    --instance net.ccs --library lib.ccs [--greedy] [--max-k N] [--dot]
+//! ccs verify   --instance net.ccs --library lib.ccs
+//! ccs simulate --instance net.ccs --library lib.ccs [--fail-group N] [--packets]
+//! ccs tables   --instance net.ccs
+//! ccs example  instance wan|mpeg4   # print a built-in instance file
+//! ccs example  library  wan|soc     # print a built-in library file
+//! ```
+//!
+//! Instance and library files use the plain-text format of
+//! [`ccs_gen::io`].
+
+use ccs_core::constraint::ConstraintGraph;
+use ccs_core::cover::CoverStrategy;
+use ccs_core::library::Library;
+use ccs_core::matrices::DistanceMatrices;
+use ccs_core::report;
+use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_gen::io;
+use std::fmt::Write as _;
+
+/// Usage text printed on `help` or argument errors.
+pub const USAGE: &str = "\
+usage:
+  ccs synth    --instance FILE --library FILE [--greedy] [--max-k N] [--dot]
+  ccs verify   --instance FILE --library FILE
+  ccs simulate --instance FILE --library FILE [--fail-group N] [--packets]
+  ccs tables   --instance FILE
+  ccs example  instance wan|mpeg4
+  ccs example  library  wan|soc
+  ccs help
+";
+
+/// Runs the CLI on `args` (without the program name); returns the text to
+/// print on success.
+///
+/// # Errors
+///
+/// A human-readable message (exit the process with a non-zero status).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("synth") => synth(&parse_flags(it)?),
+        Some("verify") => verify_cmd(&parse_flags(it)?),
+        Some("simulate") => simulate_cmd(&parse_flags(it)?),
+        Some("tables") => tables(&parse_flags(it)?),
+        Some("example") => example(&it.collect::<Vec<_>>()),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+#[derive(Debug, Default)]
+struct Flags {
+    instance: Option<String>,
+    library: Option<String>,
+    greedy: bool,
+    max_k: Option<usize>,
+    dot: bool,
+    packets: bool,
+    fail_group: Option<u32>,
+}
+
+fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    while let Some(tok) = it.next() {
+        match tok {
+            "--instance" => f.instance = Some(required(&mut it, tok)?.to_string()),
+            "--library" => f.library = Some(required(&mut it, tok)?.to_string()),
+            "--greedy" => f.greedy = true,
+            "--dot" => f.dot = true,
+            "--packets" => f.packets = true,
+            "--max-k" => {
+                f.max_k = Some(
+                    required(&mut it, tok)?
+                        .parse()
+                        .map_err(|_| "--max-k needs an integer".to_string())?,
+                )
+            }
+            "--fail-group" => {
+                f.fail_group = Some(
+                    required(&mut it, tok)?
+                        .parse()
+                        .map_err(|_| "--fail-group needs an integer".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(f)
+}
+
+fn required<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
+    it.next().ok_or(format!("{flag} needs a value"))
+}
+
+fn load_instance(f: &Flags) -> Result<ConstraintGraph, String> {
+    let path = f.instance.as_ref().ok_or("--instance is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::instance_from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_library(f: &Flags) -> Result<Library, String> {
+    let path = f.library.as_ref().ok_or("--library is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::library_from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn configured(f: &Flags) -> SynthesisConfig {
+    let mut cfg = SynthesisConfig::default();
+    if f.greedy {
+        cfg.cover = CoverStrategy::Greedy;
+    }
+    cfg.merge.max_k = f.max_k;
+    cfg
+}
+
+fn synth(f: &Flags) -> Result<String, String> {
+    let g = load_instance(f)?;
+    let lib = load_library(f)?;
+    let r = Synthesizer::new(&g, &lib)
+        .with_config(configured(f))
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report::arcs_table(&g));
+    let _ = writeln!(out, "{}", report::candidate_counts(&r));
+    let _ = writeln!(out, "{}", report::selection_summary(&r, &g, &lib));
+    if f.dot {
+        let _ = writeln!(out, "{}", r.implementation.to_dot("ccs"));
+    }
+    Ok(out)
+}
+
+fn verify_cmd(f: &Flags) -> Result<String, String> {
+    let g = load_instance(f)?;
+    let lib = load_library(f)?;
+    let r = Synthesizer::new(&g, &lib)
+        .with_config(configured(f))
+        .run()
+        .map_err(|e| e.to_string())?;
+    let violations = ccs_core::check::verify(&g, &lib, &r.implementation);
+    if violations.is_empty() {
+        Ok(format!(
+            "OK: {} arcs implemented at cost {:.2}; 0 violations\n",
+            g.arc_count(),
+            r.total_cost()
+        ))
+    } else {
+        let mut msg = format!("{} violations:\n", violations.len());
+        for v in violations {
+            let _ = writeln!(msg, "  {v}");
+        }
+        Err(msg)
+    }
+}
+
+fn simulate_cmd(f: &Flags) -> Result<String, String> {
+    let g = load_instance(f)?;
+    let lib = load_library(f)?;
+    let r = Synthesizer::new(&g, &lib)
+        .with_config(configured(f))
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    if f.packets {
+        let cfg = ccs_netsim::packet::PacketSimConfig {
+            failed_groups: f.fail_group.into_iter().collect(),
+            ..Default::default()
+        };
+        let sim = ccs_netsim::packet::simulate(&g, &r.implementation, &cfg);
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>12} {:>14}",
+            "arc", "delivered", "goodput", "avg lat us"
+        );
+        for c in &sim.channels {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10} {:>9.1} Mb/s {:>14.1}",
+                c.arc.to_string(),
+                c.delivered,
+                c.throughput_mbps,
+                c.avg_latency_us
+            );
+        }
+        let _ = writeln!(out, "demands met: {}", sim.meets_demands(&g, &cfg));
+    } else {
+        let mut sim = ccs_netsim::NetSim::new(&g, &r.implementation);
+        if let Some(gid) = f.fail_group {
+            sim = sim.with_failed_group(gid);
+        }
+        let report = sim.run();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14} {:>14} {:>12}",
+            "arc", "demand", "delivered", "latency us"
+        );
+        for fl in &report.flows {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>14} {:>14} {:>12.1}",
+                fl.arc.to_string(),
+                fl.demand.to_string(),
+                fl.delivered.to_string(),
+                fl.latency_us
+            );
+        }
+        let _ = writeln!(out, "all satisfied: {}", report.all_satisfied());
+        let _ = writeln!(
+            out,
+            "peak utilization: {:.1}%",
+            report.max_utilization() * 100.0
+        );
+    }
+    Ok(out)
+}
+
+fn tables(f: &Flags) -> Result<String, String> {
+    let g = load_instance(f)?;
+    let m = DistanceMatrices::compute(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report::arcs_table(&g));
+    let _ = writeln!(out, "Gamma:\n{}", report::table_gamma(&m));
+    let _ = writeln!(out, "Delta:\n{}", report::table_delta(&m));
+    Ok(out)
+}
+
+fn example(rest: &[&str]) -> Result<String, String> {
+    match rest {
+        ["instance", "wan"] => Ok(io::instance_to_string(&ccs_gen::wan::paper_instance())),
+        ["instance", "mpeg4"] => Ok(io::instance_to_string(&ccs_gen::mpeg4::paper_instance())),
+        ["library", "wan"] => Ok(io::library_to_string(&ccs_gen::wan::paper_library())),
+        ["library", "soc"] => Ok(io::library_to_string(&ccs_gen::mpeg4::paper_library())),
+        _ => Err(format!(
+            "usage: ccs example instance wan|mpeg4  |  ccs example library wan|soc\n{USAGE}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert_eq!(run(&args("help")).unwrap(), USAGE);
+        assert_eq!(run(&[]).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&args("frobnicate")).is_err());
+        assert!(run(&args("synth --bogus")).is_err());
+    }
+
+    #[test]
+    fn example_outputs_parse_back() {
+        for spec in ["instance wan", "instance mpeg4"] {
+            let text = run(&args(&format!("example {spec}"))).unwrap();
+            assert!(io::instance_from_str(&text).is_ok(), "{spec}");
+        }
+        for spec in ["library wan", "library soc"] {
+            let text = run(&args(&format!("example {spec}"))).unwrap();
+            assert!(io::library_from_str(&text).is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_on_temp_files() {
+        let dir = std::env::temp_dir().join("ccs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+
+        let synth_out = run(&args(&format!("synth {base}"))).unwrap();
+        assert!(synth_out.contains("3-way merge"));
+        assert!(synth_out.contains("total cost"));
+
+        let verify_out = run(&args(&format!("verify {base}"))).unwrap();
+        assert!(verify_out.contains("0 violations"));
+
+        let sim_out = run(&args(&format!("simulate {base}"))).unwrap();
+        assert!(sim_out.contains("all satisfied: true"));
+
+        let tables_out = run(&args(&format!("tables --instance {}", inst.display()))).unwrap();
+        assert!(tables_out.contains("Gamma"));
+        assert!(tables_out.contains("Delta"));
+    }
+
+    #[test]
+    fn synth_flags_max_k_and_dot() {
+        let dir = std::env::temp_dir().join("ccs-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+
+        // --max-k 2 forbids the paper's 3-way merge.
+        let out = run(&args(&format!("synth {base} --max-k 2"))).unwrap();
+        assert!(!out.contains("3-way merge"), "{out}");
+
+        // --dot appends a Graphviz rendering.
+        let out = run(&args(&format!("synth {base} --dot"))).unwrap();
+        assert!(out.contains("digraph ccs"));
+
+        // --packets switches the simulator.
+        let out = run(&args(&format!("simulate {base} --packets"))).unwrap();
+        assert!(out.contains("demands met: true"));
+
+        // Bad numeric flags are rejected.
+        assert!(run(&args(&format!("synth {base} --max-k x"))).is_err());
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let e = run(&args(
+            "synth --instance /nonexistent.ccs --library /nonexistent.ccs",
+        ))
+        .unwrap_err();
+        assert!(e.contains("cannot read"));
+    }
+
+    #[test]
+    fn failed_group_simulation_reports_unsatisfied() {
+        let dir = std::env::temp_dir().join("ccs-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+        let out = run(&args(&format!(
+            "simulate --instance {} --library {} --fail-group 0",
+            inst.display(),
+            lib.display()
+        )))
+        .unwrap();
+        assert!(out.contains("all satisfied: false"));
+    }
+}

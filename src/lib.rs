@@ -1,0 +1,59 @@
+//! Umbrella crate for the constraint-driven communication synthesis
+//! workspace (reproduction of Pinto, Carloni, Sangiovanni-Vincentelli,
+//! *Constraint-Driven Communication Synthesis*, DAC 2002).
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! downstream users (and the `examples/` and `tests/` in this repository)
+//! only need a single dependency:
+//!
+//! * [`geom`] — points, norms, Weber-point solvers;
+//! * [`graph`] — the directed-graph substrate;
+//! * [`covering`] — the weighted unate-covering solver;
+//! * [`core`] — constraint graphs, communication libraries, and the
+//!   synthesis pipeline itself;
+//! * [`baselines`] — comparison strategies (point-to-point, greedy,
+//!   exhaustive oracle, annealing);
+//! * [`netsim`] — a flow-level simulator validating synthesized
+//!   architectures;
+//! * [`gen`] — workload generators, including the paper's WAN instance and
+//!   the MPEG-4 decoder floorplan.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ccs::prelude::*;
+//!
+//! // Two modules 12 km apart exchanging 8 Mb/s.
+//! let mut g = ConstraintGraph::builder(Norm::Euclidean);
+//! let a = g.add_port("A", Point2::new(0.0, 0.0));
+//! let b = g.add_port("B", Point2::new(12.0, 0.0));
+//! g.add_channel(a, b, Bandwidth::from_mbps(8.0)).unwrap();
+//! let graph = g.build().unwrap();
+//!
+//! let library = Library::builder()
+//!     .link(Link::per_length("radio", Bandwidth::from_mbps(11.0), 2_000.0))
+//!     .node(NodeKind::Repeater, 100.0)
+//!     .node(NodeKind::Mux, 200.0)
+//!     .node(NodeKind::Demux, 200.0)
+//!     .build()
+//!     .unwrap();
+//!
+//! let result = Synthesizer::new(&graph, &library).run().unwrap();
+//! assert!(result.implementation.total_cost() > 0.0);
+//! ```
+
+pub mod cli;
+
+pub use ccs_baselines as baselines;
+pub use ccs_core as core;
+pub use ccs_covering as covering;
+pub use ccs_gen as gen;
+pub use ccs_geom as geom;
+pub use ccs_graph as graph;
+pub use ccs_netsim as netsim;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use ccs_core::prelude::*;
+    pub use ccs_geom::{Norm, Point2};
+}

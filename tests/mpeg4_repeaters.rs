@@ -1,0 +1,75 @@
+//! End-to-end reproduction of the paper's Example 2 (Fig. 5): repeater
+//! insertion on the MPEG-4 decoder's critical channels.
+
+use ccs::core::check::verify;
+use ccs::core::library::{NodeKind, SegmentationPolicy};
+use ccs::core::synthesis::Synthesizer;
+use ccs::gen::mpeg4;
+
+#[test]
+fn fifty_five_repeaters() {
+    let g = mpeg4::paper_instance();
+    let lib = mpeg4::paper_library();
+    let r = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("synthesis succeeds");
+    assert_eq!(r.implementation.repeater_count(), mpeg4::PAPER_REPEATERS);
+    // The cost function counts repeaters (wire segments are free).
+    assert!((r.total_cost() - mpeg4::PAPER_REPEATERS as f64).abs() < 1e-9);
+    assert!(verify(&g, &lib, &r.implementation).is_empty());
+}
+
+#[test]
+fn per_channel_cost_is_the_paper_formula() {
+    // cost(arc) = ⌊(|Δx| + |Δy|) / l_crit⌋ for each channel.
+    let g = mpeg4::paper_instance();
+    let lib = mpeg4::paper_library();
+    for (id, a) in g.arcs() {
+        let plan = ccs::core::p2p::best_plan(&lib, a.distance, a.bandwidth, id).expect("feasible");
+        assert_eq!(
+            plan.repeaters_per_lane as usize,
+            mpeg4::expected_channel_repeaters(a.distance),
+            "channel {id}"
+        );
+    }
+}
+
+#[test]
+fn library_uses_per_critical_length_policy() {
+    let lib = mpeg4::paper_library();
+    assert_eq!(
+        lib.segmentation(),
+        SegmentationPolicy::RepeaterPerCriticalLength
+    );
+    assert_eq!(lib.node_cost(NodeKind::Repeater), Some(1.0));
+}
+
+#[test]
+fn no_merging_under_full_rate_channels() {
+    // Every channel runs at the wire rate, so Theorem 3.2 prunes all
+    // merge pairs and the architecture is pure segmentation.
+    let g = mpeg4::paper_instance();
+    let lib = mpeg4::paper_library();
+    let r = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("synthesis succeeds");
+    assert!(r
+        .selected
+        .iter()
+        .all(|c| matches!(c.kind, ccs::core::placement::CandidateKind::PointToPoint)));
+    assert_eq!(r.implementation.count_nodes(NodeKind::Mux), 0);
+    assert_eq!(r.implementation.count_nodes(NodeKind::Demux), 0);
+}
+
+#[test]
+fn repeaters_sit_on_the_die() {
+    let g = mpeg4::paper_instance();
+    let lib = mpeg4::paper_library();
+    let r = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("synthesis succeeds");
+    for (_, v) in r.implementation.graph().nodes() {
+        let p = v.position();
+        assert!(p.x >= 0.0 && p.x <= 5.0 && p.y >= 0.0 && p.y <= 5.0, "{p}");
+    }
+}

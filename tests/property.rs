@@ -1,0 +1,115 @@
+//! Cross-crate property tests: random instances through the full
+//! pipeline, checking end-to-end invariants rather than point examples.
+
+use ccs::core::check::verify;
+use ccs::core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs::gen::io;
+use ccs::gen::noc::{noc_instance, NocConfig, TrafficPattern};
+use ccs::gen::random::{clustered_wan, soc_floorplan, ClusteredWanConfig, SocConfig};
+use ccs::gen::wan;
+use ccs::netsim::NetSim;
+use proptest::prelude::*;
+
+fn wan_cfg_strategy() -> impl Strategy<Value = ClusteredWanConfig> {
+    (1u64..1000, 2usize..4, 2usize..4, 3usize..9).prop_map(|(seed, clusters, nodes, channels)| {
+        ClusteredWanConfig {
+            clusters,
+            nodes_per_cluster: nodes,
+            channels,
+            seed,
+            ..ClusteredWanConfig::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the instance, the synthesized architecture passes the
+    /// independent verifier and the fluid simulator.
+    #[test]
+    fn synthesis_always_verifies_and_simulates(cfg in wan_cfg_strategy()) {
+        let g = clustered_wan(&cfg);
+        let lib = wan::paper_library();
+        let r = Synthesizer::new(&g, &lib).run().expect("synthesis succeeds");
+        prop_assert!(verify(&g, &lib, &r.implementation).is_empty());
+        let sim = NetSim::new(&g, &r.implementation).run();
+        prop_assert!(sim.all_satisfied());
+        prop_assert!(sim.max_utilization() <= 1.0 + 1e-9);
+    }
+
+    /// The reported total always decomposes into the selected candidates,
+    /// and never exceeds the point-to-point baseline.
+    #[test]
+    fn cost_accounting_is_consistent(cfg in wan_cfg_strategy()) {
+        let g = clustered_wan(&cfg);
+        let lib = wan::paper_library();
+        let r = Synthesizer::new(&g, &lib).run().expect("synthesis succeeds");
+        let sum: f64 = r.selected.iter().map(|c| c.cost).sum();
+        prop_assert!((r.total_cost() - sum).abs() < 1e-6 * sum.max(1.0));
+        prop_assert!(r.total_cost() <= r.stats.p2p_cost * (1.0 + 1e-9));
+        let saving = r.saving_vs_p2p();
+        prop_assert!((0.0..1.0).contains(&saving), "saving {saving}");
+    }
+
+    /// Every selected candidate set covers each arc at least once, and
+    /// the pruned candidate space always contains the selection.
+    #[test]
+    fn selection_covers_every_arc(cfg in wan_cfg_strategy()) {
+        let g = clustered_wan(&cfg);
+        let lib = wan::paper_library();
+        let r = Synthesizer::new(&g, &lib).run().expect("synthesis succeeds");
+        let mut covered = vec![false; g.arc_count()];
+        for c in &r.selected {
+            for &a in &c.arcs {
+                covered[a] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&x| x));
+        prop_assert!(r.selected.len() <= r.candidates.len());
+    }
+
+    /// Save/load round-trips preserve synthesis results exactly.
+    #[test]
+    fn io_round_trip_preserves_results(cfg in wan_cfg_strategy()) {
+        let g = clustered_wan(&cfg);
+        let lib = wan::paper_library();
+        let g2 = io::instance_from_str(&io::instance_to_string(&g)).expect("parses");
+        prop_assert_eq!(&g, &g2);
+        let a = Synthesizer::new(&g, &lib).run().expect("synthesis");
+        let b = Synthesizer::new(&g2, &lib).run().expect("synthesis");
+        prop_assert_eq!(a.total_cost(), b.total_cost());
+    }
+
+    /// SoC instances synthesize, verify, and cost exactly the repeater
+    /// count (wires are free in the paper's on-chip library).
+    #[test]
+    fn soc_costs_count_repeaters(seed in 1u64..500, modules in 4usize..8, channels in 3usize..8) {
+        let g = soc_floorplan(&SocConfig { modules, channels, seed, ..SocConfig::default() });
+        let lib = ccs::core::library::soc_paper_library(0.6);
+        let r = Synthesizer::new(&g, &lib).run().expect("synthesis succeeds");
+        prop_assert!(verify(&g, &lib, &r.implementation).is_empty());
+        prop_assert_eq!(
+            r.total_cost(),
+            r.implementation.repeater_count() as f64
+        );
+    }
+
+    /// NoC hotspot meshes synthesize and verify for any mesh shape.
+    #[test]
+    fn noc_hotspot_synthesizes(rows in 2usize..5, cols in 2usize..5, seed in 1u64..200) {
+        let cfg = NocConfig {
+            rows,
+            cols,
+            pattern: TrafficPattern::Hotspot { hot: (rows - 1, cols - 1) },
+            seed,
+            ..NocConfig::default()
+        };
+        let g = noc_instance(&cfg);
+        let lib = ccs::core::technology::Technology::um_180().to_library();
+        let mut sc = SynthesisConfig::default();
+        sc.merge.max_k = Some(3);
+        let r = Synthesizer::new(&g, &lib).with_config(sc).run().expect("synthesis");
+        prop_assert!(verify(&g, &lib, &r.implementation).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end reproduction of the paper's Example 1 (WAN): Tables 1–2,
+//! the candidate counts, and the Fig. 4 architecture, all through the
+//! public API of the umbrella crate.
+
+use ccs::core::check::verify;
+use ccs::core::matrices::DistanceMatrices;
+use ccs::core::placement::CandidateKind;
+use ccs::core::synthesis::Synthesizer;
+use ccs::gen::wan;
+use ccs::netsim::NetSim;
+
+#[test]
+fn tables_1_and_2_reproduce_within_tolerance() {
+    let g = wan::paper_instance();
+    let m = DistanceMatrices::compute(&g);
+    let mut max_dev: f64 = 0.0;
+    for i in 0..7 {
+        for (off, (&pg, &pd)) in wan::PAPER_GAMMA[i]
+            .iter()
+            .zip(wan::PAPER_DELTA[i])
+            .enumerate()
+        {
+            let j = i + 1 + off;
+            max_dev = max_dev.max((m.gamma(i, j) - pg).abs());
+            max_dev = max_dev.max((m.delta(i, j) - pd).abs());
+        }
+    }
+    assert!(
+        max_dev < wan::TABLE_TOLERANCE,
+        "max deviation {max_dev} km exceeds {}",
+        wan::TABLE_TOLERANCE
+    );
+}
+
+#[test]
+fn figure_4_architecture_reproduces() {
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    let r = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("synthesis succeeds");
+
+    // Exactly one merging is selected: {a4, a5, a6}.
+    let merges: Vec<&ccs::core::placement::Candidate> = r
+        .selected
+        .iter()
+        .filter(|c| matches!(c.kind, CandidateKind::Merging { .. }))
+        .collect();
+    assert_eq!(merges.len(), 1);
+    assert_eq!(merges[0].arcs, wan::PAPER_MERGED_ARCS.to_vec());
+
+    // Its trunk is the optical link; every other arc is a dedicated
+    // radio link.
+    let trunk = merges[0]
+        .segments
+        .iter()
+        .find(|s| {
+            s.from == ccs::core::placement::Endpoint::HubA
+                && s.to == ccs::core::placement::Endpoint::HubB
+        })
+        .expect("merged candidate has a trunk");
+    assert_eq!(lib.link(trunk.plan.link).name, "optical");
+    for c in r.selected.iter().filter(|c| c.arcs.len() == 1) {
+        assert_eq!(lib.link(c.segments[0].plan.link).name, "radio");
+    }
+
+    // Merging must beat the point-to-point baseline.
+    assert!(r.total_cost() < r.stats.p2p_cost);
+}
+
+#[test]
+fn candidate_counts_match_paper_through_k4() {
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    let r = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("synthesis succeeds");
+    let counts = &r.stats.merge_stats.counts;
+    assert_eq!(counts[0], (2, 13));
+    assert_eq!(counts[1], (3, 21));
+    assert_eq!(counts[2], (4, 16));
+    // Documented deviation: 6 at k = 5 (paper: 5) and 1 at k = 6.
+    assert_eq!(counts[3], (5, 6));
+    assert_eq!(counts[4], (6, 1));
+}
+
+#[test]
+fn architecture_verifies_and_simulates_clean() {
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    let r = Synthesizer::new(&g, &lib)
+        .run()
+        .expect("synthesis succeeds");
+    assert!(verify(&g, &lib, &r.implementation).is_empty());
+    let sim = NetSim::new(&g, &r.implementation).run();
+    assert!(sim.all_satisfied());
+    assert!(sim.max_utilization() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn pipeline_matches_partition_oracle_on_wan() {
+    // |A| = 8 is within the oracle's reach: the pipeline's pruned
+    // candidate space must not lose the optimum.
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    let oracle = ccs::baselines::exhaustive(&g, &lib).expect("oracle runs");
+    let pipeline = Synthesizer::new(&g, &lib).run().expect("pipeline runs");
+    let rel = (pipeline.total_cost() - oracle.cost).abs() / oracle.cost;
+    assert!(
+        rel < 1e-6,
+        "pipeline {} vs oracle {}",
+        pipeline.total_cost(),
+        oracle.cost
+    );
+}
