@@ -4,7 +4,7 @@
 use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
 use ccs_gen::random::{clustered_wan, ClusteredWanConfig};
 use ccs_gen::{mpeg4, wan};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_synthesis(c: &mut Criterion) {
@@ -46,4 +46,27 @@ fn bench_synthesis(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_synthesis);
-criterion_main!(benches);
+
+// `criterion_main!(benches)` plus the recorder: when CCS_METRICS_JSON
+// is set, the pipeline runs under a [`ccs_obs::Collector`] and the
+// aggregated ccs-metrics-v1 document is written there — the same schema
+// the `ccs synth --metrics-json` flag emits.
+fn main() {
+    let metrics_path = std::env::var("CCS_METRICS_JSON").ok();
+    let collector = metrics_path.as_ref().map(|_| {
+        let c = ccs_obs::Collector::new();
+        ccs_obs::set_recorder(c.clone());
+        c
+    });
+    benches();
+    if let (Some(path), Some(collector)) = (metrics_path, collector) {
+        ccs_obs::clear_recorder();
+        let mut text = collector.snapshot().to_json().to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("metrics written to {path}");
+    }
+}

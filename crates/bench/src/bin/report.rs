@@ -3,17 +3,43 @@
 //! ```text
 //! cargo run -p ccs-bench --release --bin report            # everything
 //! cargo run -p ccs-bench --release --bin report -- fig4    # one experiment
+//! cargo run -p ccs-bench --release --bin report -- --metrics-json m.json
 //! ```
+//!
+//! `--metrics-json FILE` records every experiment under a
+//! [`ccs_obs::Collector`] and writes the aggregated `ccs-metrics-v1`
+//! document (the same schema as `ccs synth --metrics-json`) to `FILE`.
 
 use ccs_bench::{run, EXPERIMENT_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() {
-        EXPERIMENT_IDS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    let mut metrics_path: Option<String> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics-json" {
+            match it.next() {
+                Some(path) => metrics_path = Some(path.clone()),
+                None => {
+                    eprintln!("--metrics-json needs a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+    if ids.is_empty() {
+        ids = EXPERIMENT_IDS.to_vec();
+    }
+
+    let collector = metrics_path.as_ref().map(|_| {
+        let c = ccs_obs::Collector::new();
+        ccs_obs::set_recorder(c.clone());
+        c
+    });
+
     let mut failed = false;
     for id in ids {
         match run(id) {
@@ -22,6 +48,18 @@ fn main() {
                 eprintln!("error: {e}");
                 failed = true;
             }
+        }
+    }
+
+    if let (Some(path), Some(collector)) = (metrics_path, collector) {
+        ccs_obs::clear_recorder();
+        let mut text = collector.snapshot().to_json().to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            failed = true;
+        } else {
+            eprintln!("metrics written to {path}");
         }
     }
     if failed {

@@ -13,12 +13,10 @@ use std::fmt;
 
 /// Identifier of a port (constraint-graph vertex).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PortId(pub u32);
 
 /// Identifier of a constraint arc (channel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArcId(pub u32);
 
 impl PortId {
@@ -49,7 +47,6 @@ impl fmt::Display for ArcId {
 
 /// A module port: a named position in the plane.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Port {
     /// Human-readable name (module/port label).
     pub name: String,
@@ -60,7 +57,6 @@ pub struct Port {
 /// A constraint arc: a channel with its two arc properties (plus the
 /// optional hop bound of the latency extension).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Channel {
     /// Source port `u`.
     pub src: PortId,
@@ -99,7 +95,6 @@ pub struct Channel {
 /// # Ok::<(), ccs_core::error::BuildError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConstraintGraph {
     norm: Norm,
     ports: Vec<Port>,

@@ -11,7 +11,6 @@ use ccs_covering::{CoverMatrix, SolveStats};
 
 /// Which UCP solver the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CoverStrategy {
     /// Exact branch-and-bound (default — the paper's choice).
     #[default]
@@ -81,6 +80,26 @@ pub fn select(
             (c, Some(s))
         }
     };
+    if ccs_obs::enabled() {
+        ccs_obs::counter("covering.rows", m.n_rows() as u64);
+        ccs_obs::counter("covering.cols", m.n_cols() as u64);
+        if let Some(s) = &stats {
+            ccs_obs::counter("covering.bnb_nodes", s.nodes);
+            ccs_obs::counter("covering.essentials", s.essentials);
+            ccs_obs::counter("covering.dominated_columns", s.dominated_columns);
+            ccs_obs::counter("covering.dominated_rows", s.dominated_rows);
+            ccs_obs::counter("covering.bound_prunes", s.bound_prunes);
+            ccs_obs::counter("covering.incumbent_updates", s.incumbent_updates);
+            // How far off the greedy heuristic would have been — the
+            // exact search seeds from it, so this re-solve is cheap
+            // relative to the branch-and-bound that just ran.
+            if let Ok(g) = m.solve_greedy() {
+                if cover.cost > 0.0 {
+                    ccs_obs::gauge("covering.greedy_gap", g.cost / cover.cost - 1.0);
+                }
+            }
+        }
+    }
     // Report the true candidate cost sum (unclamped).
     let cost = cover.columns.iter().map(|&i| candidates[i].cost).sum();
     Ok(CoverOutcome {

@@ -19,7 +19,6 @@ use std::fmt;
 
 /// Identifier of a link within a [`Library`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -37,7 +36,6 @@ impl fmt::Display for LinkId {
 
 /// The kinds of communication nodes (paper Section 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// Receives and re-transmits one stream: used for arc segmentation.
     Repeater,
@@ -82,7 +80,6 @@ impl fmt::Display for NodeKind {
 
 /// How a link's cost scales.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkCost {
     /// Cost is `rate × length` for whatever length the instance spans
     /// (up to the link's maximum).
@@ -95,7 +92,6 @@ pub enum LinkCost {
 /// How segmentation counts repeaters for a span of length `d` over a link
 /// of maximum length `ℓ`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SegmentationPolicy {
     /// `⌈d/ℓ⌉` segments, so `⌈d/ℓ⌉ − 1` repeaters: a repeater only where
     /// two segments meet. The natural reading of Def. 2.7.
@@ -126,7 +122,6 @@ pub enum SegmentationPolicy {
 /// assert_eq!(wire.max_length, 0.6);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Link {
     /// Human-readable name.
     pub name: String,
@@ -222,7 +217,6 @@ impl Link {
 ///
 /// Build one with [`Library::builder`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Library {
     links: Vec<Link>,
     nodes: [Option<f64>; 4],

@@ -65,6 +65,7 @@ impl DistanceMatrices {
                 delta[i * n + j] = norm.distance(ui, uj) + norm.distance(vi, vj);
             }
         }
+        ccs_obs::counter("matrices.pairs", (n * n) as u64);
         DistanceMatrices { n, gamma, delta }
     }
 

@@ -34,7 +34,6 @@ use crate::units::Bandwidth;
 
 /// Which pivots Lemma 3.2 is evaluated with (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MergePruneRule {
     /// One application per subset, pivot = highest-index arc (paper-count
     /// faithful; default).
@@ -47,7 +46,6 @@ pub enum MergePruneRule {
 
 /// How candidate subsets are enumerated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EnumerationStrategy {
     /// Pick [`Exhaustive`](Self::Exhaustive) for `|A| ≤ 14`, otherwise
     /// [`PairwiseCliques`](Self::PairwiseCliques).
@@ -106,6 +104,24 @@ pub struct MergeEnumeration {
     pub stats: MergeStats,
 }
 
+/// Per-level (per merge order k) enumeration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelStats {
+    /// The merge order this level enumerated.
+    pub k: usize,
+    /// Subsets generated and tested at this level.
+    pub examined: u64,
+    /// Subsets killed by Lemma 3.1 (k = 2) / Lemma 3.2 (k ≥ 3).
+    pub geometry_pruned: u64,
+    /// Subsets killed by the Theorem 3.2 bandwidth condition.
+    pub bandwidth_pruned: u64,
+    /// Subsets that survived to the costing stage.
+    pub survivors: u64,
+    /// Arcs removed by the Theorem 3.1 monotone closure after this
+    /// level.
+    pub deactivated: u64,
+}
+
 /// Statistics from one enumeration run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MergeStats {
@@ -121,6 +137,10 @@ pub struct MergeStats {
     /// The level at which enumeration hit
     /// [`MergeConfig::max_subsets_per_level`], if any.
     pub truncated_at_k: Option<usize>,
+    /// Per-level breakdown. Unlike [`counts`](Self::counts), a trailing
+    /// level that examined subsets but kept none is retained here, so
+    /// the per-level prune counts always sum to the aggregates.
+    pub levels: Vec<LevelStats>,
 }
 
 impl MergeEnumeration {
@@ -223,17 +243,24 @@ pub fn enumerate(
     let max_k = config.max_k.unwrap_or(n).min(n);
 
     // ---- Level k = 2 ---------------------------------------------------
+    let mut level = LevelStats {
+        k: 2,
+        ..LevelStats::default()
+    };
     let mut pairs: Vec<Vec<usize>> = Vec::new();
     let mut adj = vec![vec![false; n]; n];
     #[allow(clippy::needless_range_loop)] // i/j index the adjacency matrix
     for i in 0..n {
         for j in (i + 1)..n {
+            level.examined += 1;
             if config.geometry_prune && pair_pruned(matrices, i, j) {
                 stats.geometry_pruned += 1;
+                level.geometry_pruned += 1;
                 continue;
             }
             if config.bandwidth_prune && bandwidth_pruned(graph, library, &[i, j]) {
                 stats.bandwidth_pruned += 1;
+                level.bandwidth_pruned += 1;
                 continue;
             }
             adj[i][j] = true;
@@ -249,9 +276,12 @@ pub fn enumerate(
     for (a, act) in active.iter().enumerate() {
         if !act {
             stats.deactivated_at[a] = Some(2);
+            level.deactivated += 1;
         }
     }
+    level.survivors = pairs.len() as u64;
     stats.counts.push((2, pairs.len()));
+    stats.levels.push(level);
     let mut prev_level = pairs.clone();
     subsets_by_k.push(pairs);
 
@@ -294,18 +324,25 @@ pub fn enumerate(
             }
         };
 
+        let mut level = LevelStats {
+            k,
+            ..LevelStats::default()
+        };
         for subset in candidates {
             examined += 1;
             if examined > config.max_subsets_per_level {
                 truncated = true;
                 break;
             }
+            level.examined += 1;
             if config.geometry_prune && subset_pruned(matrices, &subset, config.prune_rule) {
                 stats.geometry_pruned += 1;
+                level.geometry_pruned += 1;
                 continue;
             }
             if config.bandwidth_prune && bandwidth_pruned(graph, library, &subset) {
                 stats.bandwidth_pruned += 1;
+                level.bandwidth_pruned += 1;
                 continue;
             }
             survivors.push(subset);
@@ -328,11 +365,14 @@ pub fn enumerate(
                 if active[a] && !seen[a] {
                     active[a] = false;
                     stats.deactivated_at[a] = Some(k);
+                    level.deactivated += 1;
                 }
             }
         }
 
+        level.survivors = survivors.len() as u64;
         stats.counts.push((k, survivors.len()));
+        stats.levels.push(level);
         prev_level = survivors.clone();
         subsets_by_k.push(survivors);
         if truncated {
@@ -340,15 +380,37 @@ pub fn enumerate(
         }
     }
 
-    // Trim trailing empty levels for a tidy result.
+    // Trim trailing empty levels for a tidy result (stats.levels keeps
+    // them — see its docs).
     while subsets_by_k.last().is_some_and(Vec::is_empty) {
         subsets_by_k.pop();
         stats.counts.pop();
     }
 
+    emit_level_counters(&stats);
     MergeEnumeration {
         subsets_by_k,
         stats,
+    }
+}
+
+/// Reports the per-level breakdown to the global [`ccs_obs`] recorder
+/// (counter names `merging.k{k}.examined` / `.geometry_pruned` /
+/// `.bandwidth_pruned` / `.survivors` / `.deactivated`).
+fn emit_level_counters(stats: &MergeStats) {
+    if !ccs_obs::enabled() {
+        return;
+    }
+    for l in &stats.levels {
+        let k = l.k;
+        ccs_obs::counter(&format!("merging.k{k}.examined"), l.examined);
+        ccs_obs::counter(&format!("merging.k{k}.geometry_pruned"), l.geometry_pruned);
+        ccs_obs::counter(
+            &format!("merging.k{k}.bandwidth_pruned"),
+            l.bandwidth_pruned,
+        );
+        ccs_obs::counter(&format!("merging.k{k}.survivors"), l.survivors);
+        ccs_obs::counter(&format!("merging.k{k}.deactivated"), l.deactivated);
     }
 }
 

@@ -14,7 +14,6 @@ use ccs_geom::{Norm, Point2};
 
 /// Identifier of a module within a [`SystemSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModuleId(pub u32);
 
 impl ModuleId {
@@ -26,7 +25,6 @@ impl ModuleId {
 
 /// A computational module: a named position.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Module {
     /// Module name (e.g. `"CPU"`, `"IDCT"`).
     pub name: String,

@@ -23,7 +23,6 @@ use crate::units::Bandwidth;
 
 /// The structural class of a point-to-point plan (Def. 2.7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ImplKind {
     /// One link instance (`hops == 1 && lanes == 1`).
     Matching,
@@ -37,7 +36,6 @@ pub enum ImplKind {
 
 /// A costed point-to-point implementation plan for one arc.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct P2pPlan {
     /// The library link used.
     pub link: LinkId,
@@ -126,6 +124,7 @@ pub fn best_plan_limited(
         distance.is_finite() && distance > 0.0,
         "distance must be positive and finite, got {distance}"
     );
+    ccs_obs::counter("p2p.plans", 1);
     let mut best: Option<P2pPlan> = None;
     let mut saw_missing_repeater = false;
     let mut saw_missing_muxdemux = false;

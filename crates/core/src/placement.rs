@@ -24,7 +24,6 @@ const ZERO_LEN: f64 = 1e-9;
 
 /// A structural endpoint of a candidate segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Endpoint {
     /// A computational vertex `χ(v)` (a port of the constraint graph).
     Port(PortId),
@@ -57,7 +56,6 @@ pub struct SegmentPlan {
 
 /// The structural class of a candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CandidateKind {
     /// A single-arc point-to-point implementation (Def. 2.6/2.7).
     PointToPoint,
@@ -76,7 +74,6 @@ pub enum CandidateKind {
 /// replace the mux/demux pair — chosen whenever it is available and
 /// cheaper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HubHardware {
     /// A mux at hub A and a demux at hub B (the general dumbbell).
     MuxDemux,
@@ -239,6 +236,11 @@ pub fn merge_candidate(
     let dumbbell = if let Some(md) = muxdemux_cost {
         let sol =
             TwoHubProblem::new(sources.clone(), sinks.clone(), trunk_rate).solve(graph.norm());
+        if ccs_obs::enabled() {
+            ccs_obs::counter("placement.twohub_solves", 1);
+            ccs_obs::counter("placement.twohub_iterations", sol.iterations as u64);
+            ccs_obs::gauge("placement.twohub_residual", sol.residual);
+        }
         build_merge(
             graph,
             library,
@@ -259,6 +261,7 @@ pub fn merge_candidate(
     // absent or pricier.
     let star_anchors: Vec<(Point2, f64)> = sources.iter().chain(&sinks).copied().collect();
     let star_hub = WeberProblem::new(star_anchors).solve(graph.norm());
+    ccs_obs::counter("placement.weber_solves", 1);
     let star_hardware = match (switch_cost, muxdemux_cost) {
         (Some(s), Some(md)) if s <= md => Some((HubHardware::SingleSwitch, s)),
         (Some(s), None) => Some((HubHardware::SingleSwitch, s)),

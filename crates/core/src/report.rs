@@ -5,7 +5,7 @@ use crate::constraint::{ArcId, ConstraintGraph};
 use crate::library::{Library, NodeKind};
 use crate::matrices::{DistanceMatrices, Matrix};
 use crate::placement::CandidateKind;
-use crate::synthesis::SynthesisResult;
+use crate::synthesis::{SynthesisResult, SynthesisStats};
 use std::fmt::Write as _;
 
 /// Renders the constraint graph's arcs in a compact table.
@@ -128,6 +128,54 @@ pub fn selection_summary(
     s
 }
 
+/// Renders the "where did the time go" table: per-phase wall-clock
+/// share of the run, followed by the run's per-phase counters.
+pub fn phase_table(stats: &SynthesisStats) -> String {
+    let mut s = String::new();
+    let total = stats.elapsed.as_secs_f64();
+    let _ = writeln!(s, "{:>12} {:>12} {:>7}", "phase", "wall", "share");
+    let mut accounted = 0.0;
+    for (name, d) in stats.phase_timings.phases() {
+        let secs = d.as_secs_f64();
+        accounted += secs;
+        let share = if total > 0.0 {
+            100.0 * secs / total
+        } else {
+            0.0
+        };
+        let _ = writeln!(s, "{:>12} {:>12} {:>6.1}%", name, format!("{d:.2?}"), share);
+    }
+    // Phase boundaries exclude argument checking and stats assembly;
+    // show the remainder so the shares visibly sum to 100%.
+    let other = std::time::Duration::from_secs_f64((total - accounted).max(0.0));
+    let share = if total > 0.0 {
+        100.0 * other.as_secs_f64() / total
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        s,
+        "{:>12} {:>12} {:>6.1}%",
+        "other",
+        format!("{other:.2?}"),
+        share
+    );
+    let _ = writeln!(
+        s,
+        "{:>12} {:>12} {:>6.1}%",
+        "total",
+        format!("{:.2?}", stats.elapsed),
+        100.0
+    );
+    if !stats.counters.is_empty() {
+        let _ = writeln!(s, "  counters:");
+        for (name, value) in &stats.counters {
+            let _ = writeln!(s, "    {name} = {value}");
+        }
+    }
+    s
+}
+
 /// Renders the per-k merge-candidate counts ("thirteen 2-way, …").
 pub fn candidate_counts(result: &SynthesisResult) -> String {
     let mut s = String::new();
@@ -184,6 +232,27 @@ mod tests {
         // The two co-sourced channels have large positive slack.
         assert!(t.contains('*'), "{t}");
         assert!(t.contains("a2"));
+    }
+
+    #[test]
+    fn phase_table_lists_every_phase_and_counters() {
+        let (g, lib) = instance();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        let t = phase_table(&r.stats);
+        for name in [
+            "p2p",
+            "matrices",
+            "merging",
+            "placement",
+            "covering",
+            "assembly",
+            "other",
+            "total",
+        ] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("counters:"), "{t}");
+        assert!(t.contains("merging.k2.examined"), "{t}");
     }
 
     #[test]

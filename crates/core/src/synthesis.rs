@@ -23,7 +23,8 @@ use crate::library::Library;
 use crate::matrices::DistanceMatrices;
 use crate::merging::{enumerate, MergeConfig, MergeStats};
 use crate::placement::{merge_candidate, point_to_point_candidate, Candidate};
-use std::time::Duration;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Tunable knobs of the pipeline. The default reproduces the paper.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -38,6 +39,41 @@ pub struct SynthesisConfig {
     /// Verify Assumption 2.1 before running (O(|A|²) extra work) and fail
     /// fast when the library violates it.
     pub check_assumption: bool,
+}
+
+/// Wall-clock time spent in each pipeline phase of one synthesis run.
+///
+/// The same durations are reported to the global [`ccs_obs`] recorder
+/// as spans named `matrices`, `p2p`, `merging`, `placement`,
+/// `covering`, `assembly`, and `total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Γ/Δ matrix computation.
+    pub matrices: Duration,
+    /// Optimum point-to-point candidates for every arc.
+    pub p2p: Duration,
+    /// Merge-candidate enumeration (pruning theorems).
+    pub merging: Duration,
+    /// Hub placement and exact costing of surviving merge subsets.
+    pub placement: Duration,
+    /// Weighted unate covering.
+    pub covering: Duration,
+    /// Implementation-graph assembly.
+    pub assembly: Duration,
+}
+
+impl PhaseTimings {
+    /// The phases in pipeline order, with their span names.
+    pub fn phases(&self) -> [(&'static str, Duration); 6] {
+        [
+            ("p2p", self.p2p),
+            ("matrices", self.matrices),
+            ("merging", self.merging),
+            ("placement", self.placement),
+            ("covering", self.covering),
+            ("assembly", self.assembly),
+        ]
+    }
 }
 
 /// Statistics collected during one synthesis run.
@@ -62,6 +98,12 @@ pub struct SynthesisStats {
     pub ucp_stats: Option<ccs_covering::SolveStats>,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Per-phase wall-clock breakdown of `elapsed`.
+    pub phase_timings: PhaseTimings,
+    /// Named per-phase counters (same names as the [`ccs_obs`] counter
+    /// stream: `merging.k{k}.examined`, `covering.bnb_nodes`, ...),
+    /// derived deterministically from this run alone.
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// The output of a synthesis run.
@@ -142,7 +184,8 @@ impl<'a> Synthesizer<'a> {
     ///   [`SynthesisConfig::check_assumption`] is set and fails;
     /// * [`SynthesisError::Cover`] from the covering solver.
     pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
-        let start = std::time::Instant::now();
+        let start = Instant::now();
+        let mut timings = PhaseTimings::default();
         let graph = self.graph;
         let library = self.library;
 
@@ -154,6 +197,7 @@ impl<'a> Synthesizer<'a> {
 
         // Phase 1a: optimum point-to-point candidates (always included —
         // they make the covering matrix feasible by construction).
+        let t = Instant::now();
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut p2p_cost = 0.0;
         for i in 0..graph.arc_count() {
@@ -161,10 +205,20 @@ impl<'a> Synthesizer<'a> {
             p2p_cost += c.cost;
             candidates.push(c);
         }
+        ccs_obs::counter("p2p.candidates", candidates.len() as u64);
+        timings.p2p = t.elapsed();
 
-        // Phase 1b: merge candidates.
+        // Phase 1b: merge candidates — Γ/Δ matrices, pruned enumeration,
+        // then hub placement and exact costing of every survivor.
+        let t = Instant::now();
         let matrices = DistanceMatrices::compute(graph);
+        timings.matrices = t.elapsed();
+
+        let t = Instant::now();
         let enumeration = enumerate(graph, library, &matrices, &self.config.merge);
+        timings.merging = t.elapsed();
+
+        let t = Instant::now();
         let mut infeasible = 0usize;
         let mut dominated = 0usize;
         for subset in enumeration.all_subsets() {
@@ -182,28 +236,45 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
+        timings.placement = t.elapsed();
+        ccs_obs::counter("placement.infeasible_merges", infeasible as u64);
+        ccs_obs::counter("placement.dominated_dropped", dominated as u64);
 
         // Phase 2: weighted unate covering.
+        let t = Instant::now();
         let outcome = select(&candidates, graph.arc_count(), self.config.cover)?;
         let selected: Vec<Candidate> = outcome
             .selected
             .iter()
             .map(|&i| candidates[i].clone())
             .collect();
+        timings.covering = t.elapsed();
 
         // Assemble the architecture.
+        let t = Instant::now();
         let implementation = ImplementationGraph::build(graph, library, &selected);
+        timings.assembly = t.elapsed();
+
+        let elapsed = start.elapsed();
+        if ccs_obs::enabled() {
+            for (name, wall) in timings.phases() {
+                ccs_obs::record_span(name, wall);
+            }
+            ccs_obs::record_span("total", elapsed);
+        }
 
         let stats = SynthesisStats {
             arc_count: graph.arc_count(),
             p2p_cost,
-            merge_stats: enumeration.stats.clone(),
+            counters: run_counters(&enumeration.stats, infeasible, dominated, &outcome),
+            merge_stats: enumeration.stats,
             infeasible_merges: infeasible,
             dominated_dropped: dominated,
             ucp_cols: outcome.cols,
             ucp_rows: outcome.rows,
             ucp_stats: outcome.stats,
-            elapsed: start.elapsed(),
+            elapsed,
+            phase_timings: timings,
         };
         Ok(SynthesisResult {
             implementation,
@@ -213,6 +284,46 @@ impl<'a> Synthesizer<'a> {
             stats,
         })
     }
+}
+
+/// Builds the deterministic per-run counter map of
+/// [`SynthesisStats::counters`] from the phase outputs (names mirror
+/// the [`ccs_obs`] counter stream).
+fn run_counters(
+    merge_stats: &MergeStats,
+    infeasible: usize,
+    dominated: usize,
+    outcome: &crate::cover::CoverOutcome,
+) -> BTreeMap<String, u64> {
+    let mut c = BTreeMap::new();
+    c.insert("p2p.candidates".to_string(), outcome.rows as u64);
+    for l in &merge_stats.levels {
+        let k = l.k;
+        c.insert(format!("merging.k{k}.examined"), l.examined);
+        c.insert(format!("merging.k{k}.geometry_pruned"), l.geometry_pruned);
+        c.insert(format!("merging.k{k}.bandwidth_pruned"), l.bandwidth_pruned);
+        c.insert(format!("merging.k{k}.survivors"), l.survivors);
+        c.insert(format!("merging.k{k}.deactivated"), l.deactivated);
+    }
+    c.insert("placement.infeasible_merges".to_string(), infeasible as u64);
+    c.insert("placement.dominated_dropped".to_string(), dominated as u64);
+    c.insert("covering.rows".to_string(), outcome.rows as u64);
+    c.insert("covering.cols".to_string(), outcome.cols as u64);
+    if let Some(s) = &outcome.stats {
+        c.insert("covering.bnb_nodes".to_string(), s.nodes);
+        c.insert("covering.essentials".to_string(), s.essentials);
+        c.insert(
+            "covering.dominated_columns".to_string(),
+            s.dominated_columns,
+        );
+        c.insert("covering.dominated_rows".to_string(), s.dominated_rows);
+        c.insert("covering.bound_prunes".to_string(), s.bound_prunes);
+        c.insert(
+            "covering.incumbent_updates".to_string(),
+            s.incumbent_updates,
+        );
+    }
+    c
 }
 
 #[cfg(test)]

@@ -38,7 +38,6 @@ use crate::units::Bandwidth;
 /// assert!(t.unrepeated_delay_ps(3.0) > t.repeated_delay_ps(3.0));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Technology {
     /// Process name, e.g. `"0.18um"`.
     pub name: String,

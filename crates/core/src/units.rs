@@ -26,7 +26,6 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!((radio + radio).as_mbps(), 22.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {

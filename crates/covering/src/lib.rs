@@ -92,6 +92,9 @@ pub struct SolveStats {
     pub dominated_rows: u64,
     /// Subtrees pruned by the lower bound.
     pub bound_prunes: u64,
+    /// Times the incumbent (best cover so far) improved during the
+    /// search — 0 means the greedy seed was already optimal.
+    pub incumbent_updates: u64,
     /// `true` when the search ran to completion — the returned cover is
     /// proven optimal. `false` only in anytime mode after hitting the
     /// node budget.
@@ -493,6 +496,7 @@ impl CoverMatrix {
         if rows.is_empty() {
             if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
                 *best = Some((cost, chosen.clone()));
+                stats.incumbent_updates += 1;
             }
             chosen.truncate(chosen_mark);
             return;

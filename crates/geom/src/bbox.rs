@@ -16,7 +16,6 @@ use crate::Point2;
 /// assert!(b.contains(Point2::new(0.0, 4.0)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     /// Corner with the smallest coordinates.
     pub min: Point2,

@@ -23,7 +23,6 @@ use std::fmt;
 /// assert_eq!(Norm::Chebyshev.distance(a, b), 4.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Norm {
     /// The L2 norm — straight-line distance (WAN / LAN instances).
     #[default]

@@ -20,7 +20,6 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// assert_eq!(a.midpoint(b), Point2::new(2.5, 4.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point2 {
     /// Horizontal coordinate.
     pub x: f64,

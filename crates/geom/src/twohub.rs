@@ -69,6 +69,10 @@ pub struct TwoHubSolution {
     pub cost: f64,
     /// Number of alternating sweeps performed (0 for the exact solvers).
     pub iterations: usize,
+    /// Objective decrease of the final alternating sweep — the
+    /// convergence residual left when iteration stopped (0 for the exact
+    /// breakpoint solvers, which have none).
+    pub residual: f64,
 }
 
 impl TwoHubProblem {
@@ -157,6 +161,7 @@ impl TwoHubProblem {
             hub_b,
             cost: self.cost(hub_a, hub_b, Norm::Manhattan),
             iterations: 0,
+            residual: 0.0,
         }
     }
 
@@ -192,6 +197,7 @@ impl TwoHubProblem {
             hub_b,
             cost: self.cost(hub_a, hub_b, Norm::Chebyshev),
             iterations: 0,
+            residual: 0.0,
         }
     }
 
@@ -220,6 +226,7 @@ impl TwoHubProblem {
         let norm = Norm::Euclidean;
         let mut cost = self.cost(hub_a, hub_b, norm);
         let mut iterations = 0;
+        let mut residual = 0.0;
         for it in 0..TWOHUB_MAX_ITER {
             iterations = it + 1;
             // Optimize hub_a with hub_b fixed (the trunk end acts as one
@@ -235,6 +242,7 @@ impl TwoHubProblem {
             hub_b = WeberProblem::new(b_anchors).solve_euclidean_fast(200);
 
             let next = self.cost(hub_a, hub_b, norm);
+            residual = (cost - next).max(0.0);
             if cost - next < TWOHUB_TOL * cost.max(1.0) {
                 cost = next;
                 break;
@@ -246,6 +254,7 @@ impl TwoHubProblem {
             hub_b,
             cost,
             iterations,
+            residual,
         }
     }
 

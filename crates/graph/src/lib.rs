@@ -32,12 +32,10 @@ use std::fmt;
 
 /// Stable identifier of a node within one [`Digraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 /// Stable identifier of an edge within one [`Digraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -70,7 +68,6 @@ impl fmt::Display for EdgeId {
 
 /// An edge record: endpoints plus user payload.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge<E> {
     /// Source node.
     pub src: NodeId,
@@ -101,7 +98,6 @@ pub struct Edge<E> {
 /// assert_eq!(downstream, vec![n2]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Digraph<N, E> {
     nodes: Vec<N>,
     edges: Vec<Edge<E>>,

@@ -1,0 +1,528 @@
+//! Lightweight observability for the synthesis pipeline.
+//!
+//! The design follows the `log` crate: a process-global recorder is
+//! installed (or not) by the application, and instrumented code emits
+//! [`Event`]s through free functions. When no recorder is installed the
+//! hot path is a single relaxed atomic load — no clock reads, no
+//! allocation, no locking — so library code can stay instrumented
+//! unconditionally.
+//!
+//! Three building blocks cover the pipeline's needs:
+//!
+//! - [`span`] returns an RAII [`Span`] that reports its wall-clock
+//!   duration on drop (phase timings: `matrices`, `p2p`, `merging`,
+//!   `placement`, `covering`, `assembly`, `total`);
+//! - [`counter`] accumulates monotone totals (subsets examined, prune
+//!   hits, branch-and-bound nodes, ...);
+//! - [`gauge`] records a last-write-wins measurement (convergence
+//!   residuals, greedy-vs-exact gap).
+//!
+//! Recorders: [`Collector`] aggregates events into a [`Metrics`]
+//! document (rendered to JSON for `--metrics-json`),
+//! [`JsonLinesRecorder`] streams each event as one compact JSON line
+//! (`--trace`), and [`Fanout`] drives several recorders at once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use json::Value;
+
+/// An observability event emitted by instrumented code.
+///
+/// Names borrow from the call site; recorders copy what they keep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A [`Span`] finished after `wall_ns` nanoseconds.
+    SpanEnd {
+        /// Span name (a pipeline phase such as `"merging"`).
+        name: &'a str,
+        /// Elapsed wall-clock time in nanoseconds.
+        wall_ns: u64,
+    },
+    /// A monotone counter increased by `delta`.
+    Counter {
+        /// Counter name (e.g. `"merging.k3.examined"`).
+        name: &'a str,
+        /// Increment (usually 1).
+        delta: u64,
+    },
+    /// A gauge took a new value (last write wins).
+    Gauge {
+        /// Gauge name (e.g. `"placement.max_residual"`).
+        name: &'a str,
+        /// The observed value.
+        value: f64,
+    },
+}
+
+/// A sink for [`Event`]s. Implementations must tolerate concurrent
+/// calls from multiple threads.
+pub trait Record: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event<'_>);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Record>>> = RwLock::new(None);
+
+/// Installs `recorder` as the process-global event sink, replacing any
+/// previous one.
+pub fn set_recorder(recorder: Arc<dyn Record>) {
+    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the global recorder; subsequent events cost one atomic load.
+pub fn clear_recorder() {
+    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    ENABLED.store(false, Ordering::Release);
+    *slot = None;
+}
+
+/// Whether a recorder is installed. Instrumented code can use this to
+/// skip building event names (`format!`) when nobody is listening.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn dispatch(event: &Event<'_>) {
+    let slot = RECORDER.read().unwrap_or_else(|e| e.into_inner());
+    if let Some(recorder) = slot.as_ref() {
+        recorder.record(event);
+    }
+}
+
+/// Adds `delta` to the counter `name`. A no-op when disabled.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if enabled() {
+        dispatch(&Event::Counter { name, delta });
+    }
+}
+
+/// Sets the gauge `name` to `value`. A no-op when disabled.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if enabled() {
+        dispatch(&Event::Gauge { name, value });
+    }
+}
+
+/// Reports an already-measured span duration (for code that times a
+/// phase itself and wants the measurement in both places). A no-op when
+/// disabled.
+#[inline]
+pub fn record_span(name: &str, wall: std::time::Duration) {
+    if enabled() {
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        dispatch(&Event::SpanEnd { name, wall_ns });
+    }
+}
+
+/// Starts a wall-clock span; the elapsed time is reported when the
+/// returned guard drops. When disabled the clock is never read.
+#[inline]
+#[must_use = "a span measures until it is dropped"]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// RAII guard created by [`span`]; emits [`Event::SpanEnd`] on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // Re-check: the recorder may have been cleared mid-span.
+            if enabled() {
+                dispatch(&Event::SpanEnd {
+                    name: self.name,
+                    wall_ns,
+                });
+            }
+        }
+    }
+}
+
+/// Aggregate of one span name across all its executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans with this name completed.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub total_ns: u64,
+}
+
+/// An aggregated metrics document: per-span timings, counter totals,
+/// and last gauge values. Serializes to the `ccs-metrics-v1` JSON
+/// schema via [`Metrics::to_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Wall-clock aggregates keyed by span name.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter totals keyed by counter name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last observed value per gauge name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+/// Schema identifier written into every metrics document.
+pub const METRICS_SCHEMA: &str = "ccs-metrics-v1";
+
+impl Metrics {
+    /// Folds one event into the aggregate.
+    pub fn apply(&mut self, event: &Event<'_>) {
+        match *event {
+            Event::SpanEnd { name, wall_ns } => {
+                let stat = self.spans.entry(name.to_string()).or_default();
+                stat.calls += 1;
+                stat.total_ns = stat.total_ns.saturating_add(wall_ns);
+            }
+            Event::Counter { name, delta } => {
+                let total = self.counters.entry(name.to_string()).or_default();
+                *total = total.saturating_add(delta);
+            }
+            Event::Gauge { name, value } => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Renders the `ccs-metrics-v1` document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "ccs-metrics-v1",
+    ///   "phases": {"merging": {"calls": 1, "wall_ns": 12345}, ...},
+    ///   "counters": {"merging.k2.examined": 15, ...},
+    ///   "gauges": {"placement.max_residual": 1.2e-10, ...}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Value {
+        let mut phases = BTreeMap::new();
+        for (name, stat) in &self.spans {
+            let mut entry = BTreeMap::new();
+            entry.insert("calls".to_string(), Value::Num(stat.calls as f64));
+            entry.insert("wall_ns".to_string(), Value::Num(stat.total_ns as f64));
+            phases.insert(name.clone(), Value::Obj(entry));
+        }
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(*v)))
+            .collect();
+        let mut doc = BTreeMap::new();
+        doc.insert("schema".to_string(), Value::Str(METRICS_SCHEMA.to_string()));
+        doc.insert("phases".to_string(), Value::Obj(phases));
+        doc.insert("counters".to_string(), Value::Obj(counters));
+        doc.insert("gauges".to_string(), Value::Obj(gauges));
+        Value::Obj(doc)
+    }
+
+    /// Reconstructs a `Metrics` from a `ccs-metrics-v1` document.
+    /// Returns `None` if the value is not such a document.
+    pub fn from_json(value: &Value) -> Option<Metrics> {
+        if value.get("schema")?.as_str()? != METRICS_SCHEMA {
+            return None;
+        }
+        let mut metrics = Metrics::default();
+        for (name, entry) in value.get("phases")?.as_obj()? {
+            metrics.spans.insert(
+                name.clone(),
+                SpanStat {
+                    calls: entry.get("calls")?.as_num()? as u64,
+                    total_ns: entry.get("wall_ns")?.as_num()? as u64,
+                },
+            );
+        }
+        for (name, v) in value.get("counters")?.as_obj()? {
+            metrics.counters.insert(name.clone(), v.as_num()? as u64);
+        }
+        for (name, v) in value.get("gauges")?.as_obj()? {
+            metrics.gauges.insert(name.clone(), v.as_num()?);
+        }
+        Some(metrics)
+    }
+}
+
+/// A recorder that aggregates events into a [`Metrics`] document.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<Metrics>,
+}
+
+impl Collector {
+    /// A fresh, empty collector ready to be installed via
+    /// [`set_recorder`].
+    pub fn new() -> Arc<Collector> {
+        Arc::new(Collector::default())
+    }
+
+    /// A copy of everything aggregated so far.
+    pub fn snapshot(&self) -> Metrics {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Record for Collector {
+    fn record(&self, event: &Event<'_>) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .apply(event);
+    }
+}
+
+/// A recorder that writes each event as one compact JSON line
+/// (`{"type":"counter","name":"...","delta":1}`), for `--trace`.
+pub struct JsonLinesRecorder {
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonLinesRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesRecorder").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesRecorder {
+    /// Streams events to `out`.
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> Arc<JsonLinesRecorder> {
+        Arc::new(JsonLinesRecorder {
+            out: Mutex::new(out),
+        })
+    }
+
+    /// Streams events to standard error (keeps stdout clean for
+    /// reports).
+    pub fn stderr() -> Arc<JsonLinesRecorder> {
+        JsonLinesRecorder::new(Box::new(std::io::stderr()))
+    }
+}
+
+/// The JSON-lines form of one event, shared by the recorder and tests.
+pub fn event_to_json(event: &Event<'_>) -> Value {
+    let mut obj = BTreeMap::new();
+    match *event {
+        Event::SpanEnd { name, wall_ns } => {
+            obj.insert("type".to_string(), Value::Str("span_end".to_string()));
+            obj.insert("name".to_string(), Value::Str(name.to_string()));
+            obj.insert("wall_ns".to_string(), Value::Num(wall_ns as f64));
+        }
+        Event::Counter { name, delta } => {
+            obj.insert("type".to_string(), Value::Str("counter".to_string()));
+            obj.insert("name".to_string(), Value::Str(name.to_string()));
+            obj.insert("delta".to_string(), Value::Num(delta as f64));
+        }
+        Event::Gauge { name, value } => {
+            obj.insert("type".to_string(), Value::Str("gauge".to_string()));
+            obj.insert("name".to_string(), Value::Str(name.to_string()));
+            obj.insert("value".to_string(), Value::Num(value));
+        }
+    }
+    Value::Obj(obj)
+}
+
+impl Record for JsonLinesRecorder {
+    fn record(&self, event: &Event<'_>) {
+        let mut line = String::new();
+        event_to_json(event).write_compact(&mut line);
+        line.push('\n');
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // Tracing must never take the pipeline down with it.
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+/// Drives several recorders from one event stream (e.g. `--trace`
+/// together with `--metrics-json`).
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Record>>,
+}
+
+impl std::fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Fanout {
+    /// Fans events out to every recorder in `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Record>>) -> Arc<Fanout> {
+        Arc::new(Fanout { sinks })
+    }
+}
+
+impl Record for Fanout {
+    fn record(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests that install one must not
+    // interleave.
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events_and_reads_no_clock() {
+        let _guard = exclusive();
+        clear_recorder();
+        assert!(!enabled());
+        // Spans skip the Instant entirely when disabled...
+        let s = span("idle");
+        assert!(s.start.is_none());
+        drop(s);
+        // ...and counters/gauges are plain early returns.
+        counter("nobody.listening", 7);
+        gauge("nobody.listening", 1.0);
+        // Installing a collector afterwards sees none of it.
+        let collector = Collector::new();
+        set_recorder(collector.clone());
+        clear_recorder();
+        assert_eq!(collector.snapshot(), Metrics::default());
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let _guard = exclusive();
+        let collector = Collector::new();
+        set_recorder(collector.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        counter("shared.total", 1);
+                    }
+                    counter("shared.batches", 1);
+                });
+            }
+        });
+        {
+            let _span = span("scoped");
+        }
+        gauge("final.value", 2.5);
+        clear_recorder();
+        let m = collector.snapshot();
+        assert_eq!(m.counters["shared.total"], 4000);
+        assert_eq!(m.counters["shared.batches"], 4);
+        assert_eq!(m.spans["scoped"].calls, 1);
+        assert_eq!(m.gauges["final.value"], 2.5);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let mut m = Metrics::default();
+        m.apply(&Event::SpanEnd {
+            name: "merging",
+            wall_ns: 1_234_567,
+        });
+        m.apply(&Event::SpanEnd {
+            name: "merging",
+            wall_ns: 1_000,
+        });
+        m.apply(&Event::Counter {
+            name: "merging.k2.examined",
+            delta: 15,
+        });
+        m.apply(&Event::Gauge {
+            name: "placement.max_residual",
+            value: 1.5e-9,
+        });
+        let doc = m.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        let text = doc.to_string();
+        let parsed = json::parse(&text).expect("valid JSON");
+        assert_eq!(Metrics::from_json(&parsed), Some(m.clone()));
+        assert_eq!(m.spans["merging"].calls, 2);
+        assert_eq!(m.spans["merging"].total_ns, 1_235_567);
+    }
+
+    #[test]
+    fn json_lines_recorder_emits_one_valid_line_per_event() {
+        let _guard = exclusive();
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        set_recorder(JsonLinesRecorder::new(Box::new(Shared(buffer.clone()))));
+        counter("c", 3);
+        gauge("g", -0.5);
+        {
+            let _s = span("s");
+        }
+        clear_recorder();
+
+        let bytes = buffer.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = json::parse(lines[0]).expect("valid JSON line");
+        assert_eq!(first.get("type").and_then(Value::as_str), Some("counter"));
+        assert_eq!(first.get("delta").and_then(Value::as_num), Some(3.0));
+        let last = json::parse(lines[2]).expect("valid JSON line");
+        assert_eq!(last.get("type").and_then(Value::as_str), Some("span_end"));
+        assert!(last.get("wall_ns").and_then(Value::as_num).is_some());
+    }
+
+    #[test]
+    fn fanout_drives_every_sink() {
+        let _guard = exclusive();
+        let a = Collector::new();
+        let b = Collector::new();
+        set_recorder(Fanout::new(vec![
+            a.clone() as Arc<dyn Record>,
+            b.clone() as Arc<dyn Record>,
+        ]));
+        counter("x", 2);
+        clear_recorder();
+        assert_eq!(a.snapshot().counters["x"], 2);
+        assert_eq!(b.snapshot().counters["x"], 2);
+    }
+}

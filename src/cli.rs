@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! ccs synth    --instance net.ccs --library lib.ccs [--greedy] [--max-k N] [--dot]
+//!              [--trace] [--metrics-json FILE]
 //! ccs verify   --instance net.ccs --library lib.ccs
 //! ccs simulate --instance net.ccs --library lib.ccs [--fail-group N] [--packets]
+//!              [--trace] [--metrics-json FILE]
 //! ccs tables   --instance net.ccs
 //! ccs example  instance wan|mpeg4   # print a built-in instance file
 //! ccs example  library  wan|soc     # print a built-in library file
 //! ```
 //!
 //! Instance and library files use the plain-text format of
-//! [`ccs_gen::io`].
+//! [`ccs_gen::io`]. `--trace` streams every observability event as one
+//! JSON line on standard error; `--metrics-json FILE` writes the
+//! aggregated `ccs-metrics-v1` document (per-phase wall-clock timings,
+//! pruning counters, convergence gauges) to `FILE` after the run.
 
 use ccs_core::constraint::ConstraintGraph;
 use ccs_core::cover::CoverStrategy;
@@ -26,12 +31,18 @@ use std::fmt::Write as _;
 pub const USAGE: &str = "\
 usage:
   ccs synth    --instance FILE --library FILE [--greedy] [--max-k N] [--dot]
+               [--trace] [--metrics-json FILE]
   ccs verify   --instance FILE --library FILE
   ccs simulate --instance FILE --library FILE [--fail-group N] [--packets]
+               [--trace] [--metrics-json FILE]
   ccs tables   --instance FILE
   ccs example  instance wan|mpeg4
   ccs example  library  wan|soc
   ccs help
+
+observability:
+  --trace              stream each pipeline event as one JSON line on stderr
+  --metrics-json FILE  write the aggregated ccs-metrics-v1 document to FILE
 ";
 
 /// Runs the CLI on `args` (without the program name); returns the text to
@@ -62,6 +73,8 @@ struct Flags {
     dot: bool,
     packets: bool,
     fail_group: Option<u32>,
+    trace: bool,
+    metrics_json: Option<String>,
 }
 
 fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
@@ -73,6 +86,8 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
             "--greedy" => f.greedy = true,
             "--dot" => f.dot = true,
             "--packets" => f.packets = true,
+            "--trace" => f.trace = true,
+            "--metrics-json" => f.metrics_json = Some(required(&mut it, tok)?.to_string()),
             "--max-k" => {
                 f.max_k = Some(
                     required(&mut it, tok)?
@@ -109,6 +124,64 @@ fn load_library(f: &Flags) -> Result<Library, String> {
     io::library_from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Recorder session for `--trace` / `--metrics-json`: installs the
+/// process-global recorder on start and always clears it again — via
+/// [`ObsSession::finish`] on success, via `Drop` when synthesis errors
+/// out mid-run.
+struct ObsSession {
+    collector: Option<std::sync::Arc<ccs_obs::Collector>>,
+    metrics_path: Option<String>,
+    installed: bool,
+}
+
+impl ObsSession {
+    fn start(f: &Flags) -> ObsSession {
+        let mut sinks: Vec<std::sync::Arc<dyn ccs_obs::Record>> = Vec::new();
+        if f.trace {
+            sinks.push(ccs_obs::JsonLinesRecorder::stderr());
+        }
+        let collector = f.metrics_json.as_ref().map(|_| {
+            let c = ccs_obs::Collector::new();
+            sinks.push(c.clone());
+            c
+        });
+        let installed = !sinks.is_empty();
+        if let [sink] = &sinks[..] {
+            ccs_obs::set_recorder(sink.clone());
+        } else if installed {
+            ccs_obs::set_recorder(ccs_obs::Fanout::new(sinks));
+        }
+        ObsSession {
+            collector,
+            metrics_path: f.metrics_json.clone(),
+            installed,
+        }
+    }
+
+    /// Stops recording and writes the metrics document, if one was
+    /// requested.
+    fn finish(mut self) -> Result<(), String> {
+        if self.installed {
+            ccs_obs::clear_recorder();
+            self.installed = false;
+        }
+        if let (Some(collector), Some(path)) = (self.collector.take(), self.metrics_path.take()) {
+            let mut text = collector.snapshot().to_json().to_string();
+            text.push('\n');
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if self.installed {
+            ccs_obs::clear_recorder();
+        }
+    }
+}
+
 fn configured(f: &Flags) -> SynthesisConfig {
     let mut cfg = SynthesisConfig::default();
     if f.greedy {
@@ -121,14 +194,17 @@ fn configured(f: &Flags) -> SynthesisConfig {
 fn synth(f: &Flags) -> Result<String, String> {
     let g = load_instance(f)?;
     let lib = load_library(f)?;
+    let obs = ObsSession::start(f);
     let r = Synthesizer::new(&g, &lib)
         .with_config(configured(f))
         .run()
         .map_err(|e| e.to_string())?;
+    obs.finish()?;
     let mut out = String::new();
     let _ = writeln!(out, "{}", report::arcs_table(&g));
     let _ = writeln!(out, "{}", report::candidate_counts(&r));
     let _ = writeln!(out, "{}", report::selection_summary(&r, &g, &lib));
+    let _ = writeln!(out, "{}", report::phase_table(&r.stats));
     if f.dot {
         let _ = writeln!(out, "{}", r.implementation.to_dot("ccs"));
     }
@@ -161,10 +237,12 @@ fn verify_cmd(f: &Flags) -> Result<String, String> {
 fn simulate_cmd(f: &Flags) -> Result<String, String> {
     let g = load_instance(f)?;
     let lib = load_library(f)?;
+    let obs = ObsSession::start(f);
     let r = Synthesizer::new(&g, &lib)
         .with_config(configured(f))
         .run()
         .map_err(|e| e.to_string())?;
+    let sim_start = std::time::Instant::now();
     let mut out = String::new();
     if f.packets {
         let cfg = ccs_netsim::packet::PacketSimConfig {
@@ -216,6 +294,8 @@ fn simulate_cmd(f: &Flags) -> Result<String, String> {
             report.max_utilization() * 100.0
         );
     }
+    ccs_obs::record_span("simulate", sim_start.elapsed());
+    obs.finish()?;
     Ok(out)
 }
 
@@ -322,6 +402,56 @@ mod tests {
 
         // Bad numeric flags are rejected.
         assert!(run(&args(&format!("synth {base} --max-k x"))).is_err());
+    }
+
+    #[test]
+    fn metrics_json_flag_writes_schema_document() {
+        let dir = std::env::temp_dir().join("ccs-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        let metrics = dir.join("metrics.json");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+
+        // --trace together with --metrics-json exercises the fanout.
+        let out = run(&args(&format!(
+            "synth --instance {} --library {} --trace --metrics-json {}",
+            inst.display(),
+            lib.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        // The human-readable side: the "where did the time go" table.
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+
+        // The machine-readable side: a valid ccs-metrics-v1 document.
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let doc = ccs_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(ccs_obs::json::Value::as_str),
+            Some(ccs_obs::METRICS_SCHEMA)
+        );
+        let phases = doc.get("phases").expect("phases object");
+        for name in [
+            "p2p",
+            "matrices",
+            "merging",
+            "placement",
+            "covering",
+            "assembly",
+            "total",
+        ] {
+            assert!(phases.get(name).is_some(), "missing phase {name}: {text}");
+        }
+        let counters = doc.get("counters").expect("counters object");
+        assert!(counters.get("merging.k2.examined").is_some(), "{text}");
+        assert!(counters.get("covering.bnb_nodes").is_some(), "{text}");
+
+        // Missing value is rejected.
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+        assert!(run(&args(&format!("synth {base} --metrics-json"))).is_err());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   exhaustive oracle, annealing);
 //! * [`netsim`] — a flow-level simulator validating synthesized
 //!   architectures;
+//! * [`obs`] — the zero-dependency observability layer (spans, counters,
+//!   JSON-lines tracing, machine-readable run metrics);
 //! * [`gen`] — workload generators, including the paper's WAN instance and
 //!   the MPEG-4 decoder floorplan.
 //!
@@ -51,6 +53,7 @@ pub use ccs_gen as gen;
 pub use ccs_geom as geom;
 pub use ccs_graph as graph;
 pub use ccs_netsim as netsim;
+pub use ccs_obs as obs;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored
+//! crate provides the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a
+//! simple mean/min/max over `sample_size` samples (no statistical
+//! analysis, no HTML reports); results print to stdout, and when
+//! `CCS_BENCH_JSON_DIR` is set each group also writes a
+//! `BENCH_<group>.json` summary there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(id);
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+}
+
+/// A named benchmark within a group (stand-in for
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"<function_name>/<parameter>"`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+struct Sampled {
+    id: String,
+    samples: usize,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// A group of benchmarks sharing a name and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<Sampled>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let sampled = b.summarize(full.clone());
+        println!(
+            "bench {full}: mean {:?} (min {:?}, max {:?}, {} samples)",
+            sampled.mean, sampled.min, sampled.max, sampled.samples
+        );
+        self.results.push(sampled);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &D),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group, writing the JSON summary when
+    /// `CCS_BENCH_JSON_DIR` is set.
+    pub fn finish(&mut self) {
+        self.finished = true;
+        let Ok(dir) = std::env::var("CCS_BENCH_JSON_DIR") else {
+            return;
+        };
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": \"{}\",", self.name);
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{comma}",
+                r.id,
+                r.samples,
+                r.mean.as_nanos(),
+                r.min.as_nanos(),
+                r.max.as_nanos()
+            );
+        }
+        json.push_str("  ]\n}\n");
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Times closures (stand-in for `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn summarize(self, id: String) -> Sampled {
+        assert!(!self.samples.is_empty(), "bench {id} never called iter()");
+        let total: Duration = self.samples.iter().sum();
+        Sampled {
+            id,
+            samples: self.samples.len(),
+            mean: total / self.samples.len() as u32,
+            min: self.samples.iter().min().copied().unwrap_or_default(),
+            max: self.samples.iter().max().copied().unwrap_or_default(),
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(g.results.len(), 1);
+        assert_eq!(g.results[0].samples, 3);
+        assert_eq!(calls, 4); // warm-up + 3 samples
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo2");
+        g.sample_size(2);
+        let input = 21usize;
+        g.bench_with_input(BenchmarkId::new("double", input), &input, |b, &i| {
+            b.iter(|| assert_eq!(i * 2, 42))
+        });
+        g.finish();
+    }
+}
