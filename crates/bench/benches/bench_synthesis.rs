@@ -1,5 +1,7 @@
 //! Criterion bench: the full synthesis pipeline (Fig. 4 / Fig. 5 and a
-//! size sweep).
+//! size sweep), at one worker thread and at the machine's full
+//! parallelism. The two configurations produce bit-identical results —
+//! the only difference the bench should show is wall-clock time.
 
 use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
 use ccs_gen::random::{clustered_wan, ClusteredWanConfig};
@@ -7,23 +9,52 @@ use ccs_gen::{mpeg4, wan};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+/// Thread counts to sweep: serial plus full parallelism (deduplicated
+/// on single-core machines).
+fn thread_counts() -> Vec<usize> {
+    let max = ccs_exec::available();
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
+    }
+}
+
+fn with_threads(mut cfg: SynthesisConfig, threads: usize) -> SynthesisConfig {
+    cfg.threads = threads;
+    cfg
+}
+
 fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(10);
 
+    // The paper's own instances are small; bench them serially (thread
+    // fan-out overhead would dominate, not the pipeline).
     let g = wan::paper_instance();
     let lib = wan::paper_library();
+    let serial = with_threads(SynthesisConfig::default(), 1);
     group.bench_function("fig4_wan_paper", |b| {
-        b.iter(|| Synthesizer::new(black_box(&g), &lib).run().unwrap())
+        b.iter(|| {
+            Synthesizer::new(black_box(&g), &lib)
+                .with_config(serial.clone())
+                .run()
+                .unwrap()
+        })
     });
 
     let sg = mpeg4::paper_instance();
     let slib = mpeg4::paper_library();
     group.bench_function("fig5_mpeg4", |b| {
-        b.iter(|| Synthesizer::new(black_box(&sg), &slib).run().unwrap())
+        b.iter(|| {
+            Synthesizer::new(black_box(&sg), &slib)
+                .with_config(serial.clone())
+                .run()
+                .unwrap()
+        })
     });
 
-    for &n in &[8usize, 12, 16] {
+    for &n in &[8usize, 12, 16, 24] {
         let g = clustered_wan(&ClusteredWanConfig {
             clusters: 3,
             nodes_per_cluster: 3,
@@ -33,14 +64,18 @@ fn bench_synthesis(c: &mut Criterion) {
         });
         let mut cfg = SynthesisConfig::default();
         cfg.merge.max_k = Some(4);
-        group.bench_with_input(BenchmarkId::new("clustered", n), &g, |b, g| {
-            b.iter(|| {
-                Synthesizer::new(black_box(g), &lib)
-                    .with_config(cfg.clone())
-                    .run()
-                    .unwrap()
-            })
-        });
+        for threads in thread_counts() {
+            let cfg = with_threads(cfg.clone(), threads);
+            let id = BenchmarkId::new(&format!("clustered_t{threads}"), n);
+            group.bench_with_input(id, &g, |b, g| {
+                b.iter(|| {
+                    Synthesizer::new(black_box(g), &lib)
+                        .with_config(cfg.clone())
+                        .run()
+                        .unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -4,11 +4,14 @@
 //! cargo run -p ccs-bench --release --bin report            # everything
 //! cargo run -p ccs-bench --release --bin report -- fig4    # one experiment
 //! cargo run -p ccs-bench --release --bin report -- --metrics-json m.json
+//! cargo run -p ccs-bench --release --bin report -- --threads 8
 //! ```
 //!
 //! `--metrics-json FILE` records every experiment under a
 //! [`ccs_obs::Collector`] and writes the aggregated `ccs-metrics-v1`
 //! document (the same schema as `ccs synth --metrics-json`) to `FILE`.
+//! `--threads N` sets the process-wide default worker count of the
+//! parallel synthesis phases (results are bit-identical for every N).
 
 use ccs_bench::{run, EXPERIMENT_IDS};
 
@@ -23,6 +26,14 @@ fn main() {
                 Some(path) => metrics_path = Some(path.clone()),
                 None => {
                     eprintln!("--metrics-json needs a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--threads" {
+            match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => ccs_exec::set_default_threads(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
                     std::process::exit(2);
                 }
             }

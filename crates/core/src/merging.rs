@@ -26,11 +26,24 @@
 //! the default ([`MergePruneRule::LastArcPivot`]); the stricter
 //! [`MergePruneRule::AnyPivot`] is available as a config option. Both are
 //! sound (each application is a sufficient non-mergeability condition).
+//!
+//! ### Parallelism & determinism
+//!
+//! Each level's extension and prune sweeps are chunked over a
+//! [`ccs_exec::Executor`] (see [`enumerate_with`]). Determinism is by
+//! construction: chunks are contiguous index ranges emitted back in
+//! input order (slot-addressed), per-worker [`LevelStats`] partials are
+//! [merged](LevelStats::merge) so every counter equals the serial count
+//! exactly, and each level's survivors are re-sorted canonically before
+//! the Theorem 3.1 closure runs. `enumerate_with` therefore returns
+//! **bit-identical** results for every thread count; [`enumerate`] is
+//! the serial special case.
 
 use crate::constraint::ConstraintGraph;
 use crate::library::Library;
 use crate::matrices::DistanceMatrices;
 use crate::units::Bandwidth;
+use ccs_exec::{chunk_ranges, ExecStats, Executor};
 
 /// Which pivots Lemma 3.2 is evaluated with (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,6 +135,25 @@ pub struct LevelStats {
     pub deactivated: u64,
 }
 
+impl LevelStats {
+    /// Accumulates a per-worker partial into `self` (same level `k`).
+    ///
+    /// Every counter is a plain sum, so merging worker partials in any
+    /// order reproduces the serial totals exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two partials describe different levels.
+    pub fn merge(&mut self, other: &LevelStats) {
+        assert_eq!(self.k, other.k, "merging LevelStats of different levels");
+        self.examined += other.examined;
+        self.geometry_pruned += other.geometry_pruned;
+        self.bandwidth_pruned += other.bandwidth_pruned;
+        self.survivors += other.survivors;
+        self.deactivated += other.deactivated;
+    }
+}
+
 /// Statistics from one enumeration run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MergeStats {
@@ -141,6 +173,11 @@ pub struct MergeStats {
     /// level that examined subsets but kept none is retained here, so
     /// the per-level prune counts always sum to the aggregates.
     pub levels: Vec<LevelStats>,
+    /// Executor telemetry of the run (tasks, steals, busy time).
+    /// Everything else in this struct is identical for every thread
+    /// count; this field is scheduling-dependent and excluded from
+    /// determinism comparisons.
+    pub exec: ExecStats,
 }
 
 impl MergeEnumeration {
@@ -211,12 +248,30 @@ pub fn bandwidth_pruned(graph: &ConstraintGraph, library: &Library, subset: &[us
 
 /// Enumerates all surviving merge candidates of `graph` under `config`
 /// (the `GenerateCandidateArcImplementations` loop of Fig. 2, minus the
-/// point-to-point singletons which [`crate::p2p`] provides).
+/// point-to-point singletons which [`crate::p2p`] provides), serially.
+///
+/// Equivalent to [`enumerate_with`] on a single-threaded executor — and,
+/// by the determinism guarantee, to `enumerate_with` on *any* executor.
 pub fn enumerate(
     graph: &ConstraintGraph,
     library: &Library,
     matrices: &DistanceMatrices,
     config: &MergeConfig,
+) -> MergeEnumeration {
+    enumerate_with(graph, library, matrices, config, &Executor::serial())
+}
+
+/// [`enumerate`] with the level sweeps fanned out over `exec`.
+///
+/// The result is bit-identical for every thread count: sweeps emit into
+/// index-ordered slots, per-worker [`LevelStats`] are merged (sums), and
+/// survivors are canonically re-sorted before Theorem 3.1 deactivation.
+pub fn enumerate_with(
+    graph: &ConstraintGraph,
+    library: &Library,
+    matrices: &DistanceMatrices,
+    config: &MergeConfig,
+    exec: &Executor,
 ) -> MergeEnumeration {
     let n = graph.arc_count();
     let mut stats = MergeStats {
@@ -241,33 +296,52 @@ pub fn enumerate(
         s => s,
     };
     let max_k = config.max_k.unwrap_or(n).min(n);
+    let sweep_parts = exec.threads() * 8;
 
     // ---- Level k = 2 ---------------------------------------------------
+    // Chunked Lemma 3.1 / Theorem 3.2 sweep over all ordered pairs.
+    let pair_list: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let chunks = chunk_ranges(pair_list.len(), sweep_parts);
+    let (parts, sweep_stats) = exec.par_map_stats(&chunks, |_, &(s, e)| {
+        let mut ls = LevelStats {
+            k: 2,
+            ..LevelStats::default()
+        };
+        let mut surviving: Vec<(usize, usize)> = Vec::new();
+        for &(i, j) in &pair_list[s..e] {
+            ls.examined += 1;
+            if config.geometry_prune && pair_pruned(matrices, i, j) {
+                ls.geometry_pruned += 1;
+                continue;
+            }
+            if config.bandwidth_prune && bandwidth_pruned(graph, library, &[i, j]) {
+                ls.bandwidth_pruned += 1;
+                continue;
+            }
+            surviving.push((i, j));
+        }
+        (ls, surviving)
+    });
+    stats.exec.merge(&sweep_stats);
     let mut level = LevelStats {
         k: 2,
         ..LevelStats::default()
     };
     let mut pairs: Vec<Vec<usize>> = Vec::new();
     let mut adj = vec![vec![false; n]; n];
-    #[allow(clippy::needless_range_loop)] // i/j index the adjacency matrix
-    for i in 0..n {
-        for j in (i + 1)..n {
-            level.examined += 1;
-            if config.geometry_prune && pair_pruned(matrices, i, j) {
-                stats.geometry_pruned += 1;
-                level.geometry_pruned += 1;
-                continue;
-            }
-            if config.bandwidth_prune && bandwidth_pruned(graph, library, &[i, j]) {
-                stats.bandwidth_pruned += 1;
-                level.bandwidth_pruned += 1;
-                continue;
-            }
+    for (ls, surviving) in parts {
+        level.merge(&ls);
+        for (i, j) in surviving {
             adj[i][j] = true;
             adj[j][i] = true;
             pairs.push(vec![i, j]);
         }
     }
+    stats.geometry_pruned += level.geometry_pruned;
+    stats.bandwidth_pruned += level.bandwidth_pruned;
+    pairs.sort_unstable(); // canonical order before Theorem 3.1
     let mut active: Vec<bool> = vec![false; n];
     for p in &pairs {
         active[p[0]] = true;
@@ -290,8 +364,6 @@ pub fn enumerate(
         if prev_level.is_empty() {
             break;
         }
-        let mut survivors: Vec<Vec<usize>> = Vec::new();
-        let mut examined = 0usize;
         let mut truncated = false;
 
         let candidates: Vec<Vec<usize>> = match strategy {
@@ -301,22 +373,34 @@ pub fn enumerate(
             }
             EnumerationStrategy::PairwiseCliques | EnumerationStrategy::Auto => {
                 // Extend each surviving (k−1)-clique by a higher-index arc
-                // adjacent to all members.
-                let mut ext = Vec::new();
-                'outer: for s in &prev_level {
-                    let last = *s.last().expect("non-empty subset");
-                    for j in (last + 1)..n {
-                        if !active[j] {
-                            continue;
-                        }
-                        if s.iter().all(|&i| adj[i][j]) {
-                            let mut t = s.clone();
-                            t.push(j);
-                            ext.push(t);
-                            if ext.len() > config.max_subsets_per_level {
-                                truncated = true;
-                                break 'outer;
+                // adjacent to all members — chunked over the previous
+                // level, flattened back in input order.
+                let chunks = chunk_ranges(prev_level.len(), sweep_parts);
+                let (parts, sweep_stats) = exec.par_map_stats(&chunks, |_, &(s, e)| {
+                    let mut ext: Vec<Vec<usize>> = Vec::new();
+                    for sub in &prev_level[s..e] {
+                        let last = *sub.last().expect("non-empty subset");
+                        for j in (last + 1)..n {
+                            if !active[j] {
+                                continue;
                             }
+                            if sub.iter().all(|&i| adj[i][j]) {
+                                let mut t = sub.clone();
+                                t.push(j);
+                                ext.push(t);
+                            }
+                        }
+                    }
+                    ext
+                });
+                stats.exec.merge(&sweep_stats);
+                let mut ext: Vec<Vec<usize>> = Vec::new();
+                'flatten: for part in parts {
+                    for t in part {
+                        ext.push(t);
+                        if ext.len() > config.max_subsets_per_level {
+                            truncated = true;
+                            break 'flatten;
                         }
                     }
                 }
@@ -324,29 +408,46 @@ pub fn enumerate(
             }
         };
 
+        // Chunked Lemma 3.2 / Theorem 3.2 sweep; per-worker LevelStats
+        // partials merge to the exact serial counts.
+        let examined_cap = candidates.len().min(config.max_subsets_per_level);
+        if candidates.len() > config.max_subsets_per_level {
+            truncated = true;
+        }
+        let chunks = chunk_ranges(examined_cap, sweep_parts);
+        let (parts, sweep_stats) = exec.par_map_stats(&chunks, |_, &(s, e)| {
+            let mut ls = LevelStats {
+                k,
+                ..LevelStats::default()
+            };
+            let mut surviving: Vec<Vec<usize>> = Vec::new();
+            for subset in &candidates[s..e] {
+                ls.examined += 1;
+                if config.geometry_prune && subset_pruned(matrices, subset, config.prune_rule) {
+                    ls.geometry_pruned += 1;
+                    continue;
+                }
+                if config.bandwidth_prune && bandwidth_pruned(graph, library, subset) {
+                    ls.bandwidth_pruned += 1;
+                    continue;
+                }
+                surviving.push(subset.clone());
+            }
+            (ls, surviving)
+        });
+        stats.exec.merge(&sweep_stats);
         let mut level = LevelStats {
             k,
             ..LevelStats::default()
         };
-        for subset in candidates {
-            examined += 1;
-            if examined > config.max_subsets_per_level {
-                truncated = true;
-                break;
-            }
-            level.examined += 1;
-            if config.geometry_prune && subset_pruned(matrices, &subset, config.prune_rule) {
-                stats.geometry_pruned += 1;
-                level.geometry_pruned += 1;
-                continue;
-            }
-            if config.bandwidth_prune && bandwidth_pruned(graph, library, &subset) {
-                stats.bandwidth_pruned += 1;
-                level.bandwidth_pruned += 1;
-                continue;
-            }
-            survivors.push(subset);
+        let mut survivors: Vec<Vec<usize>> = Vec::new();
+        for (ls, surviving) in parts {
+            level.merge(&ls);
+            survivors.extend(surviving);
         }
+        stats.geometry_pruned += level.geometry_pruned;
+        stats.bandwidth_pruned += level.bandwidth_pruned;
+        survivors.sort_unstable(); // canonical order before Theorem 3.1
         if truncated {
             stats.truncated_at_k = Some(k);
         }
@@ -623,5 +724,134 @@ mod tests {
         let g = simple_graph();
         let m = DistanceMatrices::compute(&g);
         let _ = subset_pruned_with_pivot(&m, &[0, 1], 2);
+    }
+
+    /// A denser instance: `n` near-parallel channels in one corridor plus
+    /// a handful of deliberately un-mergeable outliers.
+    fn corridor_graph(n: usize) -> ConstraintGraph {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        for i in 0..n {
+            let y = (i as f64) * 1.5;
+            let s = b.add_port("s", Point2::new((i % 3) as f64, y));
+            let t = b.add_port("t", Point2::new(150.0 + (i % 5) as f64, y));
+            b.add_channel(s, t, mbps(4.0 + (i % 7) as f64)).unwrap();
+        }
+        for i in 0..4 {
+            let s = b.add_port("u", Point2::new(0.0, 2000.0 + 300.0 * i as f64));
+            let t = b.add_port("v", Point2::new(20.0, 2000.0 + 300.0 * i as f64));
+            b.add_channel(s, t, mbps(6.0)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn level_stats_partials_merge_to_serial_totals() {
+        // Split the k = 2 sweep of a real instance at arbitrary points;
+        // the merged partials must equal the whole-sweep totals.
+        let g = corridor_graph(10);
+        let m = DistanceMatrices::compute(&g);
+        let lib = wan_paper_library();
+        let n = g.arc_count();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i, j));
+            }
+        }
+        let sweep = |range: &[(usize, usize)]| {
+            let mut ls = LevelStats {
+                k: 2,
+                ..LevelStats::default()
+            };
+            for &(i, j) in range {
+                ls.examined += 1;
+                if pair_pruned(&m, i, j) {
+                    ls.geometry_pruned += 1;
+                } else if bandwidth_pruned(&g, &lib, &[i, j]) {
+                    ls.bandwidth_pruned += 1;
+                } else {
+                    ls.survivors += 1;
+                }
+            }
+            ls
+        };
+        let whole = sweep(&pairs);
+        for parts in [1usize, 2, 3, 7, pairs.len()] {
+            let mut merged = LevelStats {
+                k: 2,
+                ..LevelStats::default()
+            };
+            for (s, e) in chunk_ranges(pairs.len(), parts) {
+                merged.merge(&sweep(&pairs[s..e]));
+            }
+            assert_eq!(merged, whole, "parts = {parts}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different levels")]
+    fn level_stats_merge_rejects_mixed_levels() {
+        let mut a = LevelStats {
+            k: 2,
+            ..LevelStats::default()
+        };
+        let b = LevelStats {
+            k: 3,
+            ..LevelStats::default()
+        };
+        a.merge(&b);
+    }
+
+    #[test]
+    fn enumeration_is_identical_across_thread_counts() {
+        let g = corridor_graph(12);
+        let m = DistanceMatrices::compute(&g);
+        let lib = wan_paper_library();
+        for strategy in [
+            EnumerationStrategy::PairwiseCliques,
+            EnumerationStrategy::Exhaustive,
+        ] {
+            let cfg = MergeConfig {
+                strategy,
+                max_k: Some(4),
+                ..MergeConfig::default()
+            };
+            let serial = enumerate_with(&g, &lib, &m, &cfg, &Executor::serial());
+            for threads in [2, 4, 8] {
+                let par = enumerate_with(&g, &lib, &m, &cfg, &Executor::new(threads));
+                assert_eq!(
+                    par.subsets_by_k, serial.subsets_by_k,
+                    "{strategy:?} threads = {threads}"
+                );
+                assert_eq!(par.stats.counts, serial.stats.counts);
+                assert_eq!(par.stats.deactivated_at, serial.stats.deactivated_at);
+                assert_eq!(par.stats.geometry_pruned, serial.stats.geometry_pruned);
+                assert_eq!(par.stats.bandwidth_pruned, serial.stats.bandwidth_pruned);
+                assert_eq!(par.stats.truncated_at_k, serial.stats.truncated_at_k);
+                assert_eq!(par.stats.levels, serial.stats.levels);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_truncation_is_thread_count_invariant() {
+        // A cap small enough to trip mid-level: the cap+1 kept subsets,
+        // the truncation flag, and every counter must not depend on the
+        // thread count.
+        let g = corridor_graph(12);
+        let m = DistanceMatrices::compute(&g);
+        let lib = wan_paper_library();
+        let cfg = MergeConfig {
+            max_subsets_per_level: 9,
+            ..MergeConfig::default()
+        };
+        let serial = enumerate_with(&g, &lib, &m, &cfg, &Executor::serial());
+        assert!(serial.stats.truncated_at_k.is_some(), "cap should trip");
+        for threads in [3, 6] {
+            let par = enumerate_with(&g, &lib, &m, &cfg, &Executor::new(threads));
+            assert_eq!(par.subsets_by_k, serial.subsets_by_k);
+            assert_eq!(par.stats.levels, serial.stats.levels);
+            assert_eq!(par.stats.truncated_at_k, serial.stats.truncated_at_k);
+        }
     }
 }

@@ -15,6 +15,7 @@ use crate::error::SynthesisError;
 use crate::library::{Library, NodeKind};
 use crate::p2p::{best_plan, P2pPlan};
 use crate::units::Bandwidth;
+use ccs_exec::ShardedCache;
 use ccs_geom::twohub::TwoHubProblem;
 use ccs_geom::weber::WeberProblem;
 use ccs_geom::Point2;
@@ -155,6 +156,47 @@ pub fn point_to_point_candidate(
     })
 }
 
+/// Shared memoization for candidate construction across one synthesis
+/// run (valid for a single `(graph, library)` pair).
+///
+/// The same constraint arc appears in many surviving merge subsets, and
+/// every appearance re-derives the arc's hub-placement weight — the
+/// [`effective_rate`] scan over the whole link library that feeds the
+/// Weber/two-hub solves. The cache keys that solve input by the demand's
+/// bit pattern, so across a placement fan-out each distinct demand is
+/// priced exactly once no matter how many subsets (or worker threads)
+/// ask. Values are pure functions of the key, so concurrent lookups are
+/// deterministic by construction.
+#[derive(Debug, Default)]
+pub struct PlacementCache {
+    rates: ShardedCache<u64, Option<f64>>,
+}
+
+impl PlacementCache {
+    /// An empty cache.
+    pub fn new() -> PlacementCache {
+        PlacementCache::default()
+    }
+
+    /// Memoized [`effective_rate`].
+    pub fn effective_rate(&self, library: &Library, demand: Bandwidth) -> Option<f64> {
+        self.rates
+            .get_or_insert_with(demand.as_mbps().to_bits(), || {
+                effective_rate(library, demand)
+            })
+    }
+
+    /// Distinct demands priced so far.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether nothing has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+}
+
 /// The cheapest per-unit-length price at which the library can carry
 /// `demand` — the linear surrogate used as a hub-placement weight.
 ///
@@ -197,6 +239,27 @@ pub fn merge_candidate(
     library: &Library,
     subset: &[usize],
 ) -> Result<Option<Candidate>, SynthesisError> {
+    merge_candidate_cached(graph, library, subset, &PlacementCache::new())
+}
+
+/// [`merge_candidate`] with a shared [`PlacementCache`], for callers
+/// that price many subsets of the same graph/library pair (possibly
+/// from several threads at once).
+///
+/// # Errors
+///
+/// Same contract as [`merge_candidate`].
+///
+/// # Panics
+///
+/// Panics if `subset` has fewer than two arcs or contains an invalid
+/// index.
+pub fn merge_candidate_cached(
+    graph: &ConstraintGraph,
+    library: &Library,
+    subset: &[usize],
+    cache: &PlacementCache,
+) -> Result<Option<Candidate>, SynthesisError> {
     assert!(subset.len() >= 2, "a merging needs at least two arcs");
 
     // Hub hardware on offer.
@@ -219,13 +282,13 @@ pub fn merge_candidate(
     let trunk_demand: Bandwidth = arcs.iter().map(|(_, a)| a.bandwidth).sum();
 
     // Hub placement with per-length price weights.
-    let Some(trunk_rate) = effective_rate(library, trunk_demand) else {
+    let Some(trunk_rate) = cache.effective_rate(library, trunk_demand) else {
         return Ok(None);
     };
     let mut sources = Vec::with_capacity(arcs.len());
     let mut sinks = Vec::with_capacity(arcs.len());
     for (_, a) in &arcs {
-        let Some(rate) = effective_rate(library, a.bandwidth) else {
+        let Some(rate) = cache.effective_rate(library, a.bandwidth) else {
             return Ok(None);
         };
         sources.push((graph.position(a.src), rate));

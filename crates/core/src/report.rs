@@ -4,9 +4,132 @@
 use crate::constraint::{ArcId, ConstraintGraph};
 use crate::library::{Library, NodeKind};
 use crate::matrices::{DistanceMatrices, Matrix};
-use crate::placement::CandidateKind;
+use crate::placement::{Candidate, CandidateKind, Endpoint, HubHardware};
 use crate::synthesis::{SynthesisResult, SynthesisStats};
+use ccs_obs::json::Value;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Schema identifier of the [`topology_json`] document.
+pub const TOPOLOGY_SCHEMA: &str = "ccs-topology-v1";
+
+/// Renders the synthesized architecture as a machine-readable JSON
+/// document (schema [`TOPOLOGY_SCHEMA`]).
+///
+/// The document is a pure function of the synthesis *result* — costs,
+/// selected candidates, hub positions, per-segment plans — and contains
+/// no timings, counters, or other scheduling-dependent data. Because
+/// synthesis is bit-identical across thread counts, serializing this
+/// value yields byte-equal text for `--threads 1` and `--threads N`;
+/// the CI determinism gate diffs exactly this section.
+pub fn topology_json(
+    result: &SynthesisResult,
+    graph: &ConstraintGraph,
+    library: &Library,
+) -> Value {
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".into(), Value::Str(TOPOLOGY_SCHEMA.into()));
+    doc.insert(
+        "arc_count".into(),
+        Value::Num(result.stats.arc_count as f64),
+    );
+    doc.insert("total_cost".into(), Value::Num(result.total_cost()));
+    doc.insert("p2p_cost".into(), Value::Num(result.stats.p2p_cost));
+    doc.insert(
+        "candidate_count".into(),
+        Value::Num(result.candidates.len() as f64),
+    );
+    doc.insert(
+        "selected".into(),
+        Value::Arr(
+            result
+                .selected
+                .iter()
+                .map(|c| candidate_json(c, graph, library))
+                .collect(),
+        ),
+    );
+    Value::Obj(doc)
+}
+
+fn endpoint_json(e: Endpoint, graph: &ConstraintGraph) -> Value {
+    Value::Str(match e {
+        Endpoint::Port(p) => graph.port(p).name.clone(),
+        Endpoint::HubA => "hub_a".to_string(),
+        Endpoint::HubB => "hub_b".to_string(),
+    })
+}
+
+fn point_json(p: ccs_geom::Point2) -> Value {
+    Value::Arr(vec![Value::Num(p.x), Value::Num(p.y)])
+}
+
+fn candidate_json(c: &Candidate, graph: &ConstraintGraph, library: &Library) -> Value {
+    let mut o = BTreeMap::new();
+    o.insert(
+        "arcs".into(),
+        Value::Arr(c.arcs.iter().map(|&i| Value::Num(i as f64)).collect()),
+    );
+    match c.kind {
+        CandidateKind::PointToPoint => {
+            o.insert("kind".into(), Value::Str("p2p".into()));
+        }
+        CandidateKind::Merging { k } => {
+            o.insert("kind".into(), Value::Str("merge".into()));
+            o.insert("k".into(), Value::Num(k as f64));
+            o.insert(
+                "hub_hardware".into(),
+                Value::Str(
+                    match c.hub_hardware {
+                        HubHardware::MuxDemux => "mux_demux",
+                        HubHardware::SingleSwitch => "single_switch",
+                    }
+                    .into(),
+                ),
+            );
+            if let Some(h) = c.hub_a {
+                o.insert("hub_a".into(), point_json(h));
+            }
+            if let Some(h) = c.hub_b {
+                o.insert("hub_b".into(), point_json(h));
+            }
+        }
+    }
+    o.insert("cost".into(), Value::Num(c.cost));
+    o.insert("node_cost".into(), Value::Num(c.node_cost));
+    o.insert(
+        "segments".into(),
+        Value::Arr(
+            c.segments
+                .iter()
+                .map(|sg| {
+                    let mut s = BTreeMap::new();
+                    s.insert("from".into(), endpoint_json(sg.from, graph));
+                    s.insert("to".into(), endpoint_json(sg.to, graph));
+                    s.insert("length".into(), Value::Num(sg.length));
+                    s.insert("demand_mbps".into(), Value::Num(sg.demand.as_mbps()));
+                    s.insert(
+                        "link".into(),
+                        Value::Str(library.link(sg.plan.link).name.clone()),
+                    );
+                    s.insert("hops".into(), Value::Num(f64::from(sg.plan.hops)));
+                    s.insert("lanes".into(), Value::Num(f64::from(sg.plan.lanes)));
+                    s.insert(
+                        "repeaters_per_lane".into(),
+                        Value::Num(f64::from(sg.plan.repeaters_per_lane)),
+                    );
+                    s.insert("cost".into(), Value::Num(sg.plan.cost));
+                    s.insert(
+                        "arcs".into(),
+                        Value::Arr(sg.arcs.iter().map(|&i| Value::Num(i as f64)).collect()),
+                    );
+                    Value::Obj(s)
+                })
+                .collect(),
+        ),
+    );
+    Value::Obj(o)
+}
 
 /// Renders the constraint graph's arcs in a compact table.
 pub fn arcs_table(graph: &ConstraintGraph) -> String {
@@ -253,6 +376,42 @@ mod tests {
         }
         assert!(t.contains("counters:"), "{t}");
         assert!(t.contains("merging.k2.examined"), "{t}");
+    }
+
+    #[test]
+    fn topology_json_is_deterministic_and_complete() {
+        let (g, lib) = instance();
+        let r = Synthesizer::new(&g, &lib).run().unwrap();
+        let doc = topology_json(&r, &g, &lib);
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("ccs-topology-v1")
+        );
+        assert_eq!(doc.get("arc_count").and_then(Value::as_num), Some(2.0));
+        assert_eq!(
+            doc.get("total_cost").and_then(Value::as_num),
+            Some(r.total_cost())
+        );
+        let selected = match doc.get("selected") {
+            Some(Value::Arr(v)) => v,
+            other => panic!("selected missing: {other:?}"),
+        };
+        assert_eq!(selected.len(), r.selected.len());
+        for (v, c) in selected.iter().zip(&r.selected) {
+            assert_eq!(v.get("cost").and_then(Value::as_num), Some(c.cost));
+            match v.get("kind").and_then(Value::as_str) {
+                Some("merge") => assert!(v.get("hub_a").is_some()),
+                Some("p2p") => assert!(v.get("k").is_none()),
+                other => panic!("bad kind {other:?}"),
+            }
+        }
+        // Serializing twice yields byte-equal text (BTreeMap ordering).
+        let mut a = String::new();
+        let mut b = String::new();
+        doc.write_pretty(&mut a, 0);
+        topology_json(&r, &g, &lib).write_pretty(&mut b, 0);
+        assert_eq!(a, b);
+        assert!(a.contains("\"segments\""), "{a}");
     }
 
     #[test]

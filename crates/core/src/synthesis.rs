@@ -21,8 +21,11 @@ use crate::error::SynthesisError;
 use crate::implementation::ImplementationGraph;
 use crate::library::Library;
 use crate::matrices::DistanceMatrices;
-use crate::merging::{enumerate, MergeConfig, MergeStats};
-use crate::placement::{merge_candidate, point_to_point_candidate, Candidate};
+use crate::merging::{enumerate_with, MergeConfig, MergeStats};
+use crate::placement::{
+    merge_candidate_cached, point_to_point_candidate, Candidate, PlacementCache,
+};
+use ccs_exec::{ExecStats, Executor};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -39,6 +42,12 @@ pub struct SynthesisConfig {
     /// Verify Assumption 2.1 before running (O(|A|²) extra work) and fail
     /// fast when the library violates it.
     pub check_assumption: bool,
+    /// Worker threads for the parallel phases (p2p, merging sweeps, hub
+    /// placement). `0` resolves through [`ccs_exec::default_threads`]
+    /// (the `CCS_THREADS` environment variable, else the machine's
+    /// available parallelism). Results are bit-identical for every
+    /// thread count.
+    pub threads: usize,
 }
 
 /// Wall-clock time spent in each pipeline phase of one synthesis run.
@@ -76,6 +85,34 @@ impl PhaseTimings {
     }
 }
 
+/// Summed per-worker CPU time of the parallelized phases (the
+/// [`ExecStats::busy`] totals of their sweeps).
+///
+/// Compare against the matching [`PhaseTimings`] wall clocks: with `N`
+/// busy workers, CPU time approaches `N ×` wall time. Reported to
+/// [`ccs_obs`] as the spans `p2p.cpu`, `merging.cpu`, and
+/// `placement.cpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseCpuTimings {
+    /// Point-to-point candidate sweep.
+    pub p2p: Duration,
+    /// Merge-enumeration extension/prune sweeps.
+    pub merging: Duration,
+    /// Hub placement sweep over surviving subsets.
+    pub placement: Duration,
+}
+
+impl PhaseCpuTimings {
+    /// The parallel phases in pipeline order, with their span names.
+    pub fn phases(&self) -> [(&'static str, Duration); 3] {
+        [
+            ("p2p.cpu", self.p2p),
+            ("merging.cpu", self.merging),
+            ("placement.cpu", self.placement),
+        ]
+    }
+}
+
 /// Statistics collected during one synthesis run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisStats {
@@ -100,9 +137,16 @@ pub struct SynthesisStats {
     pub elapsed: Duration,
     /// Per-phase wall-clock breakdown of `elapsed`.
     pub phase_timings: PhaseTimings,
+    /// Summed per-worker CPU time of the parallelized phases.
+    pub phase_cpu: PhaseCpuTimings,
+    /// Worker threads used by the parallel phases (resolved, ≥ 1).
+    pub threads: usize,
     /// Named per-phase counters (same names as the [`ccs_obs`] counter
     /// stream: `merging.k{k}.examined`, `covering.bnb_nodes`, ...),
-    /// derived deterministically from this run alone.
+    /// derived deterministically from this run alone. Scheduling-
+    /// dependent executor metrics (steal counts, queue depths) are
+    /// deliberately excluded; only `exec.threads` and `exec.tasks`
+    /// appear, and both are fixed for a given thread count.
     pub counters: BTreeMap<String, u64>,
 }
 
@@ -186,8 +230,11 @@ impl<'a> Synthesizer<'a> {
     pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
         let start = Instant::now();
         let mut timings = PhaseTimings::default();
+        let mut cpu = PhaseCpuTimings::default();
         let graph = self.graph;
         let library = self.library;
+        let exec = Executor::new(self.config.threads);
+        let threads = exec.threads();
 
         if self.config.check_assumption {
             if let Some((a, b)) = crate::p2p::check_assumption(graph, library)? {
@@ -196,17 +243,25 @@ impl<'a> Synthesizer<'a> {
         }
 
         // Phase 1a: optimum point-to-point candidates (always included —
-        // they make the covering matrix feasible by construction).
+        // they make the covering matrix feasible by construction). The
+        // sweep fans out per arc; folding the slot-ordered results keeps
+        // the accumulated p2p cost and the first reported error
+        // identical to a serial loop.
         let t = Instant::now();
-        let mut candidates: Vec<Candidate> = Vec::new();
+        let arc_idxs: Vec<usize> = (0..graph.arc_count()).collect();
+        let (p2p_results, p2p_exec) = exec.par_map_stats(&arc_idxs, |_, &i| {
+            point_to_point_candidate(graph, library, i)
+        });
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(p2p_results.len());
         let mut p2p_cost = 0.0;
-        for i in 0..graph.arc_count() {
-            let c = point_to_point_candidate(graph, library, i)?;
+        for r in p2p_results {
+            let c = r?;
             p2p_cost += c.cost;
             candidates.push(c);
         }
         ccs_obs::counter("p2p.candidates", candidates.len() as u64);
         timings.p2p = t.elapsed();
+        cpu.p2p = p2p_exec.busy;
 
         // Phase 1b: merge candidates — Γ/Δ matrices, pruned enumeration,
         // then hub placement and exact costing of every survivor.
@@ -215,14 +270,25 @@ impl<'a> Synthesizer<'a> {
         timings.matrices = t.elapsed();
 
         let t = Instant::now();
-        let enumeration = enumerate(graph, library, &matrices, &self.config.merge);
+        let enumeration = enumerate_with(graph, library, &matrices, &self.config.merge, &exec);
         timings.merging = t.elapsed();
+        cpu.merging = enumeration.stats.exec.busy;
 
+        // Hub placement fans out per surviving subset; the shared cache
+        // memoizes per-demand placement weights across subsets and
+        // workers. Infeasibility/dominance accounting folds the ordered
+        // results serially, so counts and kept candidates match a
+        // serial run exactly.
         let t = Instant::now();
+        let subsets: Vec<&Vec<usize>> = enumeration.all_subsets().collect();
+        let cache = PlacementCache::new();
+        let (placed, placement_exec) = exec.par_map_stats(&subsets, |_, s| {
+            merge_candidate_cached(graph, library, s, &cache)
+        });
         let mut infeasible = 0usize;
         let mut dominated = 0usize;
-        for subset in enumeration.all_subsets() {
-            match merge_candidate(graph, library, subset)? {
+        for (subset, r) in subsets.iter().zip(placed) {
+            match r? {
                 None => infeasible += 1,
                 Some(c) => {
                     // Hub placement converges to ~1e-9; savings below a
@@ -237,6 +303,7 @@ impl<'a> Synthesizer<'a> {
             }
         }
         timings.placement = t.elapsed();
+        cpu.placement = placement_exec.busy;
         ccs_obs::counter("placement.infeasible_merges", infeasible as u64);
         ccs_obs::counter("placement.dominated_dropped", dominated as u64);
 
@@ -256,17 +323,32 @@ impl<'a> Synthesizer<'a> {
         timings.assembly = t.elapsed();
 
         let elapsed = start.elapsed();
+        let mut exec_total = ExecStats::default();
+        exec_total.merge(&p2p_exec);
+        exec_total.merge(&enumeration.stats.exec);
+        exec_total.merge(&placement_exec);
         if ccs_obs::enabled() {
             for (name, wall) in timings.phases() {
                 ccs_obs::record_span(name, wall);
             }
+            for (name, busy) in cpu.phases() {
+                ccs_obs::record_span(name, busy);
+            }
             ccs_obs::record_span("total", elapsed);
+            ccs_obs::gauge("exec.threads", threads as f64);
         }
 
         let stats = SynthesisStats {
             arc_count: graph.arc_count(),
             p2p_cost,
-            counters: run_counters(&enumeration.stats, infeasible, dominated, &outcome),
+            counters: run_counters(
+                &enumeration.stats,
+                infeasible,
+                dominated,
+                &outcome,
+                threads,
+                &exec_total,
+            ),
             merge_stats: enumeration.stats,
             infeasible_merges: infeasible,
             dominated_dropped: dominated,
@@ -275,6 +357,8 @@ impl<'a> Synthesizer<'a> {
             ucp_stats: outcome.stats,
             elapsed,
             phase_timings: timings,
+            phase_cpu: cpu,
+            threads,
         };
         Ok(SynthesisResult {
             implementation,
@@ -294,9 +378,15 @@ fn run_counters(
     infeasible: usize,
     dominated: usize,
     outcome: &crate::cover::CoverOutcome,
+    threads: usize,
+    exec_total: &ccs_exec::ExecStats,
 ) -> BTreeMap<String, u64> {
     let mut c = BTreeMap::new();
     c.insert("p2p.candidates".to_string(), outcome.rows as u64);
+    // Both are fixed for a given thread count; steal counts and queue
+    // depths are scheduling-dependent and stay out of this map.
+    c.insert("exec.threads".to_string(), threads as u64);
+    c.insert("exec.tasks".to_string(), exec_total.tasks);
     for l in &merge_stats.levels {
         let k = l.k;
         c.insert(format!("merging.k{k}.examined"), l.examined);

@@ -1,0 +1,527 @@
+//! A zero-dependency work-stealing executor for the synthesis hot paths.
+//!
+//! The pipeline's dominant stages — per-level candidate pruning and
+//! per-candidate hub placement — are embarrassingly parallel sweeps over
+//! an index space whose results must nevertheless be **bit-identical**
+//! to a serial run. This crate provides exactly that shape of
+//! parallelism and nothing more:
+//!
+//! * [`Executor::par_map`] applies a pure function to every element of a
+//!   slice and returns the results **in input order** (slot-addressed
+//!   emission: workers tag each result with its input index and the
+//!   results are scattered back into index order afterwards). Because
+//!   the function sees the same inputs in every schedule, the output is
+//!   identical for every thread count, including 1.
+//! * Work is distributed as contiguous chunks over per-worker queues;
+//!   an idle worker *steals* from the back of a victim's queue, so
+//!   irregular per-item cost (some candidate subsets are pruned in
+//!   nanoseconds, others pay a full two-hub solve) cannot leave threads
+//!   idle.
+//! * [`ShardedCache`] is a small concurrent memo table for pure
+//!   functions (e.g. per-demand placement weights): whichever thread
+//!   computes a key first, every thread observes the same value, so
+//!   caching cannot perturb determinism.
+//!
+//! The executor is built on scoped `std::thread` only — no channels, no
+//! external crates — consistent with the workspace's vendored-offline
+//! policy. Each `par_map` call spawns its workers, runs the sweep, and
+//! joins; for the few long sweeps per synthesis run this costs
+//! microseconds and keeps the executor free of global state.
+//!
+//! Instrumentation: every parallel sweep reports `exec.tasks` (chunks
+//! executed), `exec.steals`, and an `exec.queue_depth` gauge (largest
+//! initial per-worker queue) to the global [`ccs_obs`] recorder, and
+//! returns the same numbers plus total busy time in [`ExecStats`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Chunks handed to each worker's queue at the start of a sweep; more
+/// chunks per worker means finer-grained stealing at slightly higher
+/// queueing overhead.
+const CHUNKS_PER_WORKER: usize = 8;
+
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The machine's available parallelism (≥ 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Overrides the process-wide default thread count that
+/// [`Executor::new`] resolves `0` to. `0` restores auto-detection.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default thread count: the value set by
+/// [`set_default_threads`] if any, else the `CCS_THREADS` environment
+/// variable if it parses to a positive integer, else [`available`].
+pub fn default_threads() -> usize {
+    let n = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(s) = std::env::var("CCS_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available()
+}
+
+/// Statistics of one or more parallel sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Chunks (tasks) executed across all workers.
+    pub tasks: u64,
+    /// Chunks obtained by stealing from another worker's queue.
+    pub steals: u64,
+    /// Summed per-chunk execution time across all workers — a proxy for
+    /// CPU time spent in the sweep (excludes queueing and joins).
+    pub busy: Duration,
+    /// Largest initial per-worker queue depth observed.
+    pub max_queue_depth: u64,
+}
+
+impl ExecStats {
+    /// Accumulates another sweep's statistics into `self`.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.tasks += other.tasks;
+        self.steals += other.steals;
+        self.busy += other.busy;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal
+/// length, in order. Returns an empty vector when `n == 0`.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// A fixed-width scoped thread pool with work stealing.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_exec::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// // Same result on any thread count, including serial.
+/// assert_eq!(squares, Executor::serial().par_map(&[1, 2, 3, 4, 5], |_, &x| x * x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with `threads` workers; `0` resolves through
+    /// [`default_threads`].
+    pub fn new(threads: usize) -> Executor {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// A single-threaded executor (runs sweeps inline).
+    pub fn serial() -> Executor {
+        Executor { threads: 1 }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every element and returns results in input order.
+    ///
+    /// `f` receives `(index, &item)` and must be pure with respect to
+    /// the output slot (it may read shared state and hit concurrent
+    /// caches): the executor guarantees `out[i] == f(i, &items[i])`
+    /// regardless of scheduling, so any thread count yields the same
+    /// vector.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_stats(items, f).0
+    }
+
+    /// [`par_map`](Self::par_map), also returning the sweep's
+    /// [`ExecStats`].
+    pub fn par_map_stats<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            let start = Instant::now();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let stats = ExecStats {
+                tasks: u64::from(n > 0),
+                steals: 0,
+                busy: start.elapsed(),
+                max_queue_depth: u64::from(n > 0),
+            };
+            report_sweep(&stats);
+            return (out, stats);
+        }
+
+        // Deal contiguous chunks round-robin onto per-worker queues.
+        let chunks = chunk_ranges(n, workers * CHUNKS_PER_WORKER);
+        let queues: Vec<Mutex<VecDeque<(usize, usize)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (c, range) in chunks.iter().enumerate() {
+            queues[c % workers]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(*range);
+        }
+        let max_queue_depth = queues
+            .iter()
+            .map(|q| q.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .max()
+            .unwrap_or(0) as u64;
+
+        let tasks = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
+        let busy_ns = AtomicU64::new(0);
+
+        let run_worker = |w: usize| -> Vec<(usize, R)> {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                // Own queue first (front), then steal (back) from the
+                // next victim in ring order.
+                let mut next = queues[w]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                let mut stolen = false;
+                if next.is_none() {
+                    for off in 1..workers {
+                        let victim = (w + off) % workers;
+                        next = queues[victim]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .pop_back();
+                        if next.is_some() {
+                            stolen = true;
+                            break;
+                        }
+                    }
+                }
+                let Some((start, end)) = next else {
+                    return local;
+                };
+                if stolen {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                }
+                tasks.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    local.push((i, f(i, item)));
+                }
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                busy_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        };
+
+        // Scatter tagged results back into input order.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers)
+                .map(|w| scope.spawn(move || run_worker(w)))
+                .collect();
+            for (i, r) in run_worker(0) {
+                slots[i] = Some(r);
+            }
+            for h in handles {
+                for (i, r) in h.join().expect("executor worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        let out: Vec<R> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled exactly once"))
+            .collect();
+
+        let stats = ExecStats {
+            tasks: tasks.load(Ordering::Relaxed),
+            steals: steals.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(busy_ns.load(Ordering::Relaxed)),
+            max_queue_depth,
+        };
+        report_sweep(&stats);
+        (out, stats)
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(0)
+    }
+}
+
+fn report_sweep(stats: &ExecStats) {
+    if ccs_obs::enabled() {
+        ccs_obs::counter("exec.tasks", stats.tasks);
+        ccs_obs::counter("exec.steals", stats.steals);
+        ccs_obs::gauge("exec.queue_depth", stats.max_queue_depth as f64);
+    }
+}
+
+/// Number of independently locked shards in a [`ShardedCache`].
+const SHARDS: usize = 16;
+
+/// A concurrent memo table for pure functions.
+///
+/// Keys hash to one of [`SHARDS`] independently locked `HashMap`s, so
+/// unrelated keys rarely contend. The compute closure runs *outside*
+/// the shard lock; two threads racing on the same key may both compute
+/// it, but because memoized functions must be pure the first insert
+/// wins and every caller observes an identical value — determinism is
+/// unaffected by the race.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> ShardedCache<K, V> {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it
+    /// with `make` on a miss. `make` must be a pure function of `key`.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        {
+            let shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = shard.get(&key) {
+                return v.clone();
+            }
+        }
+        let value = make();
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.entry(key).or_insert(value).clone()
+    }
+
+    /// Entries currently cached (racy under concurrent inserts; exact
+    /// once all workers joined).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        ShardedCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_input_order_on_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let exec = Executor::new(threads);
+            let (out, stats) = exec.par_map_stats(&items, |_, &x| x.wrapping_mul(x) ^ 17);
+            assert_eq!(out, expected, "threads = {threads}");
+            assert!(stats.tasks >= 1);
+        }
+    }
+
+    #[test]
+    fn par_map_passes_the_input_index() {
+        let items = vec!["a", "b", "c"];
+        let exec = Executor::new(4);
+        let out = exec.par_map(&items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let exec = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        let (out, stats) = exec.par_map_stats(&empty, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks, 0);
+        assert_eq!(exec.par_map(&[42u32], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..500).collect();
+        let out = Executor::new(7).par_map(&items, |i, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1001] {
+            for parts in [1usize, 2, 5, 16, 2000] {
+                let chunks = chunk_ranges(n, parts);
+                let total: usize = chunks.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut cursor = 0;
+                for &(s, e) in &chunks {
+                    assert_eq!(s, cursor);
+                    assert!(e > s, "empty chunk for n={n} parts={parts}");
+                    cursor = e;
+                }
+                assert!(chunks.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn exec_stats_merge_accumulates() {
+        let mut a = ExecStats {
+            tasks: 3,
+            steals: 1,
+            busy: Duration::from_nanos(100),
+            max_queue_depth: 2,
+        };
+        let b = ExecStats {
+            tasks: 4,
+            steals: 0,
+            busy: Duration::from_nanos(50),
+            max_queue_depth: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks, 7);
+        assert_eq!(a.steals, 1);
+        assert_eq!(a.busy, Duration::from_nanos(150));
+        assert_eq!(a.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn default_threads_resolution() {
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        assert_eq!(Executor::new(0).threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+        assert_eq!(Executor::new(5).threads(), 5);
+    }
+
+    #[test]
+    fn sharded_cache_memoizes_pure_functions() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let computes = AtomicUsize::new(0);
+        let f = |k: u64| {
+            computes.fetch_add(1, Ordering::Relaxed);
+            k * 10
+        };
+        assert_eq!(cache.get_or_insert_with(7, || f(7)), 70);
+        assert_eq!(cache.get_or_insert_with(7, || f(7)), 70);
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_is_consistent_under_contention() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let items: Vec<u64> = (0..2000).collect();
+        let out = Executor::new(8).par_map(&items, |_, &x| {
+            cache.get_or_insert_with(x % 50, || (x % 50) * 3)
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64 % 50) * 3);
+        }
+        assert_eq!(cache.len(), 50);
+    }
+
+    #[test]
+    fn stealing_happens_under_skewed_load() {
+        // One pathologically slow item at the front forces other
+        // workers to drain the slow worker's remaining queue.
+        let items: Vec<u64> = (0..256).collect();
+        let (out, stats) = Executor::new(4).par_map_stats(&items, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out[0], 1);
+        assert_eq!(out[255], 256);
+        // Not asserting steals > 0 (a 1-core machine may finish the
+        // queue before any worker goes idle), but the counters must be
+        // coherent.
+        assert!(stats.tasks >= 1);
+        assert!(stats.steals <= stats.tasks);
+    }
+}
