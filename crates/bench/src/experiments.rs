@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// All experiment ids accepted by [`run`].
-pub const EXPERIMENT_IDS: [&str; 13] = [
+pub const EXPERIMENT_IDS: [&str; 14] = [
     "table1",
     "table2",
     "fig3",
@@ -27,6 +27,7 @@ pub const EXPERIMENT_IDS: [&str; 13] = [
     "noc",
     "packet",
     "timing",
+    "resilience",
 ];
 
 /// Runs one experiment by id and returns its textual report.
@@ -49,6 +50,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "noc" => Ok(noc()),
         "packet" => Ok(packet()),
         "timing" => Ok(timing()),
+        "resilience" => Ok(resilience()),
         other => Err(format!(
             "unknown experiment {other:?}; known: {}",
             EXPERIMENT_IDS.join(", ")
@@ -612,6 +614,70 @@ pub fn timing() -> String {
             r.total_latches()
         );
     }
+    s
+}
+
+/// Extension: what the cost-optimal merged architecture costs in
+/// fragility — N-1 sweep of a seeded clustered WAN, merged optimum vs
+/// duplication-only, plus the cost-vs-resilience frontier.
+pub fn resilience() -> String {
+    use ccs_netsim::resilience::{analyze, cost_resilience_frontier, ResilienceConfig};
+    let g = clustered_wan(&ClusteredWanConfig {
+        seed: 20020610,
+        channels: 14,
+        clusters: 4,
+        ..ClusteredWanConfig::default()
+    });
+    let lib = wan::paper_library();
+    let exec = ccs_exec::Executor::new(0);
+    let cfg = ResilienceConfig::default();
+    let start = Instant::now();
+
+    let merged = Synthesizer::new(&g, &lib).run().expect("synthesis");
+    let mut dup_cfg = SynthesisConfig::default();
+    dup_cfg.merge.max_k = Some(1);
+    let duplicated = Synthesizer::new(&g, &lib)
+        .with_config(dup_cfg)
+        .run()
+        .expect("duplication-only synthesis");
+
+    let mut s = String::from("== Resilience under N-1 lane-group failures (extension) ==\n");
+    let _ = writeln!(
+        s,
+        "{:>18} {:>10} {:>8} {:>12} {:>12}",
+        "variant", "cost", "groups", "worst mean%", "worst min%"
+    );
+    for (name, r) in [
+        ("merged optimum", &merged),
+        ("duplication-only", &duplicated),
+    ] {
+        let sweep = analyze(&g, &r.implementation, &cfg, &exec);
+        let _ = writeln!(
+            s,
+            "{:>18} {:>10.2} {:>8} {:>11.1} {:>11.1}",
+            name,
+            r.total_cost(),
+            sweep.group_count,
+            sweep.worst_mean_fraction * 100.0,
+            sweep.worst_min_fraction * 100.0
+        );
+    }
+
+    let points = cost_resilience_frontier(&g, &lib, &merged, &exec).expect("frontier");
+    let _ = writeln!(
+        s,
+        "frontier (allowed k, cost overhead, worst mean delivered):"
+    );
+    for p in &points {
+        let _ = writeln!(
+            s,
+            "  k <= {}: +{:.1}% cost, worst mean {:.1}%",
+            p.allowed_k,
+            p.overhead * 100.0,
+            p.worst_mean_fraction * 100.0
+        );
+    }
+    let _ = writeln!(s, "wall: {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
     s
 }
 

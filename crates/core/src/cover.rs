@@ -68,7 +68,41 @@ pub fn select(
     n_arcs: usize,
     strategy: CoverStrategy,
 ) -> Result<CoverOutcome, SynthesisError> {
-    let m = build_matrix(candidates, n_arcs);
+    select_excluding(candidates, n_arcs, strategy, |_, _| false)
+}
+
+/// Like [`select`], but removes every candidate for which `excluded`
+/// returns `true` before solving the covering problem.
+///
+/// Used by resilience analysis to re-cover with fragile candidates
+/// (e.g. high-order mergings whose shared trunk is a single point of
+/// failure) filtered out. Returned indices are into the *original*
+/// `candidates` slice.
+///
+/// # Errors
+///
+/// [`SynthesisError::Cover`] when the surviving columns no longer cover
+/// every arc, or the solver otherwise fails.
+pub fn select_excluding<F>(
+    candidates: &[Candidate],
+    n_arcs: usize,
+    strategy: CoverStrategy,
+    excluded: F,
+) -> Result<CoverOutcome, SynthesisError>
+where
+    F: Fn(usize, &Candidate) -> bool,
+{
+    let full = build_matrix(candidates, n_arcs);
+    let drop: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|&(i, c)| excluded(i, c))
+        .map(|(i, _)| i)
+        .collect();
+    let (m, map) = full.without_columns(&drop);
+    if ccs_obs::enabled() && !drop.is_empty() {
+        ccs_obs::counter("covering.excluded_cols", drop.len() as u64);
+    }
     let (cover, stats) = match strategy {
         CoverStrategy::Exact => {
             let (c, s) = m.solve_exact_with_stats()?;
@@ -100,10 +134,12 @@ pub fn select(
             }
         }
     }
-    // Report the true candidate cost sum (unclamped).
-    let cost = cover.columns.iter().map(|&i| candidates[i].cost).sum();
+    // Map submatrix columns back to original candidate indices and
+    // report the true candidate cost sum (unclamped).
+    let selected: Vec<usize> = cover.columns.iter().map(|&i| map[i]).collect();
+    let cost = selected.iter().map(|&i| candidates[i].cost).sum();
     Ok(CoverOutcome {
-        selected: cover.columns,
+        selected,
         cost,
         rows: m.n_rows(),
         cols: m.n_cols(),
@@ -184,6 +220,40 @@ mod tests {
         let greedy = select(&cands, 2, CoverStrategy::Greedy).unwrap();
         assert!(greedy.stats.is_none());
         assert!(greedy.cost >= exact.cost - 1e-9);
+    }
+
+    #[test]
+    fn excluding_merges_falls_back_to_point_to_point() {
+        let g = cluster_graph();
+        let cands = candidates(&g);
+        assert_eq!(cands.len(), 3, "expected the merge candidate to exist");
+        let out =
+            select_excluding(&cands, 2, CoverStrategy::Exact, |_, c| c.arcs.len() > 1).unwrap();
+        // Only the two point-to-point columns survive, and the selected
+        // indices refer to the original candidate slice.
+        assert_eq!(out.cols, 2);
+        let mut sel = out.selected.clone();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1]);
+        let direct = cands[0].cost + cands[1].cost;
+        assert!((out.cost - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn excluding_nothing_matches_select() {
+        let g = cluster_graph();
+        let cands = candidates(&g);
+        let a = select(&cands, 2, CoverStrategy::Exact).unwrap();
+        let b = select_excluding(&cands, 2, CoverStrategy::Exact, |_, _| false).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn excluding_everything_is_infeasible() {
+        let g = cluster_graph();
+        let cands = candidates(&g);
+        let err = select_excluding(&cands, 2, CoverStrategy::Exact, |_, _| true).unwrap_err();
+        assert!(matches!(err, SynthesisError::Cover(_)));
     }
 
     #[test]

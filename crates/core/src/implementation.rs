@@ -169,6 +169,19 @@ impl ImplementationGraph {
         &self.routes[a.index()]
     }
 
+    /// Replaces the nominal vertex route of arc `a` — for what-if
+    /// analysis and fault-injection tests that need routes the
+    /// synthesizer would not produce (re-entrant, severed, or empty
+    /// routes). The verifier and the simulator treat the override like
+    /// any other route and report its defects honestly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn set_route(&mut self, a: ArcId, route: Vec<NodeId>) {
+        self.routes[a.index()] = route;
+    }
+
     /// Total architecture cost: link instances plus communication nodes
     /// (Def. 2.5; computational vertices are free).
     pub fn total_cost(&self) -> f64 {

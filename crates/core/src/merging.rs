@@ -296,6 +296,14 @@ pub fn enumerate_with(
         s => s,
     };
     let max_k = config.max_k.unwrap_or(n).min(n);
+    if max_k < 2 {
+        // Merging disabled outright (`max_k <= 1`): every arc stays
+        // point-to-point, mirroring the `n < 2` early return.
+        return MergeEnumeration {
+            subsets_by_k,
+            stats,
+        };
+    }
     let sweep_parts = exec.threads() * 8;
 
     // ---- Level k = 2 ---------------------------------------------------
@@ -397,11 +405,11 @@ pub fn enumerate_with(
                 let mut ext: Vec<Vec<usize>> = Vec::new();
                 'flatten: for part in parts {
                     for t in part {
-                        ext.push(t);
-                        if ext.len() > config.max_subsets_per_level {
+                        if ext.len() >= config.max_subsets_per_level {
                             truncated = true;
                             break 'flatten;
                         }
+                        ext.push(t);
                     }
                 }
                 ext
@@ -524,11 +532,14 @@ fn k_subsets(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec
     }
     let mut idx: Vec<usize> = (0..k).collect();
     loop {
-        out.push(idx.iter().map(|&i| items[i]).collect());
-        if out.len() > cap {
+        // Check the cap before pushing: at the top of the loop another
+        // subset is always pending, so stopping here returns exactly
+        // `cap` subsets with the overflow flag set.
+        if out.len() >= cap {
             *truncated = true;
             return out;
         }
+        out.push(idx.iter().map(|&i| items[i]).collect());
         // Advance the combination.
         let mut i = k;
         loop {
@@ -666,7 +677,19 @@ mod tests {
         let items: Vec<usize> = (0..10).collect();
         let s = k_subsets(&items, 3, 5, &mut tr);
         assert!(tr);
-        assert_eq!(s.len(), 6); // cap + 1, flagged
+        assert_eq!(s.len(), 5); // exactly cap, flagged
+                                // The kept subsets are the lexicographically first five.
+        assert_eq!(s[0], vec![0, 1, 2]);
+        assert_eq!(s[4], vec![0, 1, 6]);
+    }
+
+    #[test]
+    fn k_subsets_exact_cap_is_not_truncated() {
+        // C(4, 2) = 6 subsets at cap 6: all returned, no flag.
+        let mut tr = false;
+        let s = k_subsets(&[0, 1, 2, 3], 2, 6, &mut tr);
+        assert_eq!(s.len(), 6);
+        assert!(!tr, "a cap equal to the subset count must not flag");
     }
 
     #[test]
@@ -703,6 +726,25 @@ mod tests {
         let e = enumerate(&g, &lib, &m, &cfg);
         assert!(e.subsets_by_k.len() <= 2); // k = 2 and k = 3 only
         assert!(e.all_subsets().all(|s| s.len() <= 3));
+    }
+
+    #[test]
+    fn max_k_one_disables_merging() {
+        // `max_k` is the largest merging order *considered*; 1 (or 0)
+        // must suppress even the pair level, not just levels >= 3.
+        let g = simple_graph();
+        let m = DistanceMatrices::compute(&g);
+        let uncapped = enumerate(&g, &wan_paper_library(), &m, &MergeConfig::default());
+        assert!(uncapped.candidate_count() > 0, "graph must be mergeable");
+        for cap in [0, 1] {
+            let cfg = MergeConfig {
+                max_k: Some(cap),
+                ..MergeConfig::default()
+            };
+            let e = enumerate(&g, &wan_paper_library(), &m, &cfg);
+            assert_eq!(e.candidate_count(), 0, "max_k = {cap}");
+            assert!(e.stats.counts.is_empty());
+        }
     }
 
     #[test]
@@ -835,9 +877,9 @@ mod tests {
 
     #[test]
     fn enumeration_truncation_is_thread_count_invariant() {
-        // A cap small enough to trip mid-level: the cap+1 kept subsets,
-        // the truncation flag, and every counter must not depend on the
-        // thread count.
+        // A cap small enough to trip mid-level: the exactly-cap kept
+        // subsets, the truncation flag, and every counter must not depend
+        // on the thread count.
         let g = corridor_graph(12);
         let m = DistanceMatrices::compute(&g);
         let lib = wan_paper_library();

@@ -173,6 +173,41 @@ impl CoverMatrix {
         self.cols[c].iter().collect()
     }
 
+    /// Returns a copy of the matrix without the `excluded` columns, plus
+    /// the mapping from new column indices back to the original ones
+    /// (`map[new] == old`).
+    ///
+    /// This is the exclusion filter used by resilience analysis: fragile
+    /// candidates (e.g. high-order mergings whose shared trunk is a single
+    /// point of failure) are removed and the covering re-solved over the
+    /// remaining columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an excluded index is not a column (a programming error
+    /// when assembling the exclusion set, not a runtime condition).
+    pub fn without_columns(&self, excluded: &[usize]) -> (CoverMatrix, Vec<usize>) {
+        let mut drop = vec![false; self.cols.len()];
+        for &c in excluded {
+            assert!(
+                c < self.cols.len(),
+                "column {c} out of range {}",
+                self.cols.len()
+            );
+            drop[c] = true;
+        }
+        let mut m = CoverMatrix::new(self.n_rows);
+        let mut map = Vec::new();
+        for (c, set) in self.cols.iter().enumerate() {
+            if !drop[c] {
+                m.cols.push(set.clone());
+                m.weights.push(self.weights[c]);
+                map.push(c);
+            }
+        }
+        (m, map)
+    }
+
     /// Checks that `columns` covers every row; returns the total cost.
     ///
     /// # Errors
@@ -694,6 +729,54 @@ mod tests {
             m.add_column(1.0, [0]);
         }
         assert_eq!(m.solve_exhaustive(), Err(CoverError::TooLarge(26)));
+    }
+
+    #[test]
+    fn without_columns_changes_optimum_and_maps_back() {
+        let mut m = CoverMatrix::new(3);
+        m.add_column(3.0, [0]);
+        m.add_column(3.0, [1]);
+        m.add_column(3.0, [2]);
+        m.add_column(7.0, [0, 1, 2]); // optimal when present
+        assert_eq!(m.solve_exact().unwrap().columns, vec![3]);
+
+        let (sub, map) = m.without_columns(&[3]);
+        assert_eq!(sub.n_cols(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        let c = sub.solve_exact().unwrap();
+        assert_eq!(c.cost, 9.0);
+        let original: Vec<usize> = c.columns.iter().map(|&i| map[i]).collect();
+        assert_eq!(original, vec![0, 1, 2]);
+        // The mapped-back cover is valid against the full matrix.
+        assert_eq!(m.validate_cover(&original), Ok(9.0));
+    }
+
+    #[test]
+    fn without_columns_can_make_rows_infeasible() {
+        let mut m = CoverMatrix::new(2);
+        m.add_column(1.0, [0]);
+        m.add_column(1.0, [1]);
+        let (sub, map) = m.without_columns(&[1]);
+        assert_eq!(map, vec![0]);
+        assert_eq!(sub.solve_exact(), Err(CoverError::Infeasible(1)));
+    }
+
+    #[test]
+    fn without_columns_tolerates_duplicate_exclusions() {
+        let mut m = CoverMatrix::new(1);
+        m.add_column(1.0, [0]);
+        m.add_column(2.0, [0]);
+        let (sub, map) = m.without_columns(&[0, 0]);
+        assert_eq!(map, vec![1]);
+        assert_eq!(sub.solve_exact().unwrap().cost, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn without_columns_rejects_bad_index() {
+        let mut m = CoverMatrix::new(1);
+        m.add_column(1.0, [0]);
+        let _ = m.without_columns(&[7]);
     }
 
     #[test]

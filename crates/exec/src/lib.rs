@@ -312,7 +312,7 @@ const SHARDS: usize = 16;
 
 /// A concurrent memo table for pure functions.
 ///
-/// Keys hash to one of [`SHARDS`] independently locked `HashMap`s, so
+/// Keys hash to one of `SHARDS` independently locked `HashMap`s, so
 /// unrelated keys rarely contend. The compute closure runs *outside*
 /// the shard lock; two threads racing on the same key may both compute
 /// it, but because memoized functions must be pure the first insert

@@ -39,6 +39,7 @@ use ccs_core::units::Bandwidth;
 use std::collections::{HashMap, HashSet};
 
 pub mod packet;
+pub mod resilience;
 
 /// Propagation speed assumed for latency estimates, in coordinate units
 /// per microsecond (2e2 km/ms ≈ fiber; the absolute number only matters
@@ -150,15 +151,28 @@ impl<'a> NetSim<'a> {
         self
     }
 
+    /// Marks several lane groups as failed at once (one N-k scenario).
+    #[must_use]
+    pub fn with_failed_groups<I: IntoIterator<Item = u32>>(mut self, groups: I) -> Self {
+        self.failed.extend(groups);
+        self
+    }
+
     /// Runs the fluid simulation.
     pub fn run(&self) -> SimReport {
         // Map each consecutive route pair to the lane group connecting it.
         let mut arc_groups: Vec<Vec<u32>> = Vec::with_capacity(self.graph.arc_count());
         let mut arc_lengths: Vec<f64> = Vec::with_capacity(self.graph.arc_count());
+        let mut arc_broken: Vec<bool> = Vec::with_capacity(self.graph.arc_count());
         for (aid, _) in self.graph.arcs() {
             let route = self.imp.route(aid);
             let mut groups = Vec::new();
+            let mut seen: HashSet<u32> = HashSet::new();
             let mut length = 0.0;
+            // An empty (or single-vertex) route means the arc was never
+            // implemented: black it out instead of reporting it trivially
+            // satisfied.
+            let mut broken = route.len() < 2;
             for w in route.windows(2) {
                 // Any edge between the pair; all parallel lanes share the
                 // group and capacity, so one suffices.
@@ -167,16 +181,28 @@ impl<'a> NetSim<'a> {
                     .graph()
                     .out_edges(w[0])
                     .find(|(_, e)| e.dst == w[1]);
-                if let Some((_, e)) = edge {
-                    if let EdgeKind::Link(_) = e.data.kind {
-                        groups.push(e.data.lane_group);
-                        length += e.data.length;
+                match edge {
+                    Some((_, e)) => {
+                        if let EdgeKind::Link(_) = e.data.kind {
+                            // Length accrues per traversal (propagation is
+                            // physical); the group only counts once toward
+                            // capacity sharing, even when the route re-enters
+                            // it non-consecutively.
+                            length += e.data.length;
+                            if seen.insert(e.data.lane_group) {
+                                groups.push(e.data.lane_group);
+                            }
+                        }
                     }
+                    // A consecutive route pair with no implementation edge
+                    // is a broken route; silently skipping it would
+                    // under-report path length and mask the breakage.
+                    None => broken = true,
                 }
             }
-            groups.dedup();
             arc_groups.push(groups);
             arc_lengths.push(length);
+            arc_broken.push(broken);
         }
 
         // Aggregate demand and capacity per group.
@@ -203,7 +229,10 @@ impl<'a> NetSim<'a> {
         let mut flows = Vec::with_capacity(self.graph.arc_count());
         for (i, (aid, arc)) in self.graph.arcs().enumerate() {
             let mut delivered = arc.bandwidth.as_mbps();
-            let mut blackout = arc_groups[i].is_empty() && self.imp.route(aid).len() < 2;
+            let mut blackout = arc_broken[i];
+            if blackout {
+                delivered = 0.0;
+            }
             for &g in &arc_groups[i] {
                 let cap = capacity.get(&g).copied().unwrap_or(0.0);
                 let dem = demand.get(&g).copied().unwrap_or(0.0);
@@ -214,8 +243,6 @@ impl<'a> NetSim<'a> {
                     delivered = delivered.min(arc.bandwidth.as_mbps() * cap / dem);
                 }
             }
-            // Hops per group = edges / lanes (parallel lanes replicate
-            // the same chain).
             let hops = arc_groups[i]
                 .iter()
                 .map(|&g| {
@@ -225,7 +252,7 @@ impl<'a> NetSim<'a> {
                         .group_edges(g)
                         .next()
                         .map_or(1, |(_, e)| e.data.lanes.max(1) as usize);
-                    edges / lanes
+                    group_hops(edges, lanes)
                 })
                 .sum();
             let latency_us = arc_lengths[i] / UNITS_PER_US + hops as f64 * HOP_DELAY_US;
@@ -250,6 +277,14 @@ impl<'a> NetSim<'a> {
         groups.sort_by_key(|g| g.group);
         SimReport { flows, groups }
     }
+}
+
+/// Link hops a flow makes crossing a lane group: parallel lanes replicate
+/// the same repeater chain, so `edges / lanes` rounded **up** — rounding
+/// down would understate latency whenever the edge count is not an exact
+/// multiple of the lane count (e.g. 3 edges on 2 lanes is 2 hops, not 1).
+fn group_hops(edges: usize, lanes: usize) -> usize {
+    edges.div_ceil(lanes.max(1))
 }
 
 #[cfg(test)]
@@ -351,6 +386,126 @@ mod tests {
         let f = &report.flows[0];
         assert!((f.delivered.as_mbps() - 11.0).abs() < 1e-6);
         assert!(report.max_utilization() > 1.0);
+    }
+
+    #[test]
+    fn revisiting_route_counts_group_demand_once() {
+        // Two opposite channels A->B and B->A; arc 0's route is overridden
+        // to re-enter its own lane group non-consecutively (A->B->A->B).
+        // Adjacent-only dedup would double-count arc 0's demand on group 0
+        // (12 > the 11 Mb/s radio) and falsely throttle the flow.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(10.0, 0.0));
+        b.add_channel(a, c, mbps(6.0)).unwrap();
+        b.add_channel(c, a, mbps(0.1)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let mut imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        let fwd = imp.route(ccs_core::constraint::ArcId(0)).to_vec();
+        let bwd = imp.route(ccs_core::constraint::ArcId(1)).to_vec();
+        assert_eq!((fwd.len(), bwd.len()), (2, 2), "direct single-hop routes");
+        imp.set_route(
+            ccs_core::constraint::ArcId(0),
+            vec![fwd[0], fwd[1], bwd[1], fwd[1]],
+        );
+        let report = NetSim::new(&g, &imp).run();
+        assert!(report.all_satisfied(), "{report:#?}");
+        let f = &report.flows[0];
+        assert_eq!(f.delivered, f.demand);
+        // The forward group carries arc 0's 6 Mb/s exactly once.
+        let fwd_group = report
+            .groups
+            .iter()
+            .find(|gl| (gl.demand.as_mbps() - 6.0).abs() < 1e-9)
+            .expect("forward group demand counted once, not twice");
+        assert!(fwd_group.capacity.as_mbps() >= 11.0 - 1e-9);
+        // Both traversed groups count toward hops, each once.
+        assert_eq!(f.hops, 2);
+    }
+
+    #[test]
+    fn severed_route_is_reported_as_blackout() {
+        // A route naming a consecutive pair with no implementation edge
+        // must be flagged, not silently shortened to "satisfied".
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        b.add_channel(s, t, mbps(8.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let mut imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        let route = imp.route(ccs_core::constraint::ArcId(0)).to_vec();
+        // Reverse the route: t -> s has no edge.
+        imp.set_route(
+            ccs_core::constraint::ArcId(0),
+            route.iter().rev().copied().collect(),
+        );
+        let report = NetSim::new(&g, &imp).run();
+        assert!(!report.all_satisfied());
+        let f = &report.flows[0];
+        assert!(f.blackout, "missing edge must black the flow out");
+        assert!(f.delivered.is_zero());
+    }
+
+    #[test]
+    fn unimplemented_arc_is_reported_as_blackout() {
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        b.add_channel(s, t, mbps(8.0)).unwrap();
+        let g = b.build().unwrap();
+        let lib = wan_paper_library();
+        let mut imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        imp.set_route(ccs_core::constraint::ArcId(0), Vec::new());
+        let report = NetSim::new(&g, &imp).run();
+        assert!(report.flows[0].blackout);
+        assert!(report.flows[0].delivered.is_zero());
+    }
+
+    #[test]
+    fn group_hops_rounds_up() {
+        // 3 edges on 2 lanes is a 2-hop chain (a lane with 2 edges
+        // exists); floor division would claim 1 hop.
+        assert_eq!(group_hops(3, 2), 2);
+        assert_eq!(group_hops(4, 2), 2);
+        assert_eq!(group_hops(6, 3), 2);
+        assert_eq!(group_hops(1, 1), 1);
+        assert_eq!(group_hops(5, 0), 5); // degenerate lane count clamps to 1
+    }
+
+    #[test]
+    fn duplicated_multihop_latency_counts_every_hop() {
+        // Demand 10 on a 4 Mb/s link forces 3 lanes; a 6 km max span over
+        // 10 km forces 2 hops per lane. 6 edges / 3 lanes = 2 hops, and the
+        // latency must charge both of them.
+        let lib = ccs_core::library::Library::builder()
+            .link(ccs_core::library::Link::per_length_capped(
+                "thin",
+                mbps(4.0),
+                6.0,
+                1.0,
+            ))
+            .node(ccs_core::library::NodeKind::Repeater, 1.0)
+            .node(ccs_core::library::NodeKind::Mux, 1.0)
+            .node(ccs_core::library::NodeKind::Demux, 1.0)
+            .build()
+            .unwrap();
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let s = b.add_port("s", Point2::new(0.0, 0.0));
+        let t = b.add_port("t", Point2::new(10.0, 0.0));
+        b.add_channel(s, t, mbps(10.0)).unwrap();
+        let g = b.build().unwrap();
+        let imp = Synthesizer::new(&g, &lib).run().unwrap().implementation;
+        let report = NetSim::new(&g, &imp).run();
+        let f = &report.flows[0];
+        assert_eq!(f.hops, 2, "3 lanes x 2 hops = 6 edges -> 2 hops");
+        let expect = 10.0 / UNITS_PER_US + 2.0 * HOP_DELAY_US;
+        assert!(
+            (f.latency_us - expect).abs() < 1e-9,
+            "latency {} vs expected {expect}",
+            f.latency_us
+        );
     }
 
     #[test]

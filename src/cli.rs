@@ -7,6 +7,8 @@
 //! ccs verify   --instance net.ccs --library lib.ccs
 //! ccs simulate --instance net.ccs --library lib.ccs [--fail-group N] [--packets]
 //!              [--threads N] [--trace] [--metrics-json FILE]
+//! ccs analyze  --instance net.ccs --library lib.ccs [--fail-k K] [--scenario-budget N]
+//!              [--max-cost-overhead PCT] [--threads N] [--trace] [--metrics-json FILE]
 //! ccs tables   --instance net.ccs
 //! ccs example  instance wan|mpeg4   # print a built-in instance file
 //! ccs example  library  wan|soc     # print a built-in library file
@@ -19,7 +21,15 @@
 //! aggregated `ccs-metrics-v1` document (per-phase wall-clock timings,
 //! pruning counters, convergence gauges) to `FILE` after the run — for
 //! `synth` it additionally embeds the deterministic `ccs-topology-v1`
-//! section under the `"topology"` key.
+//! section under the `"topology"` key, and for `analyze` both that and
+//! the `ccs-resilience-v1` section under the `"resilience"` key.
+//!
+//! `analyze` synthesizes the instance, then sweeps lane-group failure
+//! scenarios through the network simulator: exhaustive N-1, plus
+//! N-k combinations up to `--fail-k` capped by `--scenario-budget`.
+//! `--max-cost-overhead PCT` additionally sweeps the cost-vs-resilience
+//! frontier (re-covering with high-order merge candidates excluded) and
+//! recommends the most resilient architecture within the cost budget.
 //!
 //! `--threads N` sets the worker count of the parallel synthesis phases
 //! (default: available parallelism, or the `CCS_THREADS` environment
@@ -42,6 +52,9 @@ usage:
   ccs verify   --instance FILE --library FILE
   ccs simulate --instance FILE --library FILE [--fail-group N] [--packets]
                [--threads N] [--trace] [--metrics-json FILE]
+  ccs analyze  --instance FILE --library FILE [--fail-k K] [--scenario-budget N]
+               [--max-cost-overhead PCT] [--greedy] [--max-k N]
+               [--threads N] [--trace] [--metrics-json FILE]
   ccs tables   --instance FILE
   ccs example  instance wan|mpeg4
   ccs example  library  wan|soc
@@ -54,11 +67,22 @@ parallelism:
                        (default: available parallelism or $CCS_THREADS);
                        results are bit-identical for every N
 
+resilience (ccs analyze):
+  --fail-k K           largest simultaneous lane-group failure order swept
+                       (default 1 = exhaustive N-1 only)
+  --scenario-budget N  cap on N-k scenarios for k >= 2 (default 4096;
+                       hitting it is reported, never silent)
+  --max-cost-overhead PCT
+                       also sweep the cost-vs-resilience frontier and pick
+                       the most resilient architecture within PCT percent
+                       cost overhead over the unrestricted optimum
+
 observability:
   --trace              stream each pipeline event as one JSON line on stderr
   --metrics-json FILE  write the aggregated ccs-metrics-v1 document to FILE
                        (synth embeds the ccs-topology-v1 selection under
-                       the \"topology\" key)
+                       the \"topology\" key; analyze adds ccs-resilience-v1
+                       under \"resilience\")
 ";
 
 /// Runs the CLI on `args` (without the program name); returns the text to
@@ -73,6 +97,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("synth") => synth(&parse_flags(it)?),
         Some("verify") => verify_cmd(&parse_flags(it)?),
         Some("simulate") => simulate_cmd(&parse_flags(it)?),
+        Some("analyze") => analyze_cmd(&parse_flags(it)?),
         Some("tables") => tables(&parse_flags(it)?),
         Some("example") => example(&it.collect::<Vec<_>>()),
         Some("gen") => gen(&it.collect::<Vec<_>>()),
@@ -90,6 +115,9 @@ struct Flags {
     dot: bool,
     packets: bool,
     fail_group: Option<u32>,
+    fail_k: Option<usize>,
+    scenario_budget: Option<usize>,
+    max_cost_overhead: Option<f64>,
     trace: bool,
     metrics_json: Option<String>,
     threads: Option<usize>,
@@ -126,6 +154,29 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
                         .parse()
                         .map_err(|_| "--fail-group needs an integer".to_string())?,
                 )
+            }
+            "--fail-k" => {
+                f.fail_k = Some(
+                    required(&mut it, tok)?
+                        .parse()
+                        .map_err(|_| "--fail-k needs an integer".to_string())?,
+                )
+            }
+            "--scenario-budget" => {
+                f.scenario_budget = Some(
+                    required(&mut it, tok)?
+                        .parse()
+                        .map_err(|_| "--scenario-budget needs an integer".to_string())?,
+                )
+            }
+            "--max-cost-overhead" => {
+                let pct: f64 = required(&mut it, tok)?
+                    .parse()
+                    .map_err(|_| "--max-cost-overhead needs a number (percent)".to_string())?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--max-cost-overhead must be a non-negative percent".to_string());
+                }
+                f.max_cost_overhead = Some(pct);
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -186,21 +237,26 @@ impl ObsSession {
     /// Stops recording and writes the metrics document, if one was
     /// requested.
     fn finish(self) -> Result<(), String> {
-        self.finish_with(None)
+        self.finish_with(Vec::new())
     }
 
-    /// [`finish`](Self::finish), embedding `topology` (the deterministic
-    /// `ccs-topology-v1` section) under the metrics document's
-    /// `"topology"` key.
-    fn finish_with(mut self, topology: Option<ccs_obs::json::Value>) -> Result<(), String> {
+    /// [`finish`](Self::finish), embedding each named deterministic
+    /// section (e.g. `"topology"` → `ccs-topology-v1`, `"resilience"` →
+    /// `ccs-resilience-v1`) at the top level of the metrics document.
+    fn finish_with(
+        mut self,
+        sections: Vec<(&'static str, ccs_obs::json::Value)>,
+    ) -> Result<(), String> {
         if self.installed {
             ccs_obs::clear_recorder();
             self.installed = false;
         }
         if let (Some(collector), Some(path)) = (self.collector.take(), self.metrics_path.take()) {
             let mut doc = collector.snapshot().to_json();
-            if let (Some(t), ccs_obs::json::Value::Obj(map)) = (topology, &mut doc) {
-                map.insert("topology".to_string(), t);
+            if let ccs_obs::json::Value::Obj(map) = &mut doc {
+                for (name, section) in sections {
+                    map.insert(name.to_string(), section);
+                }
             }
             let mut text = doc.to_string();
             text.push('\n');
@@ -236,7 +292,7 @@ fn synth(f: &Flags) -> Result<String, String> {
         .with_config(configured(f))
         .run()
         .map_err(|e| e.to_string())?;
-    obs.finish_with(Some(report::topology_json(&r, &g, &lib)))?;
+    obs.finish_with(vec![("topology", report::topology_json(&r, &g, &lib))])?;
     let mut out = String::new();
     let _ = writeln!(out, "{}", report::arcs_table(&g));
     let _ = writeln!(out, "{}", report::candidate_counts(&r));
@@ -333,6 +389,126 @@ fn simulate_cmd(f: &Flags) -> Result<String, String> {
     }
     ccs_obs::record_span("simulate", sim_start.elapsed());
     obs.finish()?;
+    Ok(out)
+}
+
+fn analyze_cmd(f: &Flags) -> Result<String, String> {
+    use ccs_netsim::resilience;
+
+    let g = load_instance(f)?;
+    let lib = load_library(f)?;
+    let obs = ObsSession::start(f);
+    let r = Synthesizer::new(&g, &lib)
+        .with_config(configured(f))
+        .run()
+        .map_err(|e| e.to_string())?;
+    let exec = ccs_exec::Executor::new(f.threads.unwrap_or(0));
+    let mut cfg = resilience::ResilienceConfig {
+        max_k: f.fail_k.unwrap_or(1).max(1),
+        ..Default::default()
+    };
+    if let Some(b) = f.scenario_budget {
+        cfg.scenario_budget = b;
+    }
+    let sweep = resilience::analyze(&g, &r.implementation, &cfg, &exec);
+    let mut resilience_doc = resilience::resilience_json(&sweep);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resilience: {} lane groups, {} arcs, {} scenarios (N-1 exhaustive, max k = {}{})",
+        sweep.group_count,
+        sweep.arc_count,
+        sweep.scenarios.len(),
+        sweep.max_k,
+        if sweep.truncated { ", budget hit" } else { "" }
+    );
+    let _ = writeln!(out, "baseline satisfied: {}", sweep.baseline_satisfied);
+    if let Some(worst) = sweep.scenarios.get(sweep.worst_scenario) {
+        let failed: Vec<String> = worst.failed.iter().map(u32::to_string).collect();
+        let _ = writeln!(
+            out,
+            "worst scenario: fail group(s) {} -> {}/{} arcs black out, \
+             min delivered {:.1}%, mean delivered {:.1}%",
+            failed.join(","),
+            worst.blackouts.len(),
+            sweep.arc_count,
+            worst.min_fraction * 100.0,
+            worst.mean_fraction * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean delivered percentiles: p50 {:.1}%  p90 {:.1}%  p99 {:.1}%",
+        sweep.percentile_mean_fraction(50.0) * 100.0,
+        sweep.percentile_mean_fraction(90.0) * 100.0,
+        sweep.percentile_mean_fraction(99.0) * 100.0
+    );
+    let _ = writeln!(out, "criticality (most critical first):");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>7} {:>7} {:>12} {:>12}",
+        "group", "blackouts", "min%", "mean%", "demand", "capacity"
+    );
+    for c in &sweep.criticality {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>7.1} {:>7.1} {:>7.1} Mb/s {:>7.1} Mb/s",
+            c.group,
+            c.blackout_arcs,
+            c.min_fraction * 100.0,
+            c.mean_fraction * 100.0,
+            c.demand_mbps,
+            c.capacity_mbps
+        );
+    }
+
+    if let Some(pct) = f.max_cost_overhead {
+        let budget = pct / 100.0;
+        let points =
+            resilience::cost_resilience_frontier(&g, &lib, &r, &exec).map_err(|e| e.to_string())?;
+        let chosen = resilience::pick_within_overhead(&points, budget);
+        let _ = writeln!(out, "\ncost-resilience frontier (budget: +{pct:.1}% cost):");
+        let _ = writeln!(
+            out,
+            "{:>9} {:>12} {:>9} {:>11} {:>10}",
+            "allowed k", "cost", "overhead", "worst mean%", "blackouts"
+        );
+        for (i, p) in points.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>12.2} {:>8.1}% {:>11.1} {:>10}{}",
+                p.allowed_k,
+                p.cost,
+                p.overhead * 100.0,
+                p.worst_mean_fraction * 100.0,
+                p.max_blackout_arcs,
+                if Some(i) == chosen { "  <- chosen" } else { "" }
+            );
+        }
+        if let Some(i) = chosen {
+            let p = &points[i];
+            let _ = writeln!(
+                out,
+                "chosen: allowed k = {} (cost {:.2}, +{:.1}%, worst mean delivered {:.1}%)",
+                p.allowed_k,
+                p.cost,
+                p.overhead * 100.0,
+                p.worst_mean_fraction * 100.0
+            );
+        }
+        if let ccs_obs::json::Value::Obj(map) = &mut resilience_doc {
+            map.insert(
+                "frontier".to_string(),
+                resilience::frontier_json(&points, chosen, Some(budget)),
+            );
+        }
+    }
+
+    obs.finish_with(vec![
+        ("topology", report::topology_json(&r, &g, &lib)),
+        ("resilience", resilience_doc),
+    ])?;
     Ok(out)
 }
 
@@ -625,6 +801,125 @@ mod tests {
             sections[0], sections[1],
             "topology must be byte-identical across thread counts"
         );
+    }
+
+    #[test]
+    fn analyze_reports_criticality_and_embeds_resilience_json() {
+        let dir = std::env::temp_dir().join("ccs-cli-test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        let metrics = dir.join("metrics.json");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+
+        let out = run(&args(&format!(
+            "analyze --instance {} --library {} --metrics-json {}",
+            inst.display(),
+            lib.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("baseline satisfied: true"), "{out}");
+        assert!(out.contains("criticality (most critical first):"), "{out}");
+        assert!(out.contains("worst scenario:"), "{out}");
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let doc = ccs_obs::json::parse(&text).expect("valid JSON");
+        let res = doc.get("resilience").expect("resilience section");
+        assert_eq!(
+            res.get("schema").and_then(ccs_obs::json::Value::as_str),
+            Some(ccs_netsim::resilience::RESILIENCE_SCHEMA)
+        );
+        assert!(doc.get("topology").is_some(), "topology rides along");
+        let groups = res
+            .get("group_count")
+            .and_then(ccs_obs::json::Value::as_num)
+            .unwrap();
+        match res.get("criticality").unwrap() {
+            ccs_obs::json::Value::Arr(a) => {
+                assert_eq!(a.len(), groups as usize, "every group is ranked")
+            }
+            other => panic!("criticality must be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_resilience_is_byte_identical_across_threads() {
+        let dir = std::env::temp_dir().join("ccs-cli-test8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        std::fs::write(
+            &inst,
+            run(&args("gen wan --seed 13 --channels 10")).unwrap(),
+        )
+        .unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+
+        let mut sections = Vec::new();
+        for threads in [1, 4] {
+            let metrics = dir.join(format!("metrics-{threads}.json"));
+            run(&args(&format!(
+                "analyze --instance {} --library {} --threads {threads} \
+                 --fail-k 2 --scenario-budget 32 --metrics-json {}",
+                inst.display(),
+                lib.display(),
+                metrics.display()
+            )))
+            .unwrap();
+            let text = std::fs::read_to_string(&metrics).unwrap();
+            let doc = ccs_obs::json::parse(&text).expect("valid JSON");
+            let mut rendered = String::new();
+            doc.get("resilience")
+                .expect("resilience section")
+                .write_pretty(&mut rendered, 0);
+            sections.push(rendered);
+        }
+        assert_eq!(
+            sections[0], sections[1],
+            "resilience must be byte-identical across thread counts"
+        );
+    }
+
+    #[test]
+    fn analyze_frontier_flag_recommends_within_budget() {
+        let dir = std::env::temp_dir().join("ccs-cli-test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        let metrics = dir.join("metrics.json");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+
+        // A huge budget always admits the duplication-only endpoint.
+        let out = run(&args(&format!(
+            "analyze --instance {} --library {} --max-cost-overhead 1000 --metrics-json {}",
+            inst.display(),
+            lib.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cost-resilience frontier"), "{out}");
+        assert!(out.contains("chosen: allowed k ="), "{out}");
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let doc = ccs_obs::json::parse(&text).expect("valid JSON");
+        let frontier = doc
+            .get("resilience")
+            .and_then(|r| r.get("frontier"))
+            .expect("frontier embedded");
+        assert!(frontier.get("points").is_some());
+        assert!(frontier
+            .get("chosen")
+            .and_then(ccs_obs::json::Value::as_num)
+            .is_some());
+
+        // Bad values are rejected.
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+        assert!(run(&args(&format!("analyze {base} --max-cost-overhead -5"))).is_err());
+        assert!(run(&args(&format!("analyze {base} --fail-k x"))).is_err());
+        assert!(run(&args(&format!("analyze {base} --scenario-budget"))).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod cli;
 pub use ccs_baselines as baselines;
 pub use ccs_core as core;
 pub use ccs_covering as covering;
+pub use ccs_exec as exec;
 pub use ccs_gen as gen;
 pub use ccs_geom as geom;
 pub use ccs_graph as graph;

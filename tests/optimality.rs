@@ -203,3 +203,61 @@ fn greedy_cover_gap_is_bounded_on_samples() {
         );
     }
 }
+
+#[test]
+fn anytime_cover_is_valid_and_monotone_under_node_budgets() {
+    // An interrupted branch-and-bound must still hand back a *valid*
+    // cover at every budget (it seeds from greedy), and growing the
+    // budget must never make the incumbent worse: the search order is
+    // deterministic, so a larger budget explores a superset of nodes.
+    use ccs::core::cover::build_matrix;
+    let g = clustered_wan(&ClusteredWanConfig {
+        clusters: 3,
+        nodes_per_cluster: 3,
+        channels: 12,
+        seed: 20020610,
+        ..ClusteredWanConfig::default()
+    });
+    let lib = wan::paper_library();
+    let r = Synthesizer::new(&g, &lib).run().expect("pipeline");
+    let m = build_matrix(&r.candidates, g.arc_count());
+    let exact = m.solve_exact().expect("exact cover");
+
+    let mut prev = f64::INFINITY;
+    let mut saw_unproven = false;
+    for budget in [0u64, 1, 2, 4, 8, 32, 128, 1024, u64::MAX] {
+        let (cover, stats) = m.solve_anytime(budget).expect("anytime cover");
+        let validated_cost = m
+            .validate_cover(&cover.columns)
+            .unwrap_or_else(|e| panic!("budget {budget}: invalid cover: {e:?}"));
+        assert!(
+            (validated_cost - cover.cost).abs() < 1e-9,
+            "budget {budget}: reported cost disagrees with validation"
+        );
+        assert!(
+            cover.cost <= prev + 1e-9,
+            "budget {budget}: cost {} worse than smaller budget's {}",
+            cover.cost,
+            prev
+        );
+        prev = cover.cost;
+        saw_unproven |= !stats.proven_optimal;
+        if stats.proven_optimal {
+            assert!(
+                (cover.cost - exact.cost).abs() < 1e-9,
+                "budget {budget}: claimed optimal but {} != exact {}",
+                cover.cost,
+                exact.cost
+            );
+        }
+    }
+    assert!(
+        saw_unproven,
+        "instance too easy: no budget interrupted the search mid-way, \
+         so the anytime path was never exercised"
+    );
+    assert!(
+        (prev - exact.cost).abs() < 1e-9,
+        "unlimited budget must reach the exact optimum"
+    );
+}

@@ -1,0 +1,124 @@
+//! End-to-end resilience analysis: a seeded WAN instance flows through
+//! `ccs gen` → synthesis → `ccs analyze`, and the emitted
+//! `ccs-resilience-v1` section must rank every lane group and be
+//! byte-identical across thread counts. A second test pins the
+//! qualitative claim behind the whole subsystem: the cost-optimal
+//! merged architecture degrades strictly worse under N-1 failures than
+//! the duplication-only variant it beat on cost.
+
+use ccs::cli;
+use ccs::core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs::exec::Executor;
+use ccs::gen::wan;
+use ccs::netsim::resilience::{analyze, resilience_json, ResilienceConfig, RESILIENCE_SCHEMA};
+use ccs::obs::json::{parse, Value};
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+#[test]
+fn seeded_wan_flows_through_gen_synth_analyze() {
+    let dir = std::env::temp_dir().join("ccs-resilience-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("wan.ccs");
+    let lib = dir.join("wan-lib.ccs");
+    std::fs::write(
+        &inst,
+        cli::run(&args("gen wan --seed 20020610 --channels 12 --clusters 3")).unwrap(),
+    )
+    .unwrap();
+    std::fs::write(&lib, cli::run(&args("example library wan")).unwrap()).unwrap();
+
+    let mut sections = Vec::new();
+    for threads in [1, 4] {
+        let metrics = dir.join(format!("metrics-{threads}.json"));
+        let out = cli::run(&args(&format!(
+            "analyze --instance {} --library {} --threads {threads} \
+             --fail-k 2 --scenario-budget 48 --metrics-json {}",
+            inst.display(),
+            lib.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("baseline satisfied: true"), "{out}");
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let doc = parse(&text).expect("valid metrics JSON");
+        let res = doc.get("resilience").expect("resilience section");
+        assert_eq!(
+            res.get("schema").and_then(Value::as_str),
+            Some(RESILIENCE_SCHEMA)
+        );
+        // Every lane group is ranked exactly once.
+        let groups = res.get("group_count").and_then(Value::as_num).unwrap() as usize;
+        let crit = match res.get("criticality").unwrap() {
+            Value::Arr(a) => a,
+            other => panic!("criticality must be an array, got {other:?}"),
+        };
+        assert_eq!(crit.len(), groups);
+        let mut ranked: Vec<u32> = crit
+            .iter()
+            .map(|c| c.get("group").and_then(Value::as_num).unwrap() as u32)
+            .collect();
+        ranked.sort_unstable();
+        assert_eq!(ranked, (0..groups as u32).collect::<Vec<_>>());
+        // The sweep includes all N-1 singletons plus budgeted pairs.
+        let count = res.get("scenario_count").and_then(Value::as_num).unwrap() as usize;
+        assert!(count >= groups, "N-1 must be exhaustive");
+
+        let mut rendered = String::new();
+        res.write_pretty(&mut rendered, 0);
+        sections.push(rendered);
+    }
+    assert_eq!(
+        sections[0], sections[1],
+        "resilience section must be byte-identical for 1 and 4 threads"
+    );
+}
+
+#[test]
+fn merged_trunk_degrades_strictly_worse_than_duplication_only() {
+    // The paper's WAN instance merges three channels onto one trunk;
+    // forbidding merging (max_k = 1) yields the duplication-only
+    // architecture the optimizer rejected on cost.
+    let g = wan::paper_instance();
+    let lib = wan::paper_library();
+    let merged = Synthesizer::new(&g, &lib).run().expect("merged synthesis");
+    assert!(
+        merged.selected.iter().any(|c| c.arcs.len() > 1),
+        "paper instance must merge"
+    );
+    let mut dup_cfg = SynthesisConfig::default();
+    dup_cfg.merge.max_k = Some(1);
+    let duplicated = Synthesizer::new(&g, &lib)
+        .with_config(dup_cfg)
+        .run()
+        .expect("duplication-only synthesis");
+    assert!(merged.total_cost() <= duplicated.total_cost() + 1e-9);
+
+    let cfg = ResilienceConfig::default();
+    let exec = Executor::serial();
+    let rm = analyze(&g, &merged.implementation, &cfg, &exec);
+    let rd = analyze(&g, &duplicated.implementation, &cfg, &exec);
+    assert!(rm.baseline_satisfied && rd.baseline_satisfied);
+    assert!(
+        rm.worst_mean_fraction < rd.worst_mean_fraction - 1e-9,
+        "merged optimum (worst mean {:.3}) must degrade strictly worse \
+         than duplication-only (worst mean {:.3}) under N-1",
+        rm.worst_mean_fraction,
+        rd.worst_mean_fraction
+    );
+    // The JSON documents carry the same ordering.
+    let jm = resilience_json(&rm);
+    let jd = resilience_json(&rd);
+    let wm = jm
+        .get("worst_mean_fraction")
+        .and_then(Value::as_num)
+        .unwrap();
+    let wd = jd
+        .get("worst_mean_fraction")
+        .and_then(Value::as_num)
+        .unwrap();
+    assert!(wm < wd);
+}
