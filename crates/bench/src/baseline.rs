@@ -1,0 +1,506 @@
+//! Bench baselines (`ccs-bench-v1`) and the perf-regression gate.
+//!
+//! [`run_preset`] times a fixed set of pipeline workloads (median/IQR
+//! over repetitions, swept over thread counts, with per-run allocation
+//! deltas and one embedded `ccs-profile-v1` call tree per case) and
+//! renders the result as a `ccs-bench-v1` JSON document — written to
+//! `BENCH_<preset>.json` by the `ccs-bench` binary and committed as the
+//! repository's performance trajectory.
+//!
+//! [`compare`] diffs two such documents and reports every metric where
+//! the current run regressed beyond a tolerance — the `ccs-bench
+//! compare` exit status drives the CI `perf-gate` job. Wall times and
+//! allocation counts get separate tolerances: allocation counts are
+//! near-deterministic per thread count (small scheduling-dependent
+//! wiggle from worker buffers), wall times are as noisy as the machine.
+
+use ccs_core::constraint::ConstraintGraph;
+use ccs_core::library::Library;
+use ccs_core::matrices::DistanceMatrices;
+use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_obs::json::Value;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Schema identifier of bench-baseline documents.
+pub const BENCH_SCHEMA: &str = "ccs-bench-v1";
+
+/// The preset names accepted by [`run_preset`].
+pub const PRESETS: [&str; 2] = ["quick", "full"];
+
+/// One benchmarked workload: a name and the instance it solves.
+struct Case {
+    name: &'static str,
+    /// Builds the (graph, library, base config) for this case.
+    build: fn() -> (ConstraintGraph, Library, SynthesisConfig),
+    /// What to measure — the full pipeline or a single phase.
+    work: Work,
+}
+
+enum Work {
+    /// A full `Synthesizer::run`.
+    Synth,
+    /// Γ/Δ matrix computation only.
+    Matrices,
+    /// Synthesis plus an exhaustive N-1 resilience sweep.
+    ResilienceN1,
+}
+
+fn paper_wan() -> (ConstraintGraph, Library, SynthesisConfig) {
+    (
+        ccs_gen::wan::paper_instance(),
+        ccs_gen::wan::paper_library(),
+        SynthesisConfig::default(),
+    )
+}
+
+fn seeded_wan() -> (ConstraintGraph, Library, SynthesisConfig) {
+    let cfg = ccs_gen::random::ClusteredWanConfig {
+        seed: 42,
+        channels: 12,
+        ..Default::default()
+    };
+    let mut synth = SynthesisConfig::default();
+    synth.merge.max_k = Some(4);
+    (
+        ccs_gen::random::clustered_wan(&cfg),
+        ccs_gen::wan::paper_library(),
+        synth,
+    )
+}
+
+fn seeded_wan_large() -> (ConstraintGraph, Library, SynthesisConfig) {
+    let cfg = ccs_gen::random::ClusteredWanConfig {
+        seed: 7,
+        channels: 24,
+        ..Default::default()
+    };
+    let mut synth = SynthesisConfig::default();
+    synth.merge.max_k = Some(4);
+    (
+        ccs_gen::random::clustered_wan(&cfg),
+        ccs_gen::wan::paper_library(),
+        synth,
+    )
+}
+
+fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
+    let quick = vec![
+        Case {
+            name: "synth_wan_paper",
+            build: paper_wan,
+            work: Work::Synth,
+        },
+        Case {
+            name: "synth_wan_seeded",
+            build: seeded_wan,
+            work: Work::Synth,
+        },
+        Case {
+            name: "matrices_seeded",
+            build: seeded_wan_large,
+            work: Work::Matrices,
+        },
+        Case {
+            name: "resilience_n1",
+            build: seeded_wan,
+            work: Work::ResilienceN1,
+        },
+    ];
+    match preset {
+        "quick" => Ok(quick),
+        "full" => {
+            let mut cases = quick;
+            cases.push(Case {
+                name: "synth_wan_seeded_large",
+                build: seeded_wan_large,
+                work: Work::Synth,
+            });
+            Ok(cases)
+        }
+        other => Err(format!(
+            "unknown preset {other:?} (expected one of {PRESETS:?})"
+        )),
+    }
+}
+
+/// Executes one case once. Returns an error only on pipeline failure
+/// (a broken workload, not a slow one).
+fn run_case(case: &Case, threads: usize) -> Result<(), String> {
+    let (graph, library, mut config) = (case.build)();
+    config.threads = threads;
+    match case.work {
+        Work::Matrices => {
+            let m = DistanceMatrices::compute(&graph);
+            std::hint::black_box(&m);
+        }
+        Work::Synth => {
+            let r = Synthesizer::new(&graph, &library)
+                .with_config(config)
+                .run()
+                .map_err(|e| format!("{}: {e}", case.name))?;
+            std::hint::black_box(&r);
+        }
+        Work::ResilienceN1 => {
+            let r = Synthesizer::new(&graph, &library)
+                .with_config(config)
+                .run()
+                .map_err(|e| format!("{}: {e}", case.name))?;
+            let exec = ccs_exec::Executor::new(threads);
+            let cfg = ccs_netsim::resilience::ResilienceConfig::default();
+            let sweep = ccs_netsim::resilience::analyze(&graph, &r.implementation, &cfg, &exec);
+            std::hint::black_box(&sweep);
+        }
+    }
+    Ok(())
+}
+
+fn median_u64(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Interquartile range of a sorted sample (dispersion robust to the
+/// occasional scheduler hiccup).
+fn iqr_u64(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n < 4 {
+        return sorted.last().copied().unwrap_or(0) - sorted.first().copied().unwrap_or(0);
+    }
+    sorted[(3 * (n - 1)) / 4] - sorted[(n - 1) / 4]
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+/// Runs every case of `preset` `reps` times per thread count and
+/// renders the `ccs-bench-v1` document.
+///
+/// # Errors
+///
+/// Unknown preset, empty `threads`, or a failing workload.
+pub fn run_preset(preset: &str, reps: usize, threads: &[usize]) -> Result<Value, String> {
+    if threads.is_empty() {
+        return Err("at least one thread count is required".to_string());
+    }
+    let reps = reps.max(1);
+    let cases = cases_for(preset)?;
+
+    let mut cases_obj = BTreeMap::new();
+    for case in &cases {
+        let mut threads_obj = BTreeMap::new();
+        for &t in threads {
+            // One untimed warmup settles caches and the allocator.
+            run_case(case, t)?;
+            let mut walls = Vec::with_capacity(reps);
+            let mut allocs = Vec::with_capacity(reps);
+            let mut bytes = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let a0 = ccs_obs::alloc::stats();
+                let t0 = Instant::now();
+                run_case(case, t)?;
+                let wall = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let delta = ccs_obs::alloc::stats().delta_since(&a0);
+                walls.push(wall);
+                allocs.push(delta.allocs);
+                bytes.push(delta.alloc_bytes);
+            }
+            walls.sort_unstable();
+            allocs.sort_unstable();
+            bytes.sort_unstable();
+
+            let mut wall_obj = BTreeMap::new();
+            wall_obj.insert("median".to_string(), num(median_u64(&walls)));
+            wall_obj.insert("iqr".to_string(), num(iqr_u64(&walls)));
+            wall_obj.insert("min".to_string(), num(walls[0]));
+            wall_obj.insert("max".to_string(), num(walls[walls.len() - 1]));
+            let mut alloc_obj = BTreeMap::new();
+            alloc_obj.insert("allocs_median".to_string(), num(median_u64(&allocs)));
+            alloc_obj.insert("alloc_bytes_median".to_string(), num(median_u64(&bytes)));
+            let mut entry = BTreeMap::new();
+            entry.insert("wall_ns".to_string(), Value::Obj(wall_obj));
+            entry.insert("alloc".to_string(), Value::Obj(alloc_obj));
+            threads_obj.insert(format!("t{t}"), Value::Obj(entry));
+        }
+
+        // One profiled run (first thread count) embeds the call tree.
+        ccs_obs::profile::start();
+        run_case(case, threads[0])?;
+        let tree = ccs_obs::profile::stop();
+
+        let mut case_obj = BTreeMap::new();
+        case_obj.insert("threads".to_string(), Value::Obj(threads_obj));
+        let mut profile_obj = BTreeMap::new();
+        profile_obj.insert(
+            "schema".to_string(),
+            Value::Str(ccs_obs::profile::PROFILE_SCHEMA.to_string()),
+        );
+        profile_obj.insert("tree".to_string(), tree.to_json());
+        profile_obj.insert("counts".to_string(), tree.counts_json());
+        case_obj.insert("profile".to_string(), Value::Obj(profile_obj));
+        cases_obj.insert(case.name.to_string(), Value::Obj(case_obj));
+    }
+
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), Value::Str(BENCH_SCHEMA.to_string()));
+    doc.insert("preset".to_string(), Value::Str(preset.to_string()));
+    doc.insert("reps".to_string(), num(reps as u64));
+    doc.insert(
+        "thread_counts".to_string(),
+        Value::Arr(threads.iter().map(|&t| num(t as u64)).collect()),
+    );
+    doc.insert("cases".to_string(), Value::Obj(cases_obj));
+    // Process-lifetime allocator totals (zeros without the counting
+    // allocator installed; `tracking` says which).
+    doc.insert("alloc".to_string(), ccs_obs::alloc::stats().to_json());
+    Ok(Value::Obj(doc))
+}
+
+/// One metric that regressed beyond tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Case name (e.g. `synth_wan_seeded`).
+    pub case: String,
+    /// Thread-sweep key (e.g. `t4`).
+    pub threads: String,
+    /// Metric name (`wall_ns.median`, `alloc.allocs_median`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (positive = slower/bigger).
+    pub change_pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} {}: {} -> {} (+{:.1}%)",
+            self.case, self.threads, self.metric, self.baseline, self.current, self.change_pct
+        )
+    }
+}
+
+fn lookup<'v>(doc: &'v Value, path: &[&str]) -> Option<&'v Value> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    Some(v)
+}
+
+/// Compares `current` against `baseline` (both `ccs-bench-v1`).
+/// Returns every metric of the baseline whose current value exceeds it
+/// by more than the applicable tolerance (`wall_tol_pct` for wall
+/// times, `alloc_tol_pct` for allocation metrics). Only slowdowns
+/// count; getting faster is never a regression. Extra cases in
+/// `current` are ignored; a baseline case or thread count missing from
+/// `current` is an error (the gate must not silently shrink).
+///
+/// # Errors
+///
+/// Schema mismatch or a baseline case/thread/metric absent from
+/// `current`.
+pub fn compare(
+    baseline: &Value,
+    current: &Value,
+    wall_tol_pct: f64,
+    alloc_tol_pct: f64,
+) -> Result<Vec<Regression>, String> {
+    for (label, doc) in [("baseline", baseline), ("current", current)] {
+        match doc.get("schema").and_then(Value::as_str) {
+            Some(BENCH_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "{label}: expected schema {BENCH_SCHEMA:?}, got {other:?}"
+                ))
+            }
+        }
+    }
+    let base_cases = baseline
+        .get("cases")
+        .and_then(Value::as_obj)
+        .ok_or("baseline: missing cases object")?;
+
+    // (subpath within a thread entry, tolerance selector)
+    let metrics: [(&[&str], bool); 3] = [
+        (&["wall_ns", "median"], false),
+        (&["alloc", "allocs_median"], true),
+        (&["alloc", "alloc_bytes_median"], true),
+    ];
+
+    let mut regressions = Vec::new();
+    for (case, base_case) in base_cases {
+        let base_threads = base_case
+            .get("threads")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("baseline case {case}: missing threads object"))?;
+        for (tkey, base_entry) in base_threads {
+            let cur_entry = lookup(current, &["cases", case, "threads", tkey])
+                .ok_or_else(|| format!("current is missing case {case} threads {tkey}"))?;
+            for (path, is_alloc) in &metrics {
+                let metric = path.join(".");
+                let base_v = lookup(base_entry, path)
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("baseline {case}/{tkey}: missing {metric}"))?;
+                let cur_v = lookup(cur_entry, path)
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("current {case}/{tkey}: missing {metric}"))?;
+                if base_v <= 0.0 {
+                    // Untracked allocator (or an instant phase) in the
+                    // baseline: no meaningful ratio, skip.
+                    continue;
+                }
+                let tol = if *is_alloc {
+                    alloc_tol_pct
+                } else {
+                    wall_tol_pct
+                };
+                if cur_v > base_v * (1.0 + tol / 100.0) {
+                    regressions.push(Regression {
+                        case: case.clone(),
+                        threads: tkey.clone(),
+                        metric,
+                        baseline: base_v,
+                        current: cur_v,
+                        change_pct: (cur_v / base_v - 1.0) * 100.0,
+                    });
+                }
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_doc(wall: u64, allocs: u64) -> Value {
+        let text = format!(
+            r#"{{"schema":"ccs-bench-v1","preset":"quick","reps":3,
+                "cases":{{"c":{{"threads":{{"t1":{{
+                    "wall_ns":{{"median":{wall},"iqr":0,"min":{wall},"max":{wall}}},
+                    "alloc":{{"allocs_median":{allocs},"alloc_bytes_median":{}}}
+                }}}}}}}}}}"#,
+            allocs * 64
+        );
+        ccs_obs::json::parse(&text).expect("valid test doc")
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = tiny_doc(1_000_000, 5_000);
+        assert_eq!(compare(&doc, &doc, 10.0, 5.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_is_reported() {
+        let base = tiny_doc(1_000_000, 5_000);
+        let slow = tiny_doc(10_000_000, 5_000);
+        let regs = compare(&base, &slow, 100.0, 5.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wall_ns.median");
+        assert!(regs[0].change_pct > 800.0);
+        // Within tolerance: the same 10x is fine at 1000%.
+        assert!(compare(&base, &slow, 1000.0, 5.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn allocation_growth_uses_its_own_tolerance() {
+        let base = tiny_doc(1_000_000, 5_000);
+        let fat = tiny_doc(1_000_000, 6_000);
+        let regs = compare(&base, &fat, 400.0, 5.0).unwrap();
+        assert_eq!(regs.len(), 2, "{regs:?}"); // allocs + bytes
+        assert!(regs.iter().all(|r| r.metric.starts_with("alloc.")));
+        assert!(compare(&base, &fat, 400.0, 25.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn speedups_are_never_regressions() {
+        let base = tiny_doc(1_000_000, 5_000);
+        let fast = tiny_doc(100, 50);
+        assert!(compare(&base, &fast, 1.0, 1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_metrics_are_skipped() {
+        let base = tiny_doc(1_000_000, 0); // untracked allocator
+        let cur = tiny_doc(1_000_000, 9_999_999);
+        assert!(compare(&base, &cur, 10.0, 1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_case_in_current_errors() {
+        let base = tiny_doc(1_000, 10);
+        let empty = ccs_obs::json::parse(r#"{"schema":"ccs-bench-v1","cases":{}}"#).unwrap();
+        assert!(compare(&base, &empty, 10.0, 10.0).is_err());
+        assert!(compare(&empty, &base, 10.0, 10.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_errors() {
+        let base = tiny_doc(1_000, 10);
+        let bad = ccs_obs::json::parse(r#"{"schema":"nope","cases":{}}"#).unwrap();
+        assert!(compare(&bad, &base, 10.0, 10.0).is_err());
+        assert!(compare(&base, &bad, 10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn quick_preset_produces_schema_document() {
+        let doc = run_preset("quick", 1, &[1]).expect("preset runs");
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(BENCH_SCHEMA)
+        );
+        let cases = doc.get("cases").and_then(Value::as_obj).expect("cases");
+        for name in [
+            "synth_wan_paper",
+            "synth_wan_seeded",
+            "matrices_seeded",
+            "resilience_n1",
+        ] {
+            let case = cases.get(name).unwrap_or_else(|| panic!("case {name}"));
+            let t1 = case.get("threads").and_then(|t| t.get("t1")).expect("t1");
+            assert!(
+                t1.get("wall_ns")
+                    .and_then(|w| w.get("median"))
+                    .and_then(Value::as_num)
+                    .unwrap()
+                    > 0.0,
+                "{name} must take measurable time"
+            );
+            assert!(case.get("profile").and_then(|p| p.get("counts")).is_some());
+        }
+        // Identity comparison of a real document is clean.
+        assert!(compare(&doc, &doc, 0.0, 0.0).unwrap().is_empty());
+
+        assert!(run_preset("bogus", 1, &[1]).is_err());
+        assert!(run_preset("quick", 1, &[]).is_err());
+    }
+
+    #[test]
+    fn median_and_iqr_helpers() {
+        assert_eq!(median_u64(&[]), 0);
+        assert_eq!(median_u64(&[5]), 5);
+        assert_eq!(median_u64(&[1, 3]), 2);
+        assert_eq!(median_u64(&[1, 2, 9]), 2);
+        // n < 4 falls back to the full range.
+        assert_eq!(iqr_u64(&[10, 50]), 40);
+        // n = 4: q1 at index 0, q3 at index 2 — the outlier at the top
+        // quartile is excluded.
+        assert_eq!(iqr_u64(&[1, 2, 3, 100]), 2);
+        // n = 5: q1 at index 1, q3 at index 3.
+        assert_eq!(iqr_u64(&[1, 10, 20, 30, 1000]), 20);
+    }
+}

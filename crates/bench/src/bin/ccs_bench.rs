@@ -1,0 +1,186 @@
+//! `ccs-bench` — bench baselines and the perf-regression gate.
+//!
+//! ```text
+//! ccs-bench run     [--preset quick|full] [--reps N] [--threads 1,4]
+//!                   [--out FILE] [--profile-folded FILE]
+//! ccs-bench compare --baseline FILE --current FILE
+//!                   [--tolerance-pct P] [--alloc-tolerance-pct P]
+//! ```
+//!
+//! `run` writes a `ccs-bench-v1` document (default
+//! `BENCH_<preset>.json`; `-` for stdout). `compare` exits 0 when every
+//! baseline metric is within tolerance, 1 when something regressed
+//! (listing each offender), and 2 on usage or I/O errors.
+
+use ccs_bench::baseline;
+
+/// Count allocations so bench documents carry real `"alloc"` metrics.
+#[global_allocator]
+static ALLOC: ccs_obs::alloc::CountingAlloc = ccs_obs::alloc::CountingAlloc::new();
+
+const USAGE: &str = "\
+usage:
+  ccs-bench run     [--preset quick|full] [--reps N] [--threads 1,4]
+                    [--out FILE] [--profile-folded FILE]
+  ccs-bench compare --baseline FILE --current FILE
+                    [--tolerance-pct P] [--alloc-tolerance-pct P]
+
+run writes a ccs-bench-v1 document (medians/IQR over N repetitions per
+thread count, per-run allocation deltas, one embedded ccs-profile-v1
+call tree per case) to --out (default BENCH_<preset>.json, '-' for
+stdout). --profile-folded additionally writes the first case's call
+tree in folded-stack format for flamegraph rendering.
+
+compare exits 0 when every baseline metric is within tolerance, 1 when
+any wall-time metric regressed beyond --tolerance-pct (default 25) or
+any allocation metric beyond --alloc-tolerance-pct (default 10), and 2
+on usage or I/O errors.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    });
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("run") => cmd_run(it),
+        Some("compare") => cmd_compare(it),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn required<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, String> {
+    it.next().ok_or(format!("{flag} needs a value"))
+}
+
+fn write_output(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        use std::io::Write as _;
+        std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write to stdout: {e}"))
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn cmd_run<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<i32, String> {
+    let mut preset = "quick".to_string();
+    let mut reps = 5usize;
+    let mut threads = vec![1usize, 4];
+    let mut out: Option<String> = None;
+    let mut folded: Option<String> = None;
+    while let Some(tok) = it.next() {
+        match tok {
+            "--preset" => preset = required(&mut it, tok)?.to_string(),
+            "--reps" => {
+                reps = required(&mut it, tok)?
+                    .parse()
+                    .map_err(|_| "--reps needs an integer".to_string())?
+            }
+            "--threads" => {
+                threads = required(&mut it, tok)?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--threads: {s:?} is not an integer"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--out" => out = Some(required(&mut it, tok)?.to_string()),
+            "--profile-folded" => folded = Some(required(&mut it, tok)?.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let doc = baseline::run_preset(&preset, reps, &threads)?;
+    let path = out.unwrap_or_else(|| format!("BENCH_{preset}.json"));
+    let mut text = doc.to_string();
+    text.push('\n');
+    write_output(&path, &text)?;
+    if path != "-" {
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(folded_path) = folded {
+        // Render the embedded trees, one folded block per case with the
+        // case name as the root frame.
+        let mut lines = String::new();
+        if let Some(cases) = doc.get("cases").and_then(ccs_obs::json::Value::as_obj) {
+            for (name, case) in cases {
+                if let Some(tree) = case
+                    .get("profile")
+                    .and_then(|p| p.get("tree"))
+                    .and_then(ccs_obs::profile::ProfileNode::from_json)
+                {
+                    let mut sub = String::new();
+                    tree.write_folded(&mut sub);
+                    for line in sub.lines() {
+                        lines.push_str(name);
+                        lines.push(';');
+                        lines.push_str(line);
+                        lines.push('\n');
+                    }
+                }
+            }
+        }
+        write_output(&folded_path, &lines)?;
+        if folded_path != "-" {
+            eprintln!("wrote {folded_path}");
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_compare<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<i32, String> {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut wall_tol = 25.0f64;
+    let mut alloc_tol = 10.0f64;
+    while let Some(tok) = it.next() {
+        match tok {
+            "--baseline" => baseline_path = Some(required(&mut it, tok)?.to_string()),
+            "--current" => current_path = Some(required(&mut it, tok)?.to_string()),
+            "--tolerance-pct" => {
+                wall_tol = required(&mut it, tok)?
+                    .parse()
+                    .map_err(|_| "--tolerance-pct needs a number".to_string())?
+            }
+            "--alloc-tolerance-pct" => {
+                alloc_tol = required(&mut it, tok)?
+                    .parse()
+                    .map_err(|_| "--alloc-tolerance-pct needs a number".to_string())?
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let load = |path: &str| -> Result<ccs_obs::json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        ccs_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = load(&baseline_path.ok_or("--baseline is required")?)?;
+    let cur = load(&current_path.ok_or("--current is required")?)?;
+    let regressions = baseline::compare(&base, &cur, wall_tol, alloc_tol)?;
+    if regressions.is_empty() {
+        println!("perf gate: ok (wall tolerance {wall_tol}%, alloc tolerance {alloc_tol}%)");
+        Ok(0)
+    } else {
+        println!("perf gate: {} regression(s):", regressions.len());
+        for r in &regressions {
+            println!("  {r}");
+        }
+        Ok(1)
+    }
+}

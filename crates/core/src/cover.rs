@@ -103,6 +103,7 @@ where
     if ccs_obs::enabled() && !drop.is_empty() {
         ccs_obs::counter("covering.excluded_cols", drop.len() as u64);
     }
+    let profile_solve = ccs_obs::profile::scope("solve_cover");
     let (cover, stats) = match strategy {
         CoverStrategy::Exact => {
             let (c, s) = m.solve_exact_with_stats()?;
@@ -114,6 +115,7 @@ where
             (c, Some(s))
         }
     };
+    std::mem::drop(profile_solve); // `drop` is shadowed by the column list above
     if ccs_obs::enabled() {
         ccs_obs::counter("covering.rows", m.n_rows() as u64);
         ccs_obs::counter("covering.cols", m.n_cols() as u64);

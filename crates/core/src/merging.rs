@@ -307,7 +307,11 @@ pub fn enumerate_with(
     let sweep_parts = exec.threads() * 8;
 
     // ---- Level k = 2 ---------------------------------------------------
-    // Chunked Lemma 3.1 / Theorem 3.2 sweep over all ordered pairs.
+    // Chunked Lemma 3.1 / Theorem 3.2 sweep over all ordered pairs. The
+    // profile scope stays on this thread for the whole level (per-chunk
+    // scopes would make call counts depend on the chunk count, which is
+    // a function of the thread count).
+    let profile_level = ccs_obs::profile::scope("pairs");
     let pair_list: Vec<(usize, usize)> = (0..n)
         .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
         .collect();
@@ -366,12 +370,14 @@ pub fn enumerate_with(
     stats.levels.push(level);
     let mut prev_level = pairs.clone();
     subsets_by_k.push(pairs);
+    drop(profile_level);
 
     // ---- Levels k = 3.. -------------------------------------------------
     for k in 3..=max_k {
         if prev_level.is_empty() {
             break;
         }
+        let _profile_level = ccs_obs::profile::scope_owned(format!("k{k}"));
         let mut truncated = false;
 
         let candidates: Vec<Vec<usize>> = match strategy {

@@ -129,6 +129,8 @@ pub fn point_to_point_candidate(
     library: &Library,
     arc_idx: usize,
 ) -> Result<Candidate, SynthesisError> {
+    // One profiler call per arc, independent of chunking/threads.
+    let _profile = ccs_obs::profile::scope("plan_arc");
     let id = ArcId(arc_idx as u32);
     let arc = graph.arc(id);
     let plan =
@@ -261,6 +263,8 @@ pub fn merge_candidate_cached(
     cache: &PlacementCache,
 ) -> Result<Option<Candidate>, SynthesisError> {
     assert!(subset.len() >= 2, "a merging needs at least two arcs");
+    // One profiler call per subset, independent of chunking/threads.
+    let _profile = ccs_obs::profile::scope("solve_merge");
 
     // Hub hardware on offer.
     let muxdemux_cost = match (

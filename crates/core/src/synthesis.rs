@@ -229,6 +229,10 @@ impl<'a> Synthesizer<'a> {
     /// * [`SynthesisError::Cover`] from the covering solver.
     pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
         let start = Instant::now();
+        // The whole run profiles as one `synthesize` tree; each phase
+        // below opens a child scope (dropped at phase end so siblings
+        // never nest). Allocation deltas bracket the same regions.
+        let profile_run = ccs_obs::profile::scope("synthesize");
         let mut timings = PhaseTimings::default();
         let mut cpu = PhaseCpuTimings::default();
         let graph = self.graph;
@@ -248,6 +252,8 @@ impl<'a> Synthesizer<'a> {
         // the accumulated p2p cost and the first reported error
         // identical to a serial loop.
         let t = Instant::now();
+        let alloc0 = ccs_obs::alloc::stats();
+        let profile_phase = ccs_obs::profile::scope("p2p");
         let arc_idxs: Vec<usize> = (0..graph.arc_count()).collect();
         let (p2p_results, p2p_exec) = exec.par_map_stats(&arc_idxs, |_, &i| {
             point_to_point_candidate(graph, library, i)
@@ -259,6 +265,8 @@ impl<'a> Synthesizer<'a> {
             p2p_cost += c.cost;
             candidates.push(c);
         }
+        drop(profile_phase);
+        phase_alloc_counters("p2p", &alloc0);
         ccs_obs::counter("p2p.candidates", candidates.len() as u64);
         timings.p2p = t.elapsed();
         cpu.p2p = p2p_exec.busy;
@@ -266,11 +274,19 @@ impl<'a> Synthesizer<'a> {
         // Phase 1b: merge candidates — Γ/Δ matrices, pruned enumeration,
         // then hub placement and exact costing of every survivor.
         let t = Instant::now();
+        let alloc0 = ccs_obs::alloc::stats();
+        let profile_phase = ccs_obs::profile::scope("matrices");
         let matrices = DistanceMatrices::compute(graph);
+        drop(profile_phase);
+        phase_alloc_counters("matrices", &alloc0);
         timings.matrices = t.elapsed();
 
         let t = Instant::now();
+        let alloc0 = ccs_obs::alloc::stats();
+        let profile_phase = ccs_obs::profile::scope("merging");
         let enumeration = enumerate_with(graph, library, &matrices, &self.config.merge, &exec);
+        drop(profile_phase);
+        phase_alloc_counters("merging", &alloc0);
         timings.merging = t.elapsed();
         cpu.merging = enumeration.stats.exec.busy;
 
@@ -280,6 +296,8 @@ impl<'a> Synthesizer<'a> {
         // results serially, so counts and kept candidates match a
         // serial run exactly.
         let t = Instant::now();
+        let alloc0 = ccs_obs::alloc::stats();
+        let profile_phase = ccs_obs::profile::scope("placement");
         let subsets: Vec<&Vec<usize>> = enumeration.all_subsets().collect();
         let cache = PlacementCache::new();
         let (placed, placement_exec) = exec.par_map_stats(&subsets, |_, s| {
@@ -302,6 +320,8 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
+        drop(profile_phase);
+        phase_alloc_counters("placement", &alloc0);
         timings.placement = t.elapsed();
         cpu.placement = placement_exec.busy;
         ccs_obs::counter("placement.infeasible_merges", infeasible as u64);
@@ -309,18 +329,27 @@ impl<'a> Synthesizer<'a> {
 
         // Phase 2: weighted unate covering.
         let t = Instant::now();
+        let alloc0 = ccs_obs::alloc::stats();
+        let profile_phase = ccs_obs::profile::scope("covering");
         let outcome = select(&candidates, graph.arc_count(), self.config.cover)?;
         let selected: Vec<Candidate> = outcome
             .selected
             .iter()
             .map(|&i| candidates[i].clone())
             .collect();
+        drop(profile_phase);
+        phase_alloc_counters("covering", &alloc0);
         timings.covering = t.elapsed();
 
         // Assemble the architecture.
         let t = Instant::now();
+        let alloc0 = ccs_obs::alloc::stats();
+        let profile_phase = ccs_obs::profile::scope("assembly");
         let implementation = ImplementationGraph::build(graph, library, &selected);
+        drop(profile_phase);
+        phase_alloc_counters("assembly", &alloc0);
         timings.assembly = t.elapsed();
+        drop(profile_run);
 
         let elapsed = start.elapsed();
         let mut exec_total = ExecStats::default();
@@ -367,6 +396,20 @@ impl<'a> Synthesizer<'a> {
             matrices,
             stats,
         })
+    }
+}
+
+/// Emits the phase's allocation delta (`alloc.<phase>.allocs` /
+/// `alloc.<phase>.bytes`) to the global recorder. A no-op when no
+/// recorder is installed; zeros when the binary runs without the
+/// counting allocator. These counters are scheduling-dependent (workers
+/// allocate queues and buffers), so they stay out of the deterministic
+/// [`SynthesisStats::counters`] map.
+fn phase_alloc_counters(phase: &str, before: &ccs_obs::alloc::AllocStats) {
+    if ccs_obs::enabled() {
+        let delta = ccs_obs::alloc::stats().delta_since(before);
+        ccs_obs::counter(&format!("alloc.{phase}.allocs"), delta.allocs);
+        ccs_obs::counter(&format!("alloc.{phase}.bytes"), delta.alloc_bytes);
     }
 }
 

@@ -262,11 +262,23 @@ impl Executor {
             }
         };
 
+        // Worker threads start with an empty profiler context; capture
+        // the spawning thread's path so their subtrees graft where a
+        // serial run would record them (profile call counts stay
+        // bit-identical across thread counts).
+        let profile_base = ccs_obs::profile::current_path();
+
         // Scatter tagged results back into input order.
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (1..workers)
-                .map(|w| scope.spawn(move || run_worker(w)))
+                .map(|w| {
+                    let base = profile_base.clone();
+                    scope.spawn(move || {
+                        let _profile = ccs_obs::profile::worker_scope(base);
+                        run_worker(w)
+                    })
+                })
                 .collect();
             for (i, r) in run_worker(0) {
                 slots[i] = Some(r);

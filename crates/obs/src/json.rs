@@ -78,8 +78,12 @@ pub fn escape_into(out: &mut String, s: &str) {
 
 fn write_num(out: &mut String, n: f64) {
     if n.is_finite() {
-        if n.fract() == 0.0 && n.abs() < 9.0e15 {
-            out.push_str(&format!("{}", n as i64));
+        // Integral values print without a decimal point or exponent so
+        // counters stay greppable. i128 covers every integral f64 up to
+        // ±u64::MAX (and beyond); values above 2^53 are the nearest
+        // representable f64, printed exactly.
+        if n.fract() == 0.0 && n.abs() <= 1.8446744073709552e19 {
+            out.push_str(&format!("{}", n as i128));
         } else {
             out.push_str(&format!("{n}"));
         }
@@ -429,5 +433,72 @@ mod tests {
         let text = "\"caf\\u00e9 é\"";
         let v = parse(text).unwrap();
         assert_eq!(v, Value::Str("café é".to_string()));
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        // Every C0 control character must be escaped (RFC 8259 §7) and
+        // survive a round trip.
+        let all_controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Value::Str(all_controls.clone());
+        let mut compact = String::new();
+        v.write_compact(&mut compact);
+        for c in compact[1..compact.len() - 1].chars() {
+            assert!(
+                (c as u32) >= 0x20,
+                "raw control character {:#04x} leaked into output {compact:?}",
+                c as u32
+            );
+        }
+        assert!(compact.contains("\\u0000"));
+        assert!(compact.contains("\\n"));
+        assert!(compact.contains("\\u000b"));
+        assert_eq!(parse(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            Value::Num(bad).write_compact(&mut s);
+            assert_eq!(s, "null");
+        }
+        // A gauge map containing a NaN still yields a parseable doc.
+        let mut obj = BTreeMap::new();
+        obj.insert("residual".to_string(), Value::Num(f64::NAN));
+        let text = Value::Obj(obj).to_string();
+        assert_eq!(parse(&text).unwrap().get("residual"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn u64_counters_above_2_pow_53_round_trip() {
+        // Counters are carried as f64; above 2^53 the nearest
+        // representable value must still print as an exact integer (no
+        // exponent, no decimal point) and re-parse to the same f64.
+        for n in [
+            (1u64 << 53) + 2, // first even value above the exact range
+            1u64 << 60,
+            u64::MAX, // rounds to 2^64 as f64
+        ] {
+            let as_f = n as f64;
+            let mut s = String::new();
+            Value::Num(as_f).write_compact(&mut s);
+            assert!(
+                !s.contains('e') && !s.contains('.'),
+                "expected plain integer for {n}, got {s}"
+            );
+            let back = parse(&s).unwrap().as_num().unwrap();
+            assert_eq!(back, as_f, "{n} printed as {s}");
+            // Saturating cast recovers the u64 for in-range values.
+            assert_eq!(back as u64, if n == u64::MAX { u64::MAX } else { n });
+        }
+        assert_eq!(
+            {
+                let mut s = String::new();
+                Value::Num(u64::MAX as f64).write_compact(&mut s);
+                s
+            },
+            "18446744073709551616"
+        );
     }
 }

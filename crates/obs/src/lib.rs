@@ -21,14 +21,22 @@
 //! document (rendered to JSON for `--metrics-json`),
 //! [`JsonLinesRecorder`] streams each event as one compact JSON line
 //! (`--trace`), and [`Fanout`] drives several recorders at once.
+//!
+//! Two deeper instruments build on the same philosophy (zero cost when
+//! off): the hierarchical call-tree profiler in [`profile`] and the
+//! counting global allocator in [`alloc`].
 
-#![forbid(unsafe_code)]
+// `alloc` needs `unsafe` for the `GlobalAlloc` impl; everything else
+// stays forbidden via the crate-level deny (the module opts in).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod json;
+pub mod profile;
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -298,8 +306,14 @@ impl Record for Collector {
 
 /// A recorder that writes each event as one compact JSON line
 /// (`{"type":"counter","name":"...","delta":1}`), for `--trace`.
+///
+/// Output is buffered: hot-path counters from a large instance would
+/// otherwise pay one locked syscall-sized `write` each. The buffer is
+/// flushed when the recorder drops (so `clear_recorder()` releasing the
+/// last [`Arc`] lands every pending line) or explicitly via
+/// [`JsonLinesRecorder::flush`].
 pub struct JsonLinesRecorder {
-    out: Mutex<Box<dyn std::io::Write + Send>>,
+    out: Mutex<BufWriter<Box<dyn std::io::Write + Send>>>,
 }
 
 impl std::fmt::Debug for JsonLinesRecorder {
@@ -312,7 +326,7 @@ impl JsonLinesRecorder {
     /// Streams events to `out`.
     pub fn new(out: Box<dyn std::io::Write + Send>) -> Arc<JsonLinesRecorder> {
         Arc::new(JsonLinesRecorder {
-            out: Mutex::new(out),
+            out: Mutex::new(BufWriter::new(out)),
         })
     }
 
@@ -320,6 +334,11 @@ impl JsonLinesRecorder {
     /// reports).
     pub fn stderr() -> Arc<JsonLinesRecorder> {
         JsonLinesRecorder::new(Box::new(std::io::stderr()))
+    }
+
+    /// Pushes buffered lines through to the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
     }
 }
 
@@ -509,6 +528,69 @@ mod tests {
         let last = json::parse(lines[2]).expect("valid JSON line");
         assert_eq!(last.get("type").and_then(Value::as_str), Some("span_end"));
         assert!(last.get("wall_ns").and_then(Value::as_num).is_some());
+    }
+
+    #[test]
+    fn json_lines_recorder_buffers_writes() {
+        let _guard = exclusive();
+
+        // Counts calls into the *underlying* writer; with buffering the
+        // recorder must coalesce many events into few writes.
+        struct CountingWriter {
+            writes: Arc<Mutex<u64>>,
+        }
+        impl std::io::Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                *self.writes.lock().unwrap() += 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let writes = Arc::new(Mutex::new(0u64));
+        set_recorder(JsonLinesRecorder::new(Box::new(CountingWriter {
+            writes: writes.clone(),
+        })));
+        const EVENTS: u64 = 10_000;
+        for i in 0..EVENTS {
+            counter("trace.overhead", i);
+        }
+        clear_recorder(); // drops the recorder → flushes the buffer
+
+        let writes = *writes.lock().unwrap();
+        assert!(writes > 0, "flush-on-drop must reach the writer");
+        assert!(
+            writes < EVENTS / 10,
+            "expected ≪ {EVENTS} underlying writes, got {writes}"
+        );
+    }
+
+    #[test]
+    fn span_reports_duration_during_panic_unwind() {
+        let _guard = exclusive();
+        let collector = Collector::new();
+        set_recorder(collector.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = span("doomed_phase");
+            counter("work.before_crash", 2);
+            panic!("phase blew up");
+        }));
+        assert!(result.is_err());
+        clear_recorder();
+
+        // The RAII drop ran during unwinding, so the partial metrics
+        // document still carries the phase timing and prior counters.
+        let m = collector.snapshot();
+        assert_eq!(m.spans["doomed_phase"].calls, 1);
+        assert_eq!(m.counters["work.before_crash"], 2);
+        let doc = m.to_json().to_string();
+        let parsed = json::parse(&doc).expect("partial document is valid JSON");
+        assert!(parsed
+            .get("phases")
+            .and_then(|p| p.get("doomed_phase"))
+            .is_some());
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! The `ccs` command-line tool — see [`ccs::cli`] for the commands.
 
+/// Count every allocation so `--metrics-json` documents carry a real
+/// `"alloc"` section (library code sees zeros when this hook is absent).
+#[global_allocator]
+static ALLOC: ccs::obs::alloc::CountingAlloc = ccs::obs::alloc::CountingAlloc::new();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match ccs::cli::run(&args) {

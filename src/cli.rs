@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! ccs synth    --instance net.ccs --library lib.ccs [--greedy] [--max-k N] [--dot]
-//!              [--threads N] [--trace] [--metrics-json FILE]
+//!              [--threads N] [--trace] [--metrics-json FILE] [--profile-folded FILE]
 //! ccs verify   --instance net.ccs --library lib.ccs
 //! ccs simulate --instance net.ccs --library lib.ccs [--fail-group N] [--packets]
 //!              [--threads N] [--trace] [--metrics-json FILE]
@@ -19,10 +19,14 @@
 //! [`ccs_gen::io`]. `--trace` streams every observability event as one
 //! JSON line on standard error; `--metrics-json FILE` writes the
 //! aggregated `ccs-metrics-v1` document (per-phase wall-clock timings,
-//! pruning counters, convergence gauges) to `FILE` after the run — for
-//! `synth` it additionally embeds the deterministic `ccs-topology-v1`
-//! section under the `"topology"` key, and for `analyze` both that and
-//! the `ccs-resilience-v1` section under the `"resilience"` key.
+//! pruning counters, convergence gauges, the `ccs-profile-v1` call
+//! tree under `"profile"`, and allocator counters under `"alloc"`) to
+//! `FILE` after the run — for `synth` it additionally embeds the
+//! deterministic `ccs-topology-v1` section under the `"topology"` key,
+//! and for `analyze` both that and the `ccs-resilience-v1` section
+//! under the `"resilience"` key. `--profile-folded FILE` writes the
+//! same call tree in folded-stack format for flamegraph rendering;
+//! both flags accept `-` to mean standard output.
 //!
 //! `analyze` synthesizes the instance, then sweeps lane-group failure
 //! scenarios through the network simulator: exhaustive N-1, plus
@@ -82,7 +86,14 @@ observability:
   --metrics-json FILE  write the aggregated ccs-metrics-v1 document to FILE
                        (synth embeds the ccs-topology-v1 selection under
                        the \"topology\" key; analyze adds ccs-resilience-v1
-                       under \"resilience\")
+                       under \"resilience\"; always includes the
+                       ccs-profile-v1 call tree under \"profile\" and the
+                       allocator counters under \"alloc\")
+  --profile-folded FILE
+                       write the hierarchical profile in folded-stack
+                       format (one \"path;to;scope <self_ns>\" line per
+                       tree node) for flamegraph rendering
+                       FILE may be \"-\" for stdout (both flags)
 ";
 
 /// Runs the CLI on `args` (without the program name); returns the text to
@@ -120,6 +131,7 @@ struct Flags {
     max_cost_overhead: Option<f64>,
     trace: bool,
     metrics_json: Option<String>,
+    profile_folded: Option<String>,
     threads: Option<usize>,
 }
 
@@ -134,6 +146,7 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
             "--packets" => f.packets = true,
             "--trace" => f.trace = true,
             "--metrics-json" => f.metrics_json = Some(required(&mut it, tok)?.to_string()),
+            "--profile-folded" => f.profile_folded = Some(required(&mut it, tok)?.to_string()),
             "--max-k" => {
                 f.max_k = Some(
                     required(&mut it, tok)?
@@ -200,13 +213,31 @@ fn load_library(f: &Flags) -> Result<Library, String> {
     io::library_from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Recorder session for `--trace` / `--metrics-json`: installs the
-/// process-global recorder on start and always clears it again — via
-/// [`ObsSession::finish`] on success, via `Drop` when synthesis errors
-/// out mid-run.
+/// Writes `text` to `path`, where `"-"` means standard output (so runs
+/// can be piped without temp files).
+fn write_output(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        use std::io::Write as _;
+        std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write to stdout: {e}"))
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+/// Recorder session for `--trace` / `--metrics-json` /
+/// `--profile-folded`: installs the process-global recorder (and starts
+/// the hierarchical profiler) on start, and always tears both down
+/// again — via [`ObsSession::finish`] on success, via `Drop` when
+/// synthesis errors out or panics mid-run. The `Drop` path still writes
+/// the requested outputs best-effort, so a failing run leaves a usable
+/// partial metrics document.
 struct ObsSession {
     collector: Option<std::sync::Arc<ccs_obs::Collector>>,
     metrics_path: Option<String>,
+    folded_path: Option<String>,
+    profiling: bool,
     installed: bool,
 }
 
@@ -227,9 +258,15 @@ impl ObsSession {
         } else if installed {
             ccs_obs::set_recorder(ccs_obs::Fanout::new(sinks));
         }
+        let profiling = f.metrics_json.is_some() || f.profile_folded.is_some();
+        if profiling {
+            ccs_obs::profile::start();
+        }
         ObsSession {
             collector,
             metrics_path: f.metrics_json.clone(),
+            folded_path: f.profile_folded.clone(),
+            profiling,
             installed,
         }
     }
@@ -247,30 +284,72 @@ impl ObsSession {
         mut self,
         sections: Vec<(&'static str, ccs_obs::json::Value)>,
     ) -> Result<(), String> {
+        self.write_outputs(sections)
+    }
+
+    /// Tears down the global recorder/profiler and writes every
+    /// requested output. Idempotent: each field is taken, so the `Drop`
+    /// re-entry after an explicit finish is a no-op.
+    fn write_outputs(
+        &mut self,
+        sections: Vec<(&'static str, ccs_obs::json::Value)>,
+    ) -> Result<(), String> {
         if self.installed {
             ccs_obs::clear_recorder();
             self.installed = false;
         }
+        let profile = if self.profiling {
+            self.profiling = false;
+            Some(ccs_obs::profile::stop())
+        } else {
+            None
+        };
         if let (Some(collector), Some(path)) = (self.collector.take(), self.metrics_path.take()) {
             let mut doc = collector.snapshot().to_json();
             if let ccs_obs::json::Value::Obj(map) = &mut doc {
+                if let Some(tree) = &profile {
+                    map.insert("profile".to_string(), profile_section(tree));
+                }
+                map.insert("alloc".to_string(), ccs_obs::alloc::stats().to_json());
                 for (name, section) in sections {
                     map.insert(name.to_string(), section);
                 }
             }
             let mut text = doc.to_string();
             text.push('\n');
-            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            write_output(&path, &text)?;
+        }
+        if let Some(path) = self.folded_path.take() {
+            let mut folded = String::new();
+            if let Some(tree) = &profile {
+                tree.write_folded(&mut folded);
+            }
+            write_output(&path, &folded)?;
         }
         Ok(())
     }
 }
 
+/// The `"profile"` section of the metrics document: the full call tree
+/// under `"tree"` plus the scheduling-independent `"counts"` view
+/// (names and call counts only), which is byte-identical for every
+/// `--threads` value.
+fn profile_section(tree: &ccs_obs::profile::ProfileNode) -> ccs_obs::json::Value {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert(
+        "schema".to_string(),
+        ccs_obs::json::Value::Str(ccs_obs::profile::PROFILE_SCHEMA.to_string()),
+    );
+    obj.insert("tree".to_string(), tree.to_json());
+    obj.insert("counts".to_string(), tree.counts_json());
+    ccs_obs::json::Value::Obj(obj)
+}
+
 impl Drop for ObsSession {
     fn drop(&mut self) {
-        if self.installed {
-            ccs_obs::clear_recorder();
-        }
+        // Error/panic path: still emit what was collected (partial
+        // metrics are how a failed run gets diagnosed), but best-effort.
+        let _ = self.write_outputs(Vec::new());
     }
 }
 
