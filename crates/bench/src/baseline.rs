@@ -124,15 +124,17 @@ fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
     }
 }
 
-/// Executes one case once. Returns an error only on pipeline failure
-/// (a broken workload, not a slow one).
-fn run_case(case: &Case, threads: usize) -> Result<(), String> {
+/// Executes one case once. Returns the run's deterministic synthesis
+/// counters (empty for non-synthesis workloads). Errors only on
+/// pipeline failure (a broken workload, not a slow one).
+fn run_case(case: &Case, threads: usize) -> Result<BTreeMap<String, u64>, String> {
     let (graph, library, mut config) = (case.build)();
     config.threads = threads;
     match case.work {
         Work::Matrices => {
             let m = DistanceMatrices::compute(&graph);
             std::hint::black_box(&m);
+            Ok(BTreeMap::new())
         }
         Work::Synth => {
             let r = Synthesizer::new(&graph, &library)
@@ -140,6 +142,7 @@ fn run_case(case: &Case, threads: usize) -> Result<(), String> {
                 .run()
                 .map_err(|e| format!("{}: {e}", case.name))?;
             std::hint::black_box(&r);
+            Ok(r.stats.counters)
         }
         Work::ResilienceN1 => {
             let r = Synthesizer::new(&graph, &library)
@@ -150,9 +153,9 @@ fn run_case(case: &Case, threads: usize) -> Result<(), String> {
             let cfg = ccs_netsim::resilience::ResilienceConfig::default();
             let sweep = ccs_netsim::resilience::analyze(&graph, &r.implementation, &cfg, &exec);
             std::hint::black_box(&sweep);
+            Ok(r.stats.counters)
         }
     }
-    Ok(())
 }
 
 fn median_u64(sorted: &[u64]) -> u64 {
@@ -231,13 +234,20 @@ pub fn run_preset(preset: &str, reps: usize, threads: &[usize]) -> Result<Value,
             threads_obj.insert(format!("t{t}"), Value::Obj(entry));
         }
 
-        // One profiled run (first thread count) embeds the call tree.
+        // One profiled run (first thread count) embeds the call tree
+        // and the run's deterministic pipeline counters — the perf gate
+        // reads these to prove optimizations (e.g. the placement
+        // lower-bound gate) are actually firing, not just not crashing.
         ccs_obs::profile::start();
-        run_case(case, threads[0])?;
+        let counters = run_case(case, threads[0])?;
         let tree = ccs_obs::profile::stop();
 
         let mut case_obj = BTreeMap::new();
         case_obj.insert("threads".to_string(), Value::Obj(threads_obj));
+        case_obj.insert(
+            "counters".to_string(),
+            Value::Obj(counters.into_iter().map(|(k, v)| (k, num(v))).collect()),
+        );
         let mut profile_obj = BTreeMap::new();
         profile_obj.insert(
             "schema".to_string(),
@@ -481,6 +491,21 @@ mod tests {
                 "{name} must take measurable time"
             );
             assert!(case.get("profile").and_then(|p| p.get("counts")).is_some());
+            let counters = case
+                .get("counters")
+                .and_then(Value::as_obj)
+                .expect("counters");
+            if name.starts_with("synth") {
+                assert!(
+                    counters
+                        .get("placement.lb_gated")
+                        .and_then(Value::as_num)
+                        .is_some(),
+                    "{name} must report the LB-gate counter"
+                );
+            } else if name.starts_with("matrices") {
+                assert!(counters.is_empty());
+            }
         }
         // Identity comparison of a real document is clean.
         assert!(compare(&doc, &doc, 0.0, 0.0).unwrap().is_empty());

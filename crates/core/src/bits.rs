@@ -1,0 +1,290 @@
+//! Bit-packed adjacency rows and triangular pair indexing for the
+//! merge-enumeration kernel.
+//!
+//! Level-2 enumeration sweeps all `n(n−1)/2` unordered arc pairs; the
+//! sweep is chunked over a [`ccs_exec::Executor`], and each chunk
+//! derives its pair range *arithmetically* from the triangular index
+//! ([`pair_at`]/[`pair_index`]) instead of materializing a
+//! `Vec<(usize, usize)>` of every pair.
+//!
+//! Levels `k ≥ 3` grow cliques in the surviving-pair graph. The graph
+//! is stored as one word-packed neighbor row per arc
+//! ([`NeighborMasks`], rows are [`ccs_covering::bitset::BitSet`]s), so
+//! extending a (k−1)-clique is an AND of its members' rows masked to
+//! indices greater than the clique's last member — each candidate
+//! extension then pops out via `trailing_zeros` iteration rather than
+//! an `O(k)` scalar `adj[i][j]` scan per arc.
+
+use ccs_covering::bitset::BitSet;
+
+/// Number of unordered pairs over `n` items: `n(n−1)/2`.
+pub fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// First triangular index of row `i` (pairs `(i, i+1) .. (i, n−1)`).
+#[inline]
+fn row_start(n: usize, i: usize) -> usize {
+    // i and (2n − i − 1) have opposite parity, so the product is even
+    // and the division is exact.
+    i * (2 * n - i - 1) / 2
+}
+
+/// Lexicographic rank of the pair `(i, j)` among all unordered pairs of
+/// `0..n`.
+///
+/// # Panics
+///
+/// Panics (debug) unless `i < j < n`.
+#[inline]
+pub fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n, "need i < j < n, got ({i}, {j}) of {n}");
+    row_start(n, i) + (j - i - 1)
+}
+
+/// Inverse of [`pair_index`]: the pair of rank `idx`.
+///
+/// The float guess lands within one row of the answer; the integer
+/// fix-up makes the result exact (and thus independent of rounding
+/// mode), which the determinism gate relies on.
+///
+/// # Panics
+///
+/// Panics if `idx >= pair_count(n)`.
+#[inline]
+pub fn pair_at(n: usize, idx: usize) -> (usize, usize) {
+    assert!(
+        idx < pair_count(n),
+        "pair index {idx} out of range {}",
+        pair_count(n)
+    );
+    let nf = n as f64 - 0.5;
+    let guess = (nf - (nf * nf - 2.0 * idx as f64).max(0.0).sqrt()) as usize;
+    let mut i = guess.min(n - 2);
+    while row_start(n, i) > idx {
+        i -= 1;
+    }
+    while i < n - 2 && row_start(n, i + 1) <= idx {
+        i += 1;
+    }
+    (i, i + 1 + (idx - row_start(n, i)))
+}
+
+/// The surviving-pair graph as word-packed neighbor rows.
+#[derive(Debug, Clone)]
+pub struct NeighborMasks {
+    rows: Vec<BitSet>,
+    n: usize,
+}
+
+impl NeighborMasks {
+    /// An edgeless graph over `n` arcs.
+    pub fn new(n: usize) -> Self {
+        NeighborMasks {
+            rows: (0..n).map(|_| BitSet::new(n)).collect(),
+            n,
+        }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records the undirected surviving pair `{i, j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn connect(&mut self, i: usize, j: usize) {
+        self.rows[i].insert(j);
+        self.rows[j].insert(i);
+    }
+
+    /// Whether `{i, j}` is a surviving pair.
+    pub fn connected(&self, i: usize, j: usize) -> bool {
+        self.rows[i].contains(j)
+    }
+
+    /// A scratch set sized for [`extension_mask`](Self::extension_mask).
+    pub fn scratch(&self) -> BitSet {
+        BitSet::new(self.n)
+    }
+
+    /// Computes into `out` the set of arcs that extend the clique `sub`:
+    /// adjacent to every member, contained in `mask` (the active set),
+    /// and strictly greater than the clique's last member. `out` is
+    /// overwritten, so one scratch set serves a whole sweep chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` is empty or `out`/`mask` have the wrong capacity.
+    pub fn extension_mask(&self, sub: &[u32], mask: &BitSet, out: &mut BitSet) {
+        let last = *sub.last().expect("non-empty clique") as usize;
+        out.copy_from(&self.rows[sub[0] as usize]);
+        for &m in &sub[1..] {
+            out.intersect(&self.rows[m as usize]);
+        }
+        out.intersect(mask);
+        out.clear_below(last + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_exec::chunk_ranges;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn pair_count_small_cases() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+        assert_eq!(pair_count(3), 3);
+        assert_eq!(pair_count(12), 66);
+    }
+
+    #[test]
+    fn pair_index_round_trips_every_pair() {
+        for n in [2usize, 3, 4, 5, 17, 63, 64, 65, 130] {
+            let mut rank = 0usize;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(pair_index(n, i, j), rank, "rank of ({i},{j}) in n={n}");
+                    assert_eq!(pair_at(n, rank), (i, j), "unrank {rank} in n={n}");
+                    rank += 1;
+                }
+            }
+            assert_eq!(rank, pair_count(n));
+        }
+    }
+
+    #[test]
+    fn pair_at_first_and_last() {
+        // n = 2: the single pair.
+        assert_eq!(pair_at(2, 0), (0, 1));
+        // n = 3: all three, in lexicographic order.
+        assert_eq!(pair_at(3, 0), (0, 1));
+        assert_eq!(pair_at(3, 1), (0, 2));
+        assert_eq!(pair_at(3, 2), (1, 2));
+        // First and last rank of a larger universe.
+        let n = 100;
+        assert_eq!(pair_at(n, 0), (0, 1));
+        assert_eq!(pair_at(n, pair_count(n) - 1), (n - 2, n - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pair_at_past_end_panics() {
+        let _ = pair_at(4, pair_count(4));
+    }
+
+    /// Chunking the triangular range and unranking each chunk's first
+    /// index must tile the full pair list exactly — the property the
+    /// level-2 sweep relies on instead of a materialized pair vector.
+    #[test]
+    fn chunked_unrank_tiles_the_pair_list() {
+        for n in [2usize, 3, 9, 24] {
+            let all: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            for parts in [1usize, 2, 3, 8, 64] {
+                let mut tiled = Vec::new();
+                for (s, e) in chunk_ranges(pair_count(n), parts) {
+                    // Unrank the chunk start, then advance sequentially —
+                    // exactly what the sweep does.
+                    if s == e {
+                        continue;
+                    }
+                    let (mut i, mut j) = pair_at(n, s);
+                    for _ in s..e {
+                        tiled.push((i, j));
+                        j += 1;
+                        if j == n {
+                            i += 1;
+                            j = i + 1;
+                        }
+                    }
+                }
+                assert_eq!(tiled, all, "n={n} parts={parts}");
+            }
+        }
+        // Empty universes produce no chunks at all.
+        for n in [0usize, 1] {
+            assert!(chunk_ranges(pair_count(n), 4).is_empty());
+        }
+    }
+
+    /// Reference extension: the old `Vec<Vec<bool>>` adjacency walk.
+    fn extend_naive(adj: &[Vec<bool>], active: &[bool], sub: &[u32]) -> Vec<u32> {
+        let n = adj.len();
+        let last = *sub.last().unwrap() as usize;
+        let mut out = Vec::new();
+        for j in (last + 1)..n {
+            if !active[j] {
+                continue;
+            }
+            if sub.iter().all(|&i| adj[i as usize][j]) {
+                out.push(j as u32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn extension_mask_matches_adj_walk_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(2002);
+        for n in [3usize, 17, 64, 65, 129] {
+            let mut adj = vec![vec![false; n]; n];
+            let mut masks = NeighborMasks::new(n);
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.random_f64() < 0.4 {
+                        adj[i][j] = true;
+                        adj[j][i] = true;
+                        masks.connect(i, j);
+                    }
+                }
+            }
+            let mut active_vec = vec![true; n];
+            let mut active = BitSet::full(n);
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                if rng.random_f64() < 0.15 {
+                    active_vec[i] = false;
+                    active.remove(i);
+                }
+            }
+            let mut scratch = masks.scratch();
+            // Random cliques of sizes 1..=4 (members need not actually be
+            // mutually adjacent for the comparison to be meaningful).
+            for _ in 0..200 {
+                let len = rng.random_range(1usize..=4.min(n));
+                let mut sub: Vec<u32> = (0..len)
+                    .map(|_| rng.random_range(0usize..n) as u32)
+                    .collect();
+                sub.sort_unstable();
+                sub.dedup();
+                masks.extension_mask(&sub, &active, &mut scratch);
+                let got: Vec<u32> = scratch.iter().map(|j| j as u32).collect();
+                assert_eq!(got, extend_naive(&adj, &active_vec, &sub), "sub={sub:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn connect_and_connected() {
+        let mut m = NeighborMasks::new(5);
+        assert!(!m.is_empty() && m.len() == 5);
+        m.connect(1, 3);
+        assert!(m.connected(1, 3) && m.connected(3, 1));
+        assert!(!m.connected(1, 2));
+    }
+}

@@ -93,15 +93,21 @@ where
     F: Fn(usize, &Candidate) -> bool,
 {
     let full = build_matrix(candidates, n_arcs);
-    let drop: Vec<usize> = candidates
+    let excluded_cols: Vec<usize> = candidates
         .iter()
         .enumerate()
         .filter(|&(i, c)| excluded(i, c))
         .map(|(i, _)| i)
         .collect();
-    let (m, map) = full.without_columns(&drop);
-    if ccs_obs::enabled() && !drop.is_empty() {
-        ccs_obs::counter("covering.excluded_cols", drop.len() as u64);
+    // Solve the original matrix directly when nothing is excluded —
+    // the common (plain `select`) path pays no column-copy.
+    let (m, map) = if excluded_cols.is_empty() {
+        (full, (0..candidates.len()).collect())
+    } else {
+        full.without_columns(&excluded_cols)
+    };
+    if ccs_obs::enabled() && !excluded_cols.is_empty() {
+        ccs_obs::counter("covering.excluded_cols", excluded_cols.len() as u64);
     }
     let profile_solve = ccs_obs::profile::scope("solve_cover");
     let (cover, stats) = match strategy {
@@ -115,7 +121,7 @@ where
             (c, Some(s))
         }
     };
-    std::mem::drop(profile_solve); // `drop` is shadowed by the column list above
+    drop(profile_solve);
     if ccs_obs::enabled() {
         ccs_obs::counter("covering.rows", m.n_rows() as u64);
         ccs_obs::counter("covering.cols", m.n_cols() as u64);

@@ -34,15 +34,29 @@
 //! construction: chunks are contiguous index ranges emitted back in
 //! input order (slot-addressed), per-worker [`LevelStats`] partials are
 //! [merged](LevelStats::merge) so every counter equals the serial count
-//! exactly, and each level's survivors are re-sorted canonically before
-//! the Theorem 3.1 closure runs. `enumerate_with` therefore returns
-//! **bit-identical** results for every thread count; [`enumerate`] is
-//! the serial special case.
+//! exactly, and each level's survivors are generated in canonical
+//! lexicographic order before the Theorem 3.1 closure runs.
+//! `enumerate_with` therefore returns **bit-identical** results for
+//! every thread count; [`enumerate`] is the serial special case.
+//!
+//! ### The bitset kernel
+//!
+//! The hot loops run on flat buffers (see [`crate::bits`]): the level-2
+//! sweep derives each chunk's pairs arithmetically from the triangular
+//! index instead of materializing a pair list; the surviving-pair graph
+//! is stored as word-packed [`NeighborMasks`] rows so clique extension
+//! is an AND of the members' rows iterated with `trailing_zeros`; and
+//! each level's subsets live in one flat `Vec<u32>` (k entries per
+//! subset) rather than a `Vec<Vec<usize>>` of per-subset allocations.
+//! The public [`MergeEnumeration`] shape is unchanged — survivors are
+//! unflattened once per level on the way out.
 
+use crate::bits::{pair_at, pair_count, NeighborMasks};
 use crate::constraint::ConstraintGraph;
 use crate::library::Library;
 use crate::matrices::DistanceMatrices;
 use crate::units::Bandwidth;
+use ccs_covering::bitset::BitSet;
 use ccs_exec::{chunk_ranges, ExecStats, Executor};
 
 /// Which pivots Lemma 3.2 is evaluated with (see module docs).
@@ -92,6 +106,16 @@ pub struct MergeConfig {
     /// it stops enumeration and is recorded in
     /// [`MergeStats::truncated_at_k`] (never silent).
     pub max_subsets_per_level: usize,
+    /// Gate hub-placement solves with a cheap geometric cost lower
+    /// bound ([`crate::placement::merge_cost_lower_bound`]): a subset
+    /// whose bound already meets the dominance threshold (the sum of
+    /// its members' point-to-point costs) is dropped without running
+    /// the Weber/two-hub iteration. Sound — the gated candidates are
+    /// exactly ones the dominance filter would discard after the solve
+    /// (Def. 2.5) — so results are identical; only
+    /// `placement.solves_skipped` accounting changes. Disable via
+    /// `--no-lb-gate` to measure the gate or to debug it.
+    pub lb_gate: bool,
 }
 
 impl Default for MergeConfig {
@@ -103,6 +127,7 @@ impl Default for MergeConfig {
             geometry_prune: true,
             bandwidth_prune: true,
             max_subsets_per_level: 2_000_000,
+            lb_gate: true,
         }
     }
 }
@@ -246,6 +271,63 @@ pub fn bandwidth_pruned(graph: &ConstraintGraph, library: &Library, subset: &[us
     total.as_mbps() >= library.max_bandwidth().as_mbps() + min.as_mbps() - 1e-9
 }
 
+/// Lemma 3.2 on a flat `u32` subset — the same floats in the same order
+/// as [`subset_pruned`], without building a `Vec<usize>` per subset.
+fn subset_pruned_u32(m: &DistanceMatrices, subset: &[u32], rule: MergePruneRule) -> bool {
+    match rule {
+        MergePruneRule::LastArcPivot => {
+            let pivot = *subset.iter().max().expect("non-empty subset") as usize;
+            slack_sum_pruned(m, subset, pivot)
+        }
+        MergePruneRule::AnyPivot => subset
+            .iter()
+            .any(|&p| slack_sum_pruned(m, subset, p as usize)),
+    }
+}
+
+/// `Σ_{i ≠ pivot} ε(aᵢ, a_pivot) ≤ 0` with the summation in subset
+/// order, matching [`subset_pruned_with_pivot`] bit-for-bit.
+fn slack_sum_pruned(m: &DistanceMatrices, subset: &[u32], pivot: usize) -> bool {
+    let total: f64 = subset
+        .iter()
+        .filter(|&&i| i as usize != pivot)
+        .map(|&i| m.slack(i as usize, pivot))
+        .sum();
+    total <= 1e-12
+}
+
+/// Theorem 3.2 against precomputed per-arc bandwidths — the same sums
+/// in the same order as [`bandwidth_pruned`], without the per-call arc
+/// lookups and `max_bandwidth` fold.
+fn bandwidth_pruned_fast(bws: &[Bandwidth], max_bw_mbps: f64, subset: &[u32]) -> bool {
+    let total: Bandwidth = subset.iter().map(|&i| bws[i as usize]).sum();
+    let min = subset
+        .iter()
+        .map(|&i| bws[i as usize])
+        .fold(None::<Bandwidth>, |acc, b| match acc {
+            Some(a) if a < b => Some(a),
+            _ => Some(b),
+        })
+        .unwrap_or(Bandwidth::ZERO);
+    total.as_mbps() >= max_bw_mbps + min.as_mbps() - 1e-9
+}
+
+/// Unflattens a level arena (`k` entries per subset) into the public
+/// `Vec<Vec<usize>>` shape — one conversion per level, on the way out.
+fn unflatten(flat: &[u32], k: usize) -> Vec<Vec<usize>> {
+    flat.chunks_exact(k)
+        .map(|c| c.iter().map(|&a| a as usize).collect())
+        .collect()
+}
+
+/// Debug-build invariant check: the extension kernel emits subsets in
+/// lexicographic order by construction, so no level ever needs a sort.
+fn is_lex_sorted(flat: &[u32], k: usize) -> bool {
+    flat.chunks_exact(k)
+        .zip(flat.chunks_exact(k).skip(1))
+        .all(|(a, b)| a <= b)
+}
+
 /// Enumerates all surviving merge candidates of `graph` under `config`
 /// (the `GenerateCandidateArcImplementations` loop of Fig. 2, minus the
 /// point-to-point singletons which [`crate::p2p`] provides), serially.
@@ -306,33 +388,47 @@ pub fn enumerate_with(
     }
     let sweep_parts = exec.threads() * 8;
 
-    // ---- Level k = 2 ---------------------------------------------------
-    // Chunked Lemma 3.1 / Theorem 3.2 sweep over all ordered pairs. The
-    // profile scope stays on this thread for the whole level (per-chunk
-    // scopes would make call counts depend on the chunk count, which is
-    // a function of the thread count).
-    let profile_level = ccs_obs::profile::scope("pairs");
-    let pair_list: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+    // Per-arc bandwidths and the library's best link rate, hoisted out
+    // of the Theorem 3.2 check (same values, same summation order as
+    // the per-call lookups they replace).
+    let bws: Vec<Bandwidth> = (0..n)
+        .map(|i| graph.arc(crate::constraint::ArcId(i as u32)).bandwidth)
         .collect();
-    let chunks = chunk_ranges(pair_list.len(), sweep_parts);
+    let max_bw_mbps = library.max_bandwidth().as_mbps();
+
+    // ---- Level k = 2 ---------------------------------------------------
+    // Chunked Lemma 3.1 / Theorem 3.2 sweep over all unordered pairs.
+    // Each chunk unranks its first pair from the triangular index and
+    // advances sequentially — no materialized pair list. The profile
+    // scope stays on this thread for the whole level (per-chunk scopes
+    // would make call counts depend on the chunk count, which is a
+    // function of the thread count).
+    let profile_level = ccs_obs::profile::scope("pairs");
+    let chunks = chunk_ranges(pair_count(n), sweep_parts);
     let (parts, sweep_stats) = exec.par_map_stats(&chunks, |_, &(s, e)| {
         let mut ls = LevelStats {
             k: 2,
             ..LevelStats::default()
         };
-        let mut surviving: Vec<(usize, usize)> = Vec::new();
-        for &(i, j) in &pair_list[s..e] {
+        let mut surviving: Vec<u32> = Vec::new();
+        let (mut i, mut j) = pair_at(n, s);
+        for _ in s..e {
             ls.examined += 1;
             if config.geometry_prune && pair_pruned(matrices, i, j) {
                 ls.geometry_pruned += 1;
-                continue;
-            }
-            if config.bandwidth_prune && bandwidth_pruned(graph, library, &[i, j]) {
+            } else if config.bandwidth_prune
+                && bandwidth_pruned_fast(&bws, max_bw_mbps, &[i as u32, j as u32])
+            {
                 ls.bandwidth_pruned += 1;
-                continue;
+            } else {
+                surviving.push(i as u32);
+                surviving.push(j as u32);
             }
-            surviving.push((i, j));
+            j += 1;
+            if j == n {
+                i += 1;
+                j = i + 1;
+            }
         }
         (ls, surviving)
     });
@@ -341,23 +437,27 @@ pub fn enumerate_with(
         k: 2,
         ..LevelStats::default()
     };
-    let mut pairs: Vec<Vec<usize>> = Vec::new();
-    let mut adj = vec![vec![false; n]; n];
+    let mut pairs_flat: Vec<u32> = Vec::new();
+    let mut masks = NeighborMasks::new(n);
     for (ls, surviving) in parts {
         level.merge(&ls);
-        for (i, j) in surviving {
-            adj[i][j] = true;
-            adj[j][i] = true;
-            pairs.push(vec![i, j]);
+        for p in surviving.chunks_exact(2) {
+            masks.connect(p[0] as usize, p[1] as usize);
         }
+        pairs_flat.extend_from_slice(&surviving);
     }
     stats.geometry_pruned += level.geometry_pruned;
     stats.bandwidth_pruned += level.bandwidth_pruned;
-    pairs.sort_unstable(); // canonical order before Theorem 3.1
+    // The sweep emits pairs in increasing triangular rank, which *is*
+    // lexicographic order — the canonical order Theorem 3.1 expects.
+    debug_assert!(is_lex_sorted(&pairs_flat, 2));
     let mut active: Vec<bool> = vec![false; n];
-    for p in &pairs {
-        active[p[0]] = true;
-        active[p[1]] = true;
+    let mut active_mask = BitSet::new(n);
+    for &a in &pairs_flat {
+        if !active[a as usize] {
+            active[a as usize] = true;
+            active_mask.insert(a as usize);
+        }
     }
     for (a, act) in active.iter().enumerate() {
         if !act {
@@ -365,57 +465,59 @@ pub fn enumerate_with(
             level.deactivated += 1;
         }
     }
-    level.survivors = pairs.len() as u64;
-    stats.counts.push((2, pairs.len()));
+    let pair_survivors = pairs_flat.len() / 2;
+    level.survivors = pair_survivors as u64;
+    stats.counts.push((2, pair_survivors));
     stats.levels.push(level);
-    let mut prev_level = pairs.clone();
-    subsets_by_k.push(pairs);
+    subsets_by_k.push(unflatten(&pairs_flat, 2));
+    let mut prev_flat = pairs_flat;
+    let mut prev_k = 2usize;
     drop(profile_level);
 
     // ---- Levels k = 3.. -------------------------------------------------
     for k in 3..=max_k {
-        if prev_level.is_empty() {
+        if prev_flat.is_empty() {
             break;
         }
         let _profile_level = ccs_obs::profile::scope_owned(format!("k{k}"));
         let mut truncated = false;
 
-        let candidates: Vec<Vec<usize>> = match strategy {
+        // Flat candidate arena: k entries per subset.
+        let candidates_flat: Vec<u32> = match strategy {
             EnumerationStrategy::Exhaustive => {
                 let arcs: Vec<usize> = (0..n).filter(|&a| active[a]).collect();
-                k_subsets(&arcs, k, config.max_subsets_per_level, &mut truncated)
+                k_subsets_flat(&arcs, k, config.max_subsets_per_level, &mut truncated)
             }
             EnumerationStrategy::PairwiseCliques | EnumerationStrategy::Auto => {
-                // Extend each surviving (k−1)-clique by a higher-index arc
-                // adjacent to all members — chunked over the previous
-                // level, flattened back in input order.
-                let chunks = chunk_ranges(prev_level.len(), sweep_parts);
+                // Extend each surviving (k−1)-clique by a higher-index
+                // arc adjacent to all members: AND the members' neighbor
+                // rows, mask to active arcs above the last member, pop
+                // extensions with trailing_zeros. One scratch set per
+                // chunk — chunked over the previous level's arena,
+                // flattened back in input order.
+                let prev_count = prev_flat.len() / prev_k;
+                let chunks = chunk_ranges(prev_count, sweep_parts);
                 let (parts, sweep_stats) = exec.par_map_stats(&chunks, |_, &(s, e)| {
-                    let mut ext: Vec<Vec<usize>> = Vec::new();
-                    for sub in &prev_level[s..e] {
-                        let last = *sub.last().expect("non-empty subset");
-                        for j in (last + 1)..n {
-                            if !active[j] {
-                                continue;
-                            }
-                            if sub.iter().all(|&i| adj[i][j]) {
-                                let mut t = sub.clone();
-                                t.push(j);
-                                ext.push(t);
-                            }
+                    let mut ext: Vec<u32> = Vec::new();
+                    let mut scratch = masks.scratch();
+                    for sub in prev_flat[s * prev_k..e * prev_k].chunks_exact(prev_k) {
+                        masks.extension_mask(sub, &active_mask, &mut scratch);
+                        for j in scratch.iter() {
+                            ext.extend_from_slice(sub);
+                            ext.push(j as u32);
                         }
                     }
                     ext
                 });
                 stats.exec.merge(&sweep_stats);
-                let mut ext: Vec<Vec<usize>> = Vec::new();
+                let mut ext: Vec<u32> = Vec::new();
                 'flatten: for part in parts {
-                    for t in part {
-                        if ext.len() >= config.max_subsets_per_level {
+                    for t in part.chunks_exact(k) {
+                        if ext.len() / k >= config.max_subsets_per_level {
                             truncated = true;
                             break 'flatten;
                         }
-                        ext.push(t);
+                        ext.extend_from_slice(t);
                     }
                 }
                 ext
@@ -424,8 +526,9 @@ pub fn enumerate_with(
 
         // Chunked Lemma 3.2 / Theorem 3.2 sweep; per-worker LevelStats
         // partials merge to the exact serial counts.
-        let examined_cap = candidates.len().min(config.max_subsets_per_level);
-        if candidates.len() > config.max_subsets_per_level {
+        let n_candidates = candidates_flat.len() / k;
+        let examined_cap = n_candidates.min(config.max_subsets_per_level);
+        if n_candidates > config.max_subsets_per_level {
             truncated = true;
         }
         let chunks = chunk_ranges(examined_cap, sweep_parts);
@@ -434,18 +537,17 @@ pub fn enumerate_with(
                 k,
                 ..LevelStats::default()
             };
-            let mut surviving: Vec<Vec<usize>> = Vec::new();
-            for subset in &candidates[s..e] {
+            let mut surviving: Vec<u32> = Vec::new();
+            for subset in candidates_flat[s * k..e * k].chunks_exact(k) {
                 ls.examined += 1;
-                if config.geometry_prune && subset_pruned(matrices, subset, config.prune_rule) {
+                if config.geometry_prune && subset_pruned_u32(matrices, subset, config.prune_rule) {
                     ls.geometry_pruned += 1;
-                    continue;
-                }
-                if config.bandwidth_prune && bandwidth_pruned(graph, library, subset) {
+                } else if config.bandwidth_prune && bandwidth_pruned_fast(&bws, max_bw_mbps, subset)
+                {
                     ls.bandwidth_pruned += 1;
-                    continue;
+                } else {
+                    surviving.extend_from_slice(subset);
                 }
-                surviving.push(subset.clone());
             }
             (ls, surviving)
         });
@@ -454,14 +556,17 @@ pub fn enumerate_with(
             k,
             ..LevelStats::default()
         };
-        let mut survivors: Vec<Vec<usize>> = Vec::new();
+        let mut survivors_flat: Vec<u32> = Vec::new();
         for (ls, surviving) in parts {
             level.merge(&ls);
-            survivors.extend(surviving);
+            survivors_flat.extend_from_slice(&surviving);
         }
         stats.geometry_pruned += level.geometry_pruned;
         stats.bandwidth_pruned += level.bandwidth_pruned;
-        survivors.sort_unstable(); // canonical order before Theorem 3.1
+        // Extension of a lex-ordered previous level by ascending j keeps
+        // lex order, and the prune sweep only deletes — the canonical
+        // order Theorem 3.1 expects holds by construction.
+        debug_assert!(is_lex_sorted(&survivors_flat, k));
         if truncated {
             stats.truncated_at_k = Some(k);
         }
@@ -469,27 +574,28 @@ pub fn enumerate_with(
         // Theorem 3.1 housekeeping: deactivate arcs in no survivor. A
         // fully empty level ends enumeration and is trimmed below, so it
         // records no per-arc deactivations.
-        if !survivors.is_empty() {
+        if !survivors_flat.is_empty() {
             let mut seen = vec![false; n];
-            for s in &survivors {
-                for &a in s {
-                    seen[a] = true;
-                }
+            for &a in &survivors_flat {
+                seen[a as usize] = true;
             }
             for a in 0..n {
                 if active[a] && !seen[a] {
                     active[a] = false;
+                    active_mask.remove(a);
                     stats.deactivated_at[a] = Some(k);
                     level.deactivated += 1;
                 }
             }
         }
 
-        level.survivors = survivors.len() as u64;
-        stats.counts.push((k, survivors.len()));
+        let n_survivors = survivors_flat.len() / k;
+        level.survivors = n_survivors as u64;
+        stats.counts.push((k, n_survivors));
         stats.levels.push(level);
-        prev_level = survivors.clone();
-        subsets_by_k.push(survivors);
+        subsets_by_k.push(unflatten(&survivors_flat, k));
+        prev_flat = survivors_flat;
+        prev_k = k;
         if truncated {
             break;
         }
@@ -529,11 +635,12 @@ fn emit_level_counters(stats: &MergeStats) {
     }
 }
 
-/// All k-subsets of `items` (sorted ascending), capped at `cap` with the
-/// overflow flag set.
-fn k_subsets(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    if k > items.len() {
+/// All k-subsets of `items` (sorted ascending) in one flat arena (`k`
+/// entries per subset), capped at `cap` subsets with the overflow flag
+/// set.
+fn k_subsets_flat(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    if k == 0 || k > items.len() {
         return out;
     }
     let mut idx: Vec<usize> = (0..k).collect();
@@ -541,11 +648,11 @@ fn k_subsets(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec
         // Check the cap before pushing: at the top of the loop another
         // subset is always pending, so stopping here returns exactly
         // `cap` subsets with the overflow flag set.
-        if out.len() >= cap {
+        if out.len() / k >= cap {
             *truncated = true;
             return out;
         }
-        out.push(idx.iter().map(|&i| items[i]).collect());
+        out.extend(idx.iter().map(|&i| items[i] as u32));
         // Advance the combination.
         let mut i = k;
         loop {
@@ -565,6 +672,12 @@ fn k_subsets(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec
             idx[j] = idx[j - 1] + 1;
         }
     }
+}
+
+/// Test shim over [`k_subsets_flat`] in the historical nested shape.
+#[cfg(test)]
+fn k_subsets(items: &[usize], k: usize, cap: usize, truncated: &mut bool) -> Vec<Vec<usize>> {
+    unflatten(&k_subsets_flat(items, k, cap, truncated), k)
 }
 
 #[cfg(test)]

@@ -172,6 +172,7 @@ pub fn point_to_point_candidate(
 #[derive(Debug, Default)]
 pub struct PlacementCache {
     rates: ShardedCache<u64, Option<f64>>,
+    floors: ShardedCache<u64, f64>,
 }
 
 impl PlacementCache {
@@ -186,6 +187,12 @@ impl PlacementCache {
             .get_or_insert_with(demand.as_mbps().to_bits(), || {
                 effective_rate(library, demand)
             })
+    }
+
+    /// Memoized [`rate_floor`].
+    pub fn rate_floor(&self, library: &Library, demand: Bandwidth) -> f64 {
+        self.floors
+            .get_or_insert_with(demand.as_mbps().to_bits(), || rate_floor(library, demand))
     }
 
     /// Distinct demands priced so far.
@@ -218,6 +225,117 @@ pub fn effective_rate(library: &Library, demand: Bandwidth) -> Option<f64> {
             Some(rate)
         })
         .min_by(f64::total_cmp)
+}
+
+/// A *true* lower bound on the per-unit-length cost of carrying
+/// `demand` over any distance with this library.
+///
+/// Unlike [`effective_rate`] — a placement *weight* that folds amortized
+/// repeater prices in — this keeps only what every feasible plan must
+/// pay: `lanes_for(demand)` lanes of the link's unavoidable per-length
+/// charge (the rate for per-length links, `cost / max_length` for
+/// length-capped per-segment links since a span of `d` needs at least
+/// `d / max_length` segments, and `0` for unbounded per-segment links
+/// whose one flat segment can span anything). Repeater and duplication
+/// surcharges only raise real plans above this floor.
+///
+/// Returns [`f64::INFINITY`] when no link can carry the demand — the
+/// exact feasibility condition under which [`effective_rate`] returns
+/// `None`.
+pub fn rate_floor(library: &Library, demand: Bandwidth) -> f64 {
+    library
+        .links()
+        .filter_map(|(_, l)| {
+            let lanes = l.bandwidth.lanes_for(demand)? as f64;
+            let per_len = match l.cost {
+                crate::library::LinkCost::PerLength(rate) => rate,
+                crate::library::LinkCost::PerSegment(c) => {
+                    if l.max_length.is_finite() && l.max_length > 0.0 {
+                        c / l.max_length
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            Some(lanes * per_len)
+        })
+        .min_by(f64::total_cmp)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// A cheap geometric lower bound on [`merge_candidate`]'s cost for
+/// `subset`, used to gate the Weber/two-hub solves (see
+/// [`MergeConfig::lb_gate`](crate::merging::MergeConfig::lb_gate)).
+///
+/// With `r_a = rate_floor(b(a))`, `r_T = rate_floor(Σ b(a))` and hub
+/// positions `A`, `B` at trunk distance `T`, any merge implementation
+/// costs at least
+///
+/// ```text
+/// node_floor + Σ_a r_a·(|s_a A| + |B t_a|) + r_T·T
+/// ```
+///
+/// and per arc the route triangle inequality gives
+/// `|s_a A| + T + |B t_a| ≥ d(a)`, so with `λ = min(1, r_T / Σ_a r_a)`
+/// each arc satisfies `r_a·max(0, d(a) − T) + λ·r_a·T ≥ λ·r_a·d(a)`
+/// (split on `T ≤ d(a)`). Summing and using `r_T·T ≥ λ·(Σ r_a)·T`:
+///
+/// ```text
+/// cost ≥ node_floor + λ·Σ_a r_a·d(a)
+/// ```
+///
+/// for *any* hub placement — no assumption on rate monotonicity in
+/// demand. The returned bound scales that by `(1 − 1e-9)` to absorb
+/// zero-length segment trimming ([`ZERO_LEN`]) and hop-count slop.
+///
+/// Returns [`f64::INFINITY`] when the subset is structurally infeasible
+/// (no hub hardware, or some demand no link can carry) — exactly the
+/// cases where [`merge_candidate`] returns `Ok(None)`.
+pub fn merge_cost_lower_bound(
+    graph: &ConstraintGraph,
+    library: &Library,
+    subset: &[usize],
+    cache: &PlacementCache,
+) -> f64 {
+    debug_assert!(subset.len() >= 2, "a merging needs at least two arcs");
+    let muxdemux = match (
+        library.node_cost(NodeKind::Mux),
+        library.node_cost(NodeKind::Demux),
+    ) {
+        (Some(m), Some(d)) => Some(m + d),
+        _ => None,
+    };
+    let node_floor = match (muxdemux, library.node_cost(NodeKind::Switch)) {
+        (Some(md), Some(s)) => md.min(s),
+        (Some(md), None) => md,
+        (None, Some(s)) => s,
+        (None, None) => return f64::INFINITY,
+    };
+    let trunk_demand: Bandwidth = subset
+        .iter()
+        .map(|&i| graph.arc(ArcId(i as u32)).bandwidth)
+        .sum();
+    let trunk_floor = cache.rate_floor(library, trunk_demand);
+    if trunk_floor.is_infinite() {
+        return f64::INFINITY;
+    }
+    let mut sum_rate = 0.0;
+    let mut sum_rate_dist = 0.0;
+    for &i in subset {
+        let a = graph.arc(ArcId(i as u32));
+        let r = cache.rate_floor(library, a.bandwidth);
+        if r.is_infinite() {
+            return f64::INFINITY;
+        }
+        sum_rate += r;
+        sum_rate_dist += r * a.distance;
+    }
+    let lambda = if sum_rate > 0.0 {
+        (trunk_floor / sum_rate).min(1.0)
+    } else {
+        1.0
+    };
+    (node_floor + lambda * sum_rate_dist) * (1.0 - 1e-9)
 }
 
 /// Builds the k-way merge candidate for `subset` (arc indices, sorted).
@@ -704,6 +822,79 @@ mod tests {
         let c = merge_candidate(&g, &lib, &[0, 1]).unwrap().unwrap();
         assert_eq!(c.hub_hardware, HubHardware::SingleSwitch);
         assert_eq!(c.node_cost, 100.0);
+    }
+
+    #[test]
+    fn rate_floor_drops_repeater_amortization() {
+        let lib = wan_paper_library();
+        assert_eq!(rate_floor(&lib, mbps(10.0)), 2000.0);
+        assert_eq!(rate_floor(&lib, mbps(30.0)), 4000.0);
+        // A length-capped per-segment wire floors at cost / max_length
+        // per lane; effective_rate adds the amortized repeaters on top.
+        let wire = Library::builder()
+            .link(Link::fixed_length("w", Bandwidth::from_gbps(1.0), 0.5, 3.0))
+            .node(NodeKind::Repeater, 7.0)
+            .build()
+            .unwrap();
+        assert_eq!(rate_floor(&wire, mbps(10.0)), 6.0);
+        assert!(effective_rate(&wire, mbps(10.0)).unwrap() > 6.0);
+        // An unbounded per-segment link has no unavoidable per-length
+        // charge at all.
+        let flat = Library::builder()
+            .link(Link {
+                name: "flat".into(),
+                bandwidth: Bandwidth::from_gbps(1.0),
+                max_length: f64::INFINITY,
+                cost: crate::library::LinkCost::PerSegment(3.0),
+            })
+            .build()
+            .unwrap();
+        assert_eq!(rate_floor(&flat, mbps(10.0)), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_solved_cost() {
+        let g = cluster_to_far();
+        let lib = wan_paper_library();
+        let cache = PlacementCache::new();
+        for subset in [vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1, 2]] {
+            let lb = merge_cost_lower_bound(&g, &lib, &subset, &cache);
+            let c = merge_candidate_cached(&g, &lib, &subset, &cache)
+                .unwrap()
+                .unwrap();
+            assert!(
+                lb <= c.cost + 1e-9,
+                "lb {lb} > cost {} for {subset:?}",
+                c.cost
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_infinite_without_hub_hardware() {
+        let g = cluster_to_far();
+        let lib = Library::builder()
+            .link(Link::per_length("radio", mbps(11.0), 2000.0))
+            .node(NodeKind::Repeater, 0.0)
+            .build()
+            .unwrap();
+        assert!(merge_cost_lower_bound(&g, &lib, &[0, 1], &PlacementCache::new()).is_infinite());
+    }
+
+    #[test]
+    fn equal_rate_pair_bound_reaches_p2p_sum() {
+        // Two equal-bandwidth arcs: the trunk floor is twice the member
+        // floor (two radio lanes), so λ = 1 and the bound reaches the
+        // members' p2p sum — exactly the pairs the lb-gate skips without
+        // running a solve.
+        let g = cluster_to_far();
+        let lib = wan_paper_library();
+        let cache = PlacementCache::new();
+        let lb = merge_cost_lower_bound(&g, &lib, &[0, 1], &cache);
+        let p2p_sum: f64 = (0..2)
+            .map(|i| point_to_point_candidate(&g, &lib, i).unwrap().cost)
+            .sum();
+        assert!(lb >= p2p_sum * (1.0 - 1e-6), "lb {lb} vs p2p {p2p_sum}");
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! 4. hub placement and exact costing of every surviving merge subset
 //!    ([`crate::placement`]), with an additional *cost dominance* filter
 //!    (a merging never cheaper than its members' point-to-point sum can
-//!    be dropped exactly);
+//!    be dropped exactly) — subsets whose cheap geometric lower bound
+//!    ([`crate::placement::merge_cost_lower_bound`]) already reaches the
+//!    dominance threshold skip the solve outright
+//!    ([`MergeConfig::lb_gate`]);
 //! 5. weighted unate covering over all candidates ([`crate::cover`]);
 //! 6. assembly of the final implementation graph
 //!    ([`crate::implementation`]).
@@ -19,11 +22,12 @@ use crate::constraint::ConstraintGraph;
 use crate::cover::{select, CoverStrategy};
 use crate::error::SynthesisError;
 use crate::implementation::ImplementationGraph;
-use crate::library::Library;
+use crate::library::{Library, NodeKind};
 use crate::matrices::DistanceMatrices;
 use crate::merging::{enumerate_with, MergeConfig, MergeStats};
 use crate::placement::{
-    merge_candidate_cached, point_to_point_candidate, Candidate, PlacementCache,
+    merge_candidate_cached, merge_cost_lower_bound, point_to_point_candidate, Candidate,
+    PlacementCache,
 };
 use ccs_exec::{ExecStats, Executor};
 use std::collections::BTreeMap;
@@ -127,6 +131,15 @@ pub struct SynthesisStats {
     pub infeasible_merges: usize,
     /// Merge candidates dropped by the cost-dominance filter.
     pub dominated_dropped: usize,
+    /// Merge subsets whose placement solve was skipped by the
+    /// lower-bound gate ([`MergeConfig::lb_gate`]); such subsets are
+    /// provably dominated (or infeasible) and are counted here instead
+    /// of in [`infeasible_merges`](Self::infeasible_merges) /
+    /// [`dominated_dropped`](Self::dominated_dropped).
+    pub lb_gated: usize,
+    /// Weber/two-hub solver invocations avoided by the lower-bound gate
+    /// (`lb_gated ×` solves one subset costs with this library).
+    pub solves_skipped: u64,
     /// Total candidate columns handed to the UCP.
     pub ucp_cols: usize,
     /// UCP rows (= arcs).
@@ -300,15 +313,36 @@ impl<'a> Synthesizer<'a> {
         let profile_phase = ccs_obs::profile::scope("placement");
         let subsets: Vec<&Vec<usize>> = enumeration.all_subsets().collect();
         let cache = PlacementCache::new();
+        // Lower-bound gate: a subset whose cheap geometric bound already
+        // reaches the dominance threshold below cannot yield a kept
+        // candidate (any real solve costs at least the bound), so the
+        // Weber/two-hub iteration is skipped outright. The decision is a
+        // pure function of the subset, so it is thread-count invariant.
+        enum Placed {
+            Gated,
+            Done(Option<Candidate>),
+        }
+        let lb_gate = self.config.merge.lb_gate && !self.config.keep_dominated;
         let (placed, placement_exec) = exec.par_map_stats(&subsets, |_, s| {
-            merge_candidate_cached(graph, library, s, &cache)
+            if lb_gate {
+                // One profiler call per subset, independent of chunking.
+                let _profile = ccs_obs::profile::scope("lb_gate");
+                let lb = merge_cost_lower_bound(graph, library, s, &cache);
+                let member_sum: f64 = s.iter().map(|&i| candidates[i].cost).sum();
+                if lb >= member_sum * (1.0 - 1e-6) - 1e-12 {
+                    return Ok(Placed::Gated);
+                }
+            }
+            merge_candidate_cached(graph, library, s, &cache).map(Placed::Done)
         });
         let mut infeasible = 0usize;
         let mut dominated = 0usize;
+        let mut lb_gated = 0usize;
         for (subset, r) in subsets.iter().zip(placed) {
             match r? {
-                None => infeasible += 1,
-                Some(c) => {
+                Placed::Gated => lb_gated += 1,
+                Placed::Done(None) => infeasible += 1,
+                Placed::Done(Some(c)) => {
                     // Hub placement converges to ~1e-9; savings below a
                     // relative 1e-6 are numerical noise, not real wins.
                     let member_sum: f64 = subset.iter().map(|&i| candidates[i].cost).sum();
@@ -320,12 +354,26 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
+        // Each un-gated subset costs one Weber solve plus, when mux and
+        // demux are both on offer, one two-hub solve — a library-global
+        // fact, so the skip count is deterministic.
+        let has_muxdemux = library.node_cost(NodeKind::Mux).is_some()
+            && library.node_cost(NodeKind::Demux).is_some();
+        let has_switch = library.node_cost(NodeKind::Switch).is_some();
+        let solves_per_subset: u64 = if has_muxdemux {
+            2
+        } else {
+            u64::from(has_switch)
+        };
+        let solves_skipped = lb_gated as u64 * solves_per_subset;
         drop(profile_phase);
         phase_alloc_counters("placement", &alloc0);
         timings.placement = t.elapsed();
         cpu.placement = placement_exec.busy;
         ccs_obs::counter("placement.infeasible_merges", infeasible as u64);
         ccs_obs::counter("placement.dominated_dropped", dominated as u64);
+        ccs_obs::counter("placement.lb_gated", lb_gated as u64);
+        ccs_obs::counter("placement.solves_skipped", solves_skipped);
 
         // Phase 2: weighted unate covering.
         let t = Instant::now();
@@ -374,6 +422,8 @@ impl<'a> Synthesizer<'a> {
                 &enumeration.stats,
                 infeasible,
                 dominated,
+                lb_gated,
+                solves_skipped,
                 &outcome,
                 threads,
                 &exec_total,
@@ -381,6 +431,8 @@ impl<'a> Synthesizer<'a> {
             merge_stats: enumeration.stats,
             infeasible_merges: infeasible,
             dominated_dropped: dominated,
+            lb_gated,
+            solves_skipped,
             ucp_cols: outcome.cols,
             ucp_rows: outcome.rows,
             ucp_stats: outcome.stats,
@@ -416,10 +468,13 @@ fn phase_alloc_counters(phase: &str, before: &ccs_obs::alloc::AllocStats) {
 /// Builds the deterministic per-run counter map of
 /// [`SynthesisStats::counters`] from the phase outputs (names mirror
 /// the [`ccs_obs`] counter stream).
+#[allow(clippy::too_many_arguments)] // internal aggregation, not public API
 fn run_counters(
     merge_stats: &MergeStats,
     infeasible: usize,
     dominated: usize,
+    lb_gated: usize,
+    solves_skipped: u64,
     outcome: &crate::cover::CoverOutcome,
     threads: usize,
     exec_total: &ccs_exec::ExecStats,
@@ -440,6 +495,8 @@ fn run_counters(
     }
     c.insert("placement.infeasible_merges".to_string(), infeasible as u64);
     c.insert("placement.dominated_dropped".to_string(), dominated as u64);
+    c.insert("placement.lb_gated".to_string(), lb_gated as u64);
+    c.insert("placement.solves_skipped".to_string(), solves_skipped);
     c.insert("covering.rows".to_string(), outcome.rows as u64);
     c.insert("covering.cols".to_string(), outcome.cols as u64);
     if let Some(s) = &outcome.stats {
@@ -643,6 +700,57 @@ mod tests {
         let r2 = Synthesizer::new(&g2, &lib).run().unwrap();
         assert!(r2.total_cost() < r2.stats.p2p_cost);
         assert!(crate::check::verify(&g2, &lib, &r2.implementation).is_empty());
+    }
+
+    #[test]
+    fn lb_gate_skips_pair_solves_without_changing_results() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let gated = Synthesizer::new(&g, &lib).run().unwrap();
+        // Equal-bandwidth pairs have no economy of scale (λ = 1), so
+        // every surviving pair is gated; mux + demux on offer means two
+        // solves avoided per gated subset.
+        assert!(gated.stats.lb_gated > 0, "gate should fire");
+        assert_eq!(gated.stats.solves_skipped, gated.stats.lb_gated as u64 * 2);
+        let cfg = SynthesisConfig {
+            merge: MergeConfig {
+                lb_gate: false,
+                ..MergeConfig::default()
+            },
+            ..SynthesisConfig::default()
+        };
+        let ungated = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+        assert_eq!(ungated.stats.lb_gated, 0);
+        assert_eq!(ungated.stats.solves_skipped, 0);
+        // Gating only reclassifies subsets the dominance/infeasibility
+        // filters would discard after the solve — never the kept ones.
+        assert_eq!(
+            gated.stats.lb_gated + gated.stats.infeasible_merges + gated.stats.dominated_dropped,
+            ungated.stats.infeasible_merges + ungated.stats.dominated_dropped
+        );
+        let arcs = |r: &SynthesisResult| {
+            r.selected
+                .iter()
+                .map(|c| c.arcs.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(arcs(&gated), arcs(&ungated));
+        assert_eq!(gated.total_cost(), ungated.total_cost());
+        assert_eq!(gated.candidates.len(), ungated.candidates.len());
+    }
+
+    #[test]
+    fn keep_dominated_disables_the_gate() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let cfg = SynthesisConfig {
+            keep_dominated: true,
+            ..SynthesisConfig::default()
+        };
+        let r = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+        // With dominated candidates kept, every solve must actually run.
+        assert_eq!(r.stats.lb_gated, 0);
+        assert_eq!(r.stats.solves_skipped, 0);
     }
 
     #[test]

@@ -99,6 +99,34 @@ impl BitSet {
         }
     }
 
+    /// Overwrites `self` with `other`, reusing the word buffer (no
+    /// allocation when capacities match — the point of keeping one
+    /// scratch set across a hot loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "copy_from requires equal capacity");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Removes every element `< limit`, keeping `limit..` intact — the
+    /// "indices greater than the clique's last member" mask of ordered
+    /// clique extension.
+    #[inline]
+    pub fn clear_below(&mut self, limit: usize) {
+        let word = limit / 64;
+        let full = word.min(self.words.len());
+        for w in &mut self.words[..full] {
+            *w = 0;
+        }
+        if word < self.words.len() {
+            self.words[word] &= !0u64 << (limit % 64);
+        }
+    }
+
     /// In-place `self ∪ other`.
     pub fn union(&mut self, other: &BitSet) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
@@ -208,6 +236,42 @@ mod tests {
         let mut e = b.clone();
         e.union(&a);
         assert_eq!(e.count(), 4);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let a: BitSet = [1usize, 65, 100].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        b.insert(7);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        // The old contents are fully overwritten, not merged.
+        assert!(!b.contains(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal capacity")]
+    fn copy_from_capacity_mismatch_panics() {
+        let a = BitSet::new(10);
+        let mut b = BitSet::new(11);
+        b.copy_from(&a);
+    }
+
+    #[test]
+    fn clear_below_keeps_upper_bits() {
+        let mut s: BitSet = [0usize, 5, 63, 64, 65, 127, 128].into_iter().collect();
+        s.clear_below(64);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![64, 65, 127, 128]);
+        s.clear_below(65);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![65, 127, 128]);
+        s.clear_below(0); // no-op
+        assert_eq!(s.count(), 3);
+        s.clear_below(s.capacity()); // clears everything
+        assert!(s.is_empty());
+        // A limit past the capacity is also "clear everything".
+        let mut t: BitSet = [3usize].into_iter().collect();
+        t.clear_below(1000);
+        assert!(t.is_empty());
     }
 
     #[test]

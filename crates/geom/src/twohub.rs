@@ -17,7 +17,6 @@
 //! Euclidean case uses alternating Weber solves followed by a joint
 //! pattern-search polish.
 
-use crate::weber::WeberProblem;
 use crate::{Norm, Point2};
 
 /// Convergence threshold on the objective between alternating sweeps.
@@ -121,17 +120,25 @@ impl TwoHubProblem {
 
     /// Objective value for a candidate hub pair.
     pub fn cost(&self, hub_a: Point2, hub_b: Point2, norm: Norm) -> f64 {
-        let src: f64 = self
-            .sources
+        let src = self.src_sum(hub_a, norm);
+        let dst = self.dst_sum(hub_b, norm);
+        src + dst + self.trunk_weight * norm.distance(hub_a, hub_b)
+    }
+
+    /// The source half of the objective — depends on `hub_a` only.
+    fn src_sum(&self, hub_a: Point2, norm: Norm) -> f64 {
+        self.sources
             .iter()
             .map(|&(p, w)| w * norm.distance(p, hub_a))
-            .sum();
-        let dst: f64 = self
-            .sinks
+            .sum()
+    }
+
+    /// The sink half of the objective — depends on `hub_b` only.
+    fn dst_sum(&self, hub_b: Point2, norm: Norm) -> f64 {
+        self.sinks
             .iter()
             .map(|&(p, w)| w * norm.distance(hub_b, p))
-            .sum();
-        src + dst + self.trunk_weight * norm.distance(hub_a, hub_b)
+            .sum()
     }
 
     /// Solves for the optimal hub pair under `norm`.
@@ -202,22 +209,13 @@ impl TwoHubProblem {
     }
 
     fn solve_euclidean(&self) -> TwoHubSolution {
-        let src_centroid = centroid(&self.sources);
-        let dst_centroid = centroid(&self.sinks);
-        let mid = src_centroid.midpoint(dst_centroid);
-        let starts = [
-            (src_centroid, dst_centroid),
-            (mid, mid),
-            (self.sources[0].0, self.sinks[0].0),
-        ];
-        let mut best: Option<TwoHubSolution> = None;
-        for &(a0, b0) in &starts {
-            let sol = self.alternate_from(a0, b0);
-            if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
-                best = Some(sol);
-            }
-        }
-        let mut sol = best.expect("at least one start evaluated");
+        // The objective is jointly convex in (hub_a, hub_b) — every term
+        // is a nonnegative multiple of a norm of an affine expression —
+        // so alternating descent from any start reaches the global basin,
+        // and the joint pattern-search polish crosses the nonsmooth stall
+        // points (a hub pinned on an anchor, a collapsed trunk) that
+        // alternation cannot. One start therefore suffices.
+        let mut sol = self.alternate_from(centroid(&self.sources), centroid(&self.sinks));
         self.polish(&mut sol, Norm::Euclidean);
         sol
     }
@@ -227,19 +225,22 @@ impl TwoHubProblem {
         let mut cost = self.cost(hub_a, hub_b, norm);
         let mut iterations = 0;
         let mut residual = 0.0;
+        // Each half step optimizes one hub with the other fixed (the
+        // trunk end acts as one more weighted anchor, kept in the last
+        // slot and updated in place — no per-iteration rebuild). The fast
+        // (unpolished) Weber solve suffices here — the joint pattern
+        // search at the end removes the residual error.
+        let mut a_anchors = self.sources.clone();
+        a_anchors.push((hub_b, self.trunk_weight));
+        let mut b_anchors = self.sinks.clone();
+        b_anchors.push((hub_a, self.trunk_weight));
         for it in 0..TWOHUB_MAX_ITER {
             iterations = it + 1;
-            // Optimize hub_a with hub_b fixed (the trunk end acts as one
-            // more weighted anchor), then the converse. The fast
-            // (unpolished) Weber solve suffices here — the joint pattern
-            // search at the end removes the residual error.
-            let mut a_anchors = self.sources.clone();
-            a_anchors.push((hub_b, self.trunk_weight));
-            hub_a = WeberProblem::new(a_anchors).solve_euclidean_fast(200);
+            *a_anchors.last_mut().expect("sources nonempty") = (hub_b, self.trunk_weight);
+            hub_a = crate::weber::weiszfeld_fast(&a_anchors, 200);
 
-            let mut b_anchors = self.sinks.clone();
-            b_anchors.push((hub_a, self.trunk_weight));
-            hub_b = WeberProblem::new(b_anchors).solve_euclidean_fast(200);
+            *b_anchors.last_mut().expect("sinks nonempty") = (hub_a, self.trunk_weight);
+            hub_b = crate::weber::weiszfeld_fast(&b_anchors, 200);
 
             let next = self.cost(hub_a, hub_b, norm);
             residual = (cost - next).max(0.0);
@@ -278,21 +279,42 @@ impl TwoHubProblem {
             Point2::new(1.0, -1.0),
             Point2::new(-1.0, 1.0),
         ];
+        // cost(a, b) = (src_sum(a) + dst_sum(b)) + q·‖a − b‖, with the
+        // same association as `cost`; caching the incumbent's half sums
+        // lets a probe that moves only one hub recompute only its half.
+        let mut src = self.src_sum(sol.hub_a, norm);
+        let mut dst = self.dst_sum(sol.hub_b, norm);
         let mut budget = 12_000usize;
         while h > 1e-9 && budget > 0 {
             let mut improved = false;
             for &d in &dirs {
-                for (da, db) in [
-                    (d * h, Point2::ORIGIN),
-                    (Point2::ORIGIN, d * h),
-                    (d * h, d * h),
-                ] {
+                // Move kinds: hub_a alone, hub_b alone, both jointly.
+                for kind in 0..3u8 {
                     budget = budget.saturating_sub(1);
-                    let c = self.cost(sol.hub_a + da, sol.hub_b + db, norm);
+                    let (da, db) = match kind {
+                        0 => (d * h, Point2::ORIGIN),
+                        1 => (Point2::ORIGIN, d * h),
+                        _ => (d * h, d * h),
+                    };
+                    let a = sol.hub_a + da;
+                    let b = sol.hub_b + db;
+                    let new_src = if kind == 1 {
+                        src
+                    } else {
+                        self.src_sum(a, norm)
+                    };
+                    let new_dst = if kind == 0 {
+                        dst
+                    } else {
+                        self.dst_sum(b, norm)
+                    };
+                    let c = new_src + new_dst + self.trunk_weight * norm.distance(a, b);
                     if c + 1e-12 < sol.cost {
-                        sol.hub_a = sol.hub_a + da;
-                        sol.hub_b = sol.hub_b + db;
+                        sol.hub_a = a;
+                        sol.hub_b = b;
                         sol.cost = c;
+                        src = new_src;
+                        dst = new_dst;
                         improved = true;
                     }
                 }

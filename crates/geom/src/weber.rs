@@ -89,22 +89,6 @@ impl WeberProblem {
         }
     }
 
-    fn total_weight(&self) -> f64 {
-        self.anchors.iter().map(|&(_, w)| w).sum()
-    }
-
-    fn weighted_centroid(&self) -> Point2 {
-        let tw = self.total_weight();
-        if tw <= 0.0 {
-            return self.anchors[0].0;
-        }
-        let mut c = Point2::ORIGIN;
-        for &(p, w) in &self.anchors {
-            c = c + p * w;
-        }
-        c / tw
-    }
-
     fn solve_manhattan(&self) -> Point2 {
         let xs: Vec<(f64, f64)> = self.anchors.iter().map(|&(p, w)| (p.x, w)).collect();
         let ys: Vec<(f64, f64)> = self.anchors.iter().map(|&(p, w)| (p.y, w)).collect();
@@ -134,27 +118,7 @@ impl WeberProblem {
     /// Weiszfeld iteration without the polish step — used internally by
     /// the alternating two-hub solver, which polishes jointly at the end.
     pub(crate) fn solve_euclidean_fast(&self, max_iter: usize) -> Point2 {
-        let active: Vec<(Point2, f64)> = self
-            .anchors
-            .iter()
-            .copied()
-            .filter(|&(_, w)| w > 0.0)
-            .collect();
-        if active.is_empty() {
-            return self.anchors[0].0;
-        }
-        if active.len() == 1 {
-            return active[0].0;
-        }
-        let mut y = self.weighted_centroid();
-        for _ in 0..max_iter {
-            let next = weiszfeld_step(&active, y);
-            if (next - y).len() < WEISZFELD_TOL {
-                return next;
-            }
-            y = next;
-        }
-        y
+        weiszfeld_fast(&self.anchors, max_iter)
     }
 
     /// Greedy pattern search from `start`, shrinking the step until 1e-9
@@ -197,6 +161,54 @@ impl WeberProblem {
         }
         best
     }
+}
+
+/// Weiszfeld iteration over a borrowed anchor slice — the allocation-free
+/// core behind [`WeberProblem::solve_euclidean_fast`], also driven
+/// directly by the two-hub solver's alternation loop (which mutates one
+/// anchor in place between calls instead of rebuilding the problem).
+pub(crate) fn weiszfeld_fast(anchors: &[(Point2, f64)], max_iter: usize) -> Point2 {
+    if anchors.iter().any(|&(_, w)| w <= 0.0) {
+        // Zero-weight anchors must not feed the Vardi–Zhang correction;
+        // this cold path filters them out exactly as before.
+        let active: Vec<(Point2, f64)> =
+            anchors.iter().copied().filter(|&(_, w)| w > 0.0).collect();
+        if active.is_empty() {
+            return anchors[0].0;
+        }
+        if active.len() == 1 {
+            return active[0].0;
+        }
+        return weiszfeld_iterate(&active, anchors_centroid(anchors), max_iter);
+    }
+    if anchors.len() == 1 {
+        return anchors[0].0;
+    }
+    weiszfeld_iterate(anchors, anchors_centroid(anchors), max_iter)
+}
+
+fn weiszfeld_iterate(active: &[(Point2, f64)], mut y: Point2, max_iter: usize) -> Point2 {
+    for _ in 0..max_iter {
+        let next = weiszfeld_step(active, y);
+        if (next - y).len() < WEISZFELD_TOL {
+            return next;
+        }
+        y = next;
+    }
+    y
+}
+
+/// Weighted centroid of the full anchor set (the Weiszfeld start point).
+fn anchors_centroid(anchors: &[(Point2, f64)]) -> Point2 {
+    let tw: f64 = anchors.iter().map(|&(_, w)| w).sum();
+    if tw <= 0.0 {
+        return anchors[0].0;
+    }
+    let mut c = Point2::ORIGIN;
+    for &(p, w) in anchors {
+        c = c + p * w;
+    }
+    c / tw
 }
 
 /// One Weiszfeld step with the Vardi–Zhang correction when the iterate

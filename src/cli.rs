@@ -52,13 +52,13 @@ use std::fmt::Write as _;
 pub const USAGE: &str = "\
 usage:
   ccs synth    --instance FILE --library FILE [--greedy] [--max-k N] [--dot]
-               [--threads N] [--trace] [--metrics-json FILE]
+               [--no-lb-gate] [--threads N] [--trace] [--metrics-json FILE]
   ccs verify   --instance FILE --library FILE
   ccs simulate --instance FILE --library FILE [--fail-group N] [--packets]
                [--threads N] [--trace] [--metrics-json FILE]
   ccs analyze  --instance FILE --library FILE [--fail-k K] [--scenario-budget N]
                [--max-cost-overhead PCT] [--greedy] [--max-k N]
-               [--threads N] [--trace] [--metrics-json FILE]
+               [--no-lb-gate] [--threads N] [--trace] [--metrics-json FILE]
   ccs tables   --instance FILE
   ccs example  instance wan|mpeg4
   ccs example  library  wan|soc
@@ -70,6 +70,12 @@ parallelism:
   --threads N          worker threads for the parallel synthesis phases
                        (default: available parallelism or $CCS_THREADS);
                        results are bit-identical for every N
+
+performance:
+  --no-lb-gate         disable the lower-bound gate that skips hub-placement
+                       solves for provably dominated merge subsets (results
+                       are identical either way; the flag exists to measure
+                       the gate and to debug it)
 
 resilience (ccs analyze):
   --fail-k K           largest simultaneous lane-group failure order swept
@@ -133,6 +139,7 @@ struct Flags {
     metrics_json: Option<String>,
     profile_folded: Option<String>,
     threads: Option<usize>,
+    no_lb_gate: bool,
 }
 
 fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
@@ -144,6 +151,7 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
             "--greedy" => f.greedy = true,
             "--dot" => f.dot = true,
             "--packets" => f.packets = true,
+            "--no-lb-gate" => f.no_lb_gate = true,
             "--trace" => f.trace = true,
             "--metrics-json" => f.metrics_json = Some(required(&mut it, tok)?.to_string()),
             "--profile-folded" => f.profile_folded = Some(required(&mut it, tok)?.to_string()),
@@ -359,6 +367,7 @@ fn configured(f: &Flags) -> SynthesisConfig {
         cfg.cover = CoverStrategy::Greedy;
     }
     cfg.merge.max_k = f.max_k;
+    cfg.merge.lb_gate = !f.no_lb_gate;
     cfg.threads = f.threads.unwrap_or(0);
     cfg
 }
@@ -749,6 +758,30 @@ mod tests {
 
         // Bad numeric flags are rejected.
         assert!(run(&args(&format!("synth {base} --max-k x"))).is_err());
+    }
+
+    #[test]
+    fn no_lb_gate_flag_is_result_invariant() {
+        let dir = std::env::temp_dir().join("ccs-cli-test-lbgate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+
+        // The gate only skips work: the synthesis report up to the
+        // (wall-clock) phase table is identical either way.
+        let head = |s: &str| {
+            s.lines()
+                .take_while(|l| !l.contains("wall"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let gated = run(&args(&format!("synth {base}"))).unwrap();
+        let ungated = run(&args(&format!("synth {base} --no-lb-gate"))).unwrap();
+        assert!(head(&gated).contains("3-way merge"));
+        assert_eq!(head(&gated), head(&ungated));
     }
 
     #[test]

@@ -73,6 +73,8 @@ fn assert_bit_identical(a: &SynthesisResult, b: &SynthesisResult) {
     assert_eq!(a.stats.p2p_cost.to_bits(), b.stats.p2p_cost.to_bits());
     assert_eq!(a.stats.infeasible_merges, b.stats.infeasible_merges);
     assert_eq!(a.stats.dominated_dropped, b.stats.dominated_dropped);
+    assert_eq!(a.stats.lb_gated, b.stats.lb_gated);
+    assert_eq!(a.stats.solves_skipped, b.stats.solves_skipped);
     assert_eq!(a.stats.ucp_cols, b.stats.ucp_cols);
     assert_eq!(a.stats.ucp_rows, b.stats.ucp_rows);
 }
