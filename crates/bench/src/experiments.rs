@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// All experiment ids accepted by [`run`].
-pub const EXPERIMENT_IDS: [&str; 14] = [
+pub const EXPERIMENT_IDS: [&str; 15] = [
     "table1",
     "table2",
     "fig3",
@@ -28,6 +28,7 @@ pub const EXPERIMENT_IDS: [&str; 14] = [
     "packet",
     "timing",
     "resilience",
+    "ledger",
 ];
 
 /// Runs one experiment by id and returns its textual report.
@@ -51,6 +52,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "packet" => Ok(packet()),
         "timing" => Ok(timing()),
         "resilience" => Ok(resilience()),
+        "ledger" => ledger_overhead(),
         other => Err(format!(
             "unknown experiment {other:?}; known: {}",
             EXPERIMENT_IDS.join(", ")
@@ -681,6 +683,141 @@ pub fn resilience() -> String {
     s
 }
 
+/// Extension: cost of the decision-provenance ledger on the quick
+/// preset's seeded WAN, with the disabled-path perf gate applied.
+///
+/// # Errors
+///
+/// Fails when the disabled (default) path's median wall time exceeds
+/// the interleaved control series by more than 1% — with a 0.5 ms
+/// absolute floor so timer jitter on a fast machine cannot trip it.
+pub fn ledger_overhead() -> Result<String, String> {
+    let m = ledger_overhead_reps(11)?;
+    let mut s = m.report;
+    if m.disabled_overhead > 0.01 && m.disabled_delta_ns > 500_000 {
+        let _ = writeln!(
+            s,
+            "GATE FAILED: disabled-path overhead {:.2}% exceeds 1% of median wall time",
+            m.disabled_overhead * 100.0
+        );
+        return Err(s);
+    }
+    let _ = writeln!(
+        s,
+        "gate: disabled-path overhead {:+.2}% within 1% -> pass",
+        m.disabled_overhead * 100.0
+    );
+    Ok(s)
+}
+
+/// What [`ledger_overhead`] measured, before the gate is applied.
+pub struct LedgerOverhead {
+    /// The rendered series table.
+    pub report: String,
+    /// Disabled-path median overhead vs the control series (fraction;
+    /// can be negative — both series run identical code).
+    pub disabled_overhead: f64,
+    /// The same overhead in absolute nanoseconds (0 when negative).
+    pub disabled_delta_ns: u64,
+}
+
+/// [`ledger_overhead`] measurement with a caller-chosen repetition
+/// count (tests use a small one; the gate math lives in the caller).
+///
+/// Three series over the quick preset's seeded WAN, interleaved per
+/// round so machine drift hits all alike: *control* and *disabled*
+/// both run the default ledger-off path — an A/A pair whose gap is the
+/// disabled path's measurable cost plus the benchmark's own noise
+/// floor — and *enabled* records provenance for real.
+///
+/// # Errors
+///
+/// Only on pipeline failure (a broken workload, not a slow one).
+pub fn ledger_overhead_reps(reps: usize) -> Result<LedgerOverhead, String> {
+    let g = clustered_wan(&ClusteredWanConfig {
+        seed: 42,
+        channels: 12,
+        ..Default::default()
+    });
+    let lib = wan::paper_library();
+    let mut cfg = SynthesisConfig::default();
+    cfg.merge.max_k = Some(4);
+
+    let mut decisions = 0u64;
+    let mut run_once = |enabled: bool| -> Result<u64, String> {
+        if enabled {
+            ccs_obs::ledger::install(ccs_obs::ledger::DEFAULT_CAP);
+        }
+        let start = Instant::now();
+        let r = Synthesizer::new(&g, &lib)
+            .with_config(cfg.clone())
+            .run()
+            .map_err(|e| format!("ledger workload: {e}"))?;
+        std::hint::black_box(&r);
+        let wall = start.elapsed().as_nanos() as u64;
+        if enabled {
+            if let Some(l) = ccs_obs::ledger::take() {
+                decisions = l.total();
+                std::hint::black_box(&l);
+            }
+        }
+        Ok(wall)
+    };
+
+    run_once(false)?; // warm-up: caches, allocator, placement memo
+    let mut series = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..reps.max(1) {
+        for (i, enabled) in [false, false, true].into_iter().enumerate() {
+            series[i].push(run_once(enabled)?);
+        }
+    }
+    for s in &mut series {
+        s.sort_unstable();
+    }
+    let median = |s: &[u64]| s[s.len() / 2];
+    let [ctl, dis, ena] = [median(&series[0]), median(&series[1]), median(&series[2])];
+    let pct = |x: u64| (x as f64 - ctl as f64) / ctl as f64 * 100.0;
+
+    let mut s = String::from("== Decision-ledger overhead (extension) ==\n");
+    let _ = writeln!(
+        s,
+        "seeded WAN (12 channels, max-k 4), {} reps per series, interleaved",
+        reps.max(1)
+    );
+    let _ = writeln!(
+        s,
+        "{:>22} {:>12} {:>10}",
+        "series", "median ms", "vs control"
+    );
+    let _ = writeln!(
+        s,
+        "{:>22} {:>12.3} {:>10}",
+        "control (ledger off)",
+        ctl as f64 / 1e6,
+        "-"
+    );
+    let _ = writeln!(
+        s,
+        "{:>22} {:>12.3} {:>+9.2}%",
+        "disabled (ledger off)",
+        dis as f64 / 1e6,
+        pct(dis)
+    );
+    let _ = writeln!(
+        s,
+        "{:>22} {:>12.3} {:>+9.2}%",
+        "enabled (ledger on)",
+        ena as f64 / 1e6,
+        pct(ena)
+    );
+    let _ = writeln!(s, "decisions recorded when enabled: {decisions}");
+    Ok(LedgerOverhead {
+        report: s,
+        disabled_overhead: (dis as f64 - ctl as f64) / ctl as f64,
+        disabled_delta_ns: dis.saturating_sub(ctl),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,8 +825,10 @@ mod tests {
     #[test]
     fn every_experiment_runs() {
         for id in EXPERIMENT_IDS {
-            if id == "scale" {
-                continue; // covered by scale_small_sweep (full sweep is slow in debug)
+            if id == "scale" || id == "ledger" {
+                // scale: covered by scale_small_sweep; ledger: covered by
+                // ledger_overhead_measures (full rep count is slow in debug).
+                continue;
             }
             let out = run(id).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert!(!out.is_empty(), "{id} produced no output");
@@ -710,6 +849,21 @@ mod tests {
     #[test]
     fn unknown_id_is_an_error() {
         assert!(run("nope").is_err());
+    }
+
+    #[test]
+    fn ledger_overhead_measures() {
+        let m = ledger_overhead_reps(1).unwrap();
+        assert!(m.report.contains("enabled (ledger on)"), "{}", m.report);
+        let decisions: u64 = m
+            .report
+            .lines()
+            .find(|l| l.starts_with("decisions recorded"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|w| w.parse().ok())
+            .expect("decision count line");
+        assert!(decisions > 0, "an enabled run must record decisions");
+        assert!(m.disabled_overhead.is_finite());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::error::SynthesisError;
 use crate::placement::Candidate;
 use ccs_covering::{CoverMatrix, SolveStats};
+use ccs_obs::ledger::{self, Cause, DecisionEvent};
 
 /// Which UCP solver the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,6 +147,27 @@ where
     // report the true candidate cost sum (unclamped).
     let selected: Vec<usize> = cover.columns.iter().map(|&i| map[i]).collect();
     let cost = selected.iter().map(|&i| candidates[i].cost).sum();
+    if ledger::enabled() {
+        // Provenance: one event per candidate column that survived to
+        // the solver, split by the solver's verdict. `index` is the
+        // position in the original candidate slice — the same index
+        // placement.kept events carry.
+        for (col, &orig) in map.iter().enumerate() {
+            let c = &candidates[orig];
+            let cause = if cover.columns.contains(&col) {
+                Cause::CoveringSelected
+            } else {
+                Cause::CoveringRejected
+            };
+            ledger::emit(DecisionEvent::new(
+                cause,
+                c.arcs.iter().map(|&a| a as u32).collect(),
+                c.cost,
+                0.0,
+                format!("index={orig}"),
+            ));
+        }
+    }
     Ok(CoverOutcome {
         selected,
         cost,

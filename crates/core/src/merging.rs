@@ -58,6 +58,7 @@ use crate::matrices::DistanceMatrices;
 use crate::units::Bandwidth;
 use ccs_covering::bitset::BitSet;
 use ccs_exec::{chunk_ranges, ExecStats, Executor};
+use ccs_obs::ledger::{self, Cause, DecisionEvent};
 
 /// Which pivots Lemma 3.2 is evaluated with (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -404,6 +405,9 @@ pub fn enumerate_with(
     // would make call counts depend on the chunk count, which is a
     // function of the thread count).
     let profile_level = ccs_obs::profile::scope("pairs");
+    // Hoisted ledger check: sweeps build no event when provenance
+    // recording is off (the default).
+    let ledger_on = ledger::enabled();
     let chunks = chunk_ranges(pair_count(n), sweep_parts);
     let (parts, sweep_stats) = exec.par_map_stats(&chunks, |_, &(s, e)| {
         let mut ls = LevelStats {
@@ -416,10 +420,28 @@ pub fn enumerate_with(
             ls.examined += 1;
             if config.geometry_prune && pair_pruned(matrices, i, j) {
                 ls.geometry_pruned += 1;
+                if ledger_on {
+                    ledger::emit(DecisionEvent::new(
+                        Cause::MergingGeometryPruned,
+                        vec![i as u32, j as u32],
+                        0.0,
+                        0.0,
+                        "k=2".to_string(),
+                    ));
+                }
             } else if config.bandwidth_prune
                 && bandwidth_pruned_fast(&bws, max_bw_mbps, &[i as u32, j as u32])
             {
                 ls.bandwidth_pruned += 1;
+                if ledger_on {
+                    ledger::emit(DecisionEvent::new(
+                        Cause::MergingBandwidthPruned,
+                        vec![i as u32, j as u32],
+                        bws[i].as_mbps() + bws[j].as_mbps(),
+                        max_bw_mbps,
+                        "k=2".to_string(),
+                    ));
+                }
             } else {
                 surviving.push(i as u32);
                 surviving.push(j as u32);
@@ -463,6 +485,15 @@ pub fn enumerate_with(
         if !act {
             stats.deactivated_at[a] = Some(2);
             level.deactivated += 1;
+            if ledger_on {
+                ledger::emit(DecisionEvent::new(
+                    Cause::MergingDeactivated,
+                    vec![a as u32],
+                    0.0,
+                    0.0,
+                    "k=2".to_string(),
+                ));
+            }
         }
     }
     let pair_survivors = pairs_flat.len() / 2;
@@ -542,9 +573,28 @@ pub fn enumerate_with(
                 ls.examined += 1;
                 if config.geometry_prune && subset_pruned_u32(matrices, subset, config.prune_rule) {
                     ls.geometry_pruned += 1;
+                    if ledger_on {
+                        ledger::emit(DecisionEvent::new(
+                            Cause::MergingGeometryPruned,
+                            subset.to_vec(),
+                            0.0,
+                            0.0,
+                            format!("k={k}"),
+                        ));
+                    }
                 } else if config.bandwidth_prune && bandwidth_pruned_fast(&bws, max_bw_mbps, subset)
                 {
                     ls.bandwidth_pruned += 1;
+                    if ledger_on {
+                        let total: f64 = subset.iter().map(|&a| bws[a as usize].as_mbps()).sum();
+                        ledger::emit(DecisionEvent::new(
+                            Cause::MergingBandwidthPruned,
+                            subset.to_vec(),
+                            total,
+                            max_bw_mbps,
+                            format!("k={k}"),
+                        ));
+                    }
                 } else {
                     surviving.extend_from_slice(subset);
                 }
@@ -569,6 +619,15 @@ pub fn enumerate_with(
         debug_assert!(is_lex_sorted(&survivors_flat, k));
         if truncated {
             stats.truncated_at_k = Some(k);
+            if ledger_on {
+                ledger::emit(DecisionEvent::new(
+                    Cause::MergingTruncated,
+                    Vec::new(),
+                    n_candidates as f64,
+                    config.max_subsets_per_level as f64,
+                    format!("k={k}"),
+                ));
+            }
         }
 
         // Theorem 3.1 housekeeping: deactivate arcs in no survivor. A
@@ -585,6 +644,15 @@ pub fn enumerate_with(
                     active_mask.remove(a);
                     stats.deactivated_at[a] = Some(k);
                     level.deactivated += 1;
+                    if ledger_on {
+                        ledger::emit(DecisionEvent::new(
+                            Cause::MergingDeactivated,
+                            vec![a as u32],
+                            0.0,
+                            0.0,
+                            format!("k={k}"),
+                        ));
+                    }
                 }
             }
         }

@@ -286,7 +286,7 @@ pub fn rate_floor(library: &Library, demand: Bandwidth) -> f64 {
 ///
 /// for *any* hub placement — no assumption on rate monotonicity in
 /// demand. The returned bound scales that by `(1 − 1e-9)` to absorb
-/// zero-length segment trimming ([`ZERO_LEN`]) and hop-count slop.
+/// zero-length segment trimming (`ZERO_LEN`) and hop-count slop.
 ///
 /// Returns [`f64::INFINITY`] when the subset is structurally infeasible
 /// (no hub hardware, or some demand no link can carry) — exactly the
@@ -338,6 +338,32 @@ pub fn merge_cost_lower_bound(
     (node_floor + lambda * sum_rate_dist) * (1.0 - 1e-9)
 }
 
+/// Why a merge subset has no implementation with a given library —
+/// the provenance recorded when placement declares a subset
+/// infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InfeasibleReason {
+    /// The library offers neither a mux/demux pair nor a switch, so no
+    /// hub can exist at all.
+    NoHubHardware,
+    /// Some stretch (branch or trunk) has a demand no library link can
+    /// carry, or no link covers its length.
+    UnroutableDemand,
+    /// Every priced topology put some member arc over its hop bound.
+    HopLimitExceeded,
+}
+
+impl InfeasibleReason {
+    /// A stable machine-readable id, used in ledger `detail` tags.
+    pub fn id(self) -> &'static str {
+        match self {
+            InfeasibleReason::NoHubHardware => "no_hub_hardware",
+            InfeasibleReason::UnroutableDemand => "unroutable_demand",
+            InfeasibleReason::HopLimitExceeded => "hop_limit_exceeded",
+        }
+    }
+}
+
 /// Builds the k-way merge candidate for `subset` (arc indices, sorted).
 ///
 /// Returns `Ok(None)` when the merging is structurally infeasible with
@@ -380,6 +406,27 @@ pub fn merge_candidate_cached(
     subset: &[usize],
     cache: &PlacementCache,
 ) -> Result<Option<Candidate>, SynthesisError> {
+    merge_candidate_explained(graph, library, subset, cache).map(Result::ok)
+}
+
+/// [`merge_candidate_cached`], but an infeasible subset reports *why*
+/// (`Ok(Err(reason))`) instead of a bare `None` — the provenance the
+/// decision ledger records for `ccs explain`.
+///
+/// # Errors
+///
+/// Same contract as [`merge_candidate`].
+///
+/// # Panics
+///
+/// Panics if `subset` has fewer than two arcs or contains an invalid
+/// index.
+pub fn merge_candidate_explained(
+    graph: &ConstraintGraph,
+    library: &Library,
+    subset: &[usize],
+    cache: &PlacementCache,
+) -> Result<Result<Candidate, InfeasibleReason>, SynthesisError> {
     assert!(subset.len() >= 2, "a merging needs at least two arcs");
     // One profiler call per subset, independent of chunking/threads.
     let _profile = ccs_obs::profile::scope("solve_merge");
@@ -394,7 +441,7 @@ pub fn merge_candidate_cached(
     };
     let switch_cost = library.node_cost(NodeKind::Switch);
     if muxdemux_cost.is_none() && switch_cost.is_none() {
-        return Ok(None);
+        return Ok(Err(InfeasibleReason::NoHubHardware));
     }
 
     let arcs: Vec<_> = subset
@@ -405,17 +452,22 @@ pub fn merge_candidate_cached(
 
     // Hub placement with per-length price weights.
     let Some(trunk_rate) = cache.effective_rate(library, trunk_demand) else {
-        return Ok(None);
+        return Ok(Err(InfeasibleReason::UnroutableDemand));
     };
     let mut sources = Vec::with_capacity(arcs.len());
     let mut sinks = Vec::with_capacity(arcs.len());
     for (_, a) in &arcs {
         let Some(rate) = cache.effective_rate(library, a.bandwidth) else {
-            return Ok(None);
+            return Ok(Err(InfeasibleReason::UnroutableDemand));
         };
         sources.push((graph.position(a.src), rate));
         sinks.push((graph.position(a.dst), rate));
     }
+
+    // The reason reported when every attempted topology fails (each
+    // failed attempt overwrites it, so the star's reason wins when both
+    // topologies were priced — deterministic either way).
+    let mut why = InfeasibleReason::UnroutableDemand;
 
     // Topology 1: the general dumbbell (two hubs, mux/demux required).
     let dumbbell = if let Some(md) = muxdemux_cost {
@@ -426,7 +478,7 @@ pub fn merge_candidate_cached(
             ccs_obs::counter("placement.twohub_iterations", sol.iterations as u64);
             ccs_obs::gauge("placement.twohub_residual", sol.residual);
         }
-        build_merge(
+        match build_merge(
             graph,
             library,
             subset,
@@ -436,7 +488,13 @@ pub fn merge_candidate_cached(
             sol.hub_b,
             md,
             HubHardware::MuxDemux,
-        )?
+        )? {
+            Ok(c) => Some(c),
+            Err(reason) => {
+                why = reason;
+                None
+            }
+        }
     } else {
         None
     };
@@ -454,7 +512,7 @@ pub fn merge_candidate_cached(
         (None, None) => None,
     };
     let star = match star_hardware {
-        Some((hw, node_cost)) => build_merge(
+        Some((hw, node_cost)) => match build_merge(
             graph,
             library,
             subset,
@@ -464,18 +522,25 @@ pub fn merge_candidate_cached(
             star_hub,
             node_cost,
             hw,
-        )?,
+        )? {
+            Ok(c) => Some(c),
+            Err(reason) => {
+                why = reason;
+                None
+            }
+        },
         None => None,
     };
 
     Ok(match (dumbbell, star) {
-        (Some(d), Some(s)) => Some(if s.cost < d.cost { s } else { d }),
-        (d, s) => d.or(s),
+        (Some(d), Some(s)) => Ok(if s.cost < d.cost { s } else { d }),
+        (Some(c), None) | (None, Some(c)) => Ok(c),
+        (None, None) => Err(why),
     })
 }
 
-/// Prices one concrete merge topology; `None` when some stretch cannot be
-/// implemented with this library.
+/// Prices one concrete merge topology; `Err(reason)` when some stretch
+/// cannot be implemented with this library or a hop bound is exceeded.
 #[allow(clippy::too_many_arguments)] // internal constructor, not public API
 fn build_merge(
     graph: &ConstraintGraph,
@@ -487,7 +552,7 @@ fn build_merge(
     hub_b: Point2,
     node_cost: f64,
     hub_hardware: HubHardware,
-) -> Result<Option<Candidate>, SynthesisError> {
+) -> Result<Result<Candidate, InfeasibleReason>, SynthesisError> {
     let norm = graph.norm();
     let mut segments = Vec::new();
     let mut cost = node_cost;
@@ -500,7 +565,7 @@ fn build_merge(
             continue;
         }
         let Ok(plan) = best_plan(library, len, a.bandwidth, ArcId(*idx as u32)) else {
-            return Ok(None);
+            return Ok(Err(InfeasibleReason::UnroutableDemand));
         };
         cost += plan.cost;
         segments.push(SegmentPlan {
@@ -519,7 +584,7 @@ fn build_merge(
     let trunk_len = norm.distance(hub_a, hub_b);
     if trunk_len > ZERO_LEN {
         let Ok(plan) = best_plan(library, trunk_len, trunk_demand, ArcId(subset[0] as u32)) else {
-            return Ok(None);
+            return Ok(Err(InfeasibleReason::UnroutableDemand));
         };
         cost += plan.cost;
         segments.push(SegmentPlan {
@@ -542,7 +607,7 @@ fn build_merge(
             continue;
         }
         let Ok(plan) = best_plan(library, len, a.bandwidth, ArcId(*idx as u32)) else {
-            return Ok(None);
+            return Ok(Err(InfeasibleReason::UnroutableDemand));
         };
         cost += plan.cost;
         segments.push(SegmentPlan {
@@ -568,12 +633,12 @@ fn build_merge(
                 .map(|s| s.plan.hops)
                 .sum();
             if hops > limit {
-                return Ok(None);
+                return Ok(Err(InfeasibleReason::HopLimitExceeded));
             }
         }
     }
 
-    Ok(Some(Candidate {
+    Ok(Ok(Candidate {
         arcs: subset.to_vec(),
         kind: CandidateKind::Merging { k: subset.len() },
         hub_a: Some(hub_a),

@@ -26,10 +26,11 @@ use crate::library::{Library, NodeKind};
 use crate::matrices::DistanceMatrices;
 use crate::merging::{enumerate_with, MergeConfig, MergeStats};
 use crate::placement::{
-    merge_candidate_cached, merge_cost_lower_bound, point_to_point_candidate, Candidate,
-    PlacementCache,
+    merge_candidate_explained, merge_cost_lower_bound, point_to_point_candidate, Candidate,
+    InfeasibleReason, PlacementCache,
 };
 use ccs_exec::{ExecStats, Executor};
+use ccs_obs::ledger::{self, Cause, DecisionEvent};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -319,8 +320,8 @@ impl<'a> Synthesizer<'a> {
         // Weber/two-hub iteration is skipped outright. The decision is a
         // pure function of the subset, so it is thread-count invariant.
         enum Placed {
-            Gated,
-            Done(Option<Candidate>),
+            Gated { lb: f64, member_sum: f64 },
+            Done(Result<Candidate, InfeasibleReason>),
         }
         let lb_gate = self.config.merge.lb_gate && !self.config.keep_dominated;
         let (placed, placement_exec) = exec.par_map_stats(&subsets, |_, s| {
@@ -330,25 +331,70 @@ impl<'a> Synthesizer<'a> {
                 let lb = merge_cost_lower_bound(graph, library, s, &cache);
                 let member_sum: f64 = s.iter().map(|&i| candidates[i].cost).sum();
                 if lb >= member_sum * (1.0 - 1e-6) - 1e-12 {
-                    return Ok(Placed::Gated);
+                    return Ok(Placed::Gated { lb, member_sum });
                 }
             }
-            merge_candidate_cached(graph, library, s, &cache).map(Placed::Done)
+            merge_candidate_explained(graph, library, s, &cache).map(Placed::Done)
         });
+        let ledger_on = ledger::enabled();
+        let subset_arcs = |s: &[usize]| -> Vec<u32> { s.iter().map(|&i| i as u32).collect() };
         let mut infeasible = 0usize;
         let mut dominated = 0usize;
         let mut lb_gated = 0usize;
         for (subset, r) in subsets.iter().zip(placed) {
             match r? {
-                Placed::Gated => lb_gated += 1,
-                Placed::Done(None) => infeasible += 1,
-                Placed::Done(Some(c)) => {
+                Placed::Gated { lb, member_sum } => {
+                    lb_gated += 1;
+                    if ledger_on {
+                        ledger::emit(DecisionEvent::new(
+                            Cause::PlacementLbGated,
+                            subset_arcs(subset),
+                            lb,
+                            member_sum,
+                            format!("k={}", subset.len()),
+                        ));
+                    }
+                }
+                Placed::Done(Err(reason)) => {
+                    infeasible += 1;
+                    if ledger_on {
+                        ledger::emit(DecisionEvent::new(
+                            Cause::PlacementInfeasible,
+                            subset_arcs(subset),
+                            0.0,
+                            0.0,
+                            format!("k={},{}", subset.len(), reason.id()),
+                        ));
+                    }
+                }
+                Placed::Done(Ok(c)) => {
                     // Hub placement converges to ~1e-9; savings below a
                     // relative 1e-6 are numerical noise, not real wins.
                     let member_sum: f64 = subset.iter().map(|&i| candidates[i].cost).sum();
                     if !self.config.keep_dominated && c.cost >= member_sum * (1.0 - 1e-6) - 1e-12 {
                         dominated += 1;
+                        if ledger_on {
+                            ledger::emit(DecisionEvent::new(
+                                Cause::PlacementDominated,
+                                subset_arcs(subset),
+                                c.cost,
+                                member_sum,
+                                format!("k={}", subset.len()),
+                            ));
+                        }
                     } else {
+                        if ledger_on {
+                            // `index` is the candidate-slice position the
+                            // covering phase (and its ledger events) will
+                            // refer to.
+                            ledger::emit(DecisionEvent::new(
+                                Cause::PlacementKept,
+                                subset_arcs(subset),
+                                c.cost,
+                                member_sum,
+                                format!("k={},index={}", subset.len(), candidates.len()),
+                            ));
+                        }
                         candidates.push(c);
                     }
                 }

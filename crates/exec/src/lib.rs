@@ -192,6 +192,9 @@ impl Executor {
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
             let start = Instant::now();
+            // Buffer decision-ledger emissions for the whole sweep so
+            // the serial path pays the same single merge a worker does.
+            let _ledger = ccs_obs::ledger::worker_scope();
             let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
             let stats = ExecStats {
                 tasks: u64::from(n > 0),
@@ -276,11 +279,19 @@ impl Executor {
                     let base = profile_base.clone();
                     scope.spawn(move || {
                         let _profile = ccs_obs::profile::worker_scope(base);
+                        // Decision-ledger emissions buffer per worker and
+                        // merge order-independently, so any schedule
+                        // reconstructs the same ledger.
+                        let _ledger = ccs_obs::ledger::worker_scope();
                         run_worker(w)
                     })
                 })
                 .collect();
-            for (i, r) in run_worker(0) {
+            let slot0 = {
+                let _ledger = ccs_obs::ledger::worker_scope();
+                run_worker(0)
+            };
+            for (i, r) in slot0 {
                 slots[i] = Some(r);
             }
             for h in handles {

@@ -36,6 +36,7 @@
 use ccs_core::constraint::{ArcId, ConstraintGraph};
 use ccs_core::implementation::{EdgeKind, ImplementationGraph};
 use ccs_core::units::Bandwidth;
+use ccs_obs::ledger::{self, Cause, DecisionEvent};
 use std::collections::{HashMap, HashSet};
 
 pub mod packet;
@@ -226,6 +227,7 @@ impl<'a> NetSim<'a> {
 
         // Proportional sharing: each flow gets min over its groups of
         // its fair share.
+        let ledger_on = ledger::enabled();
         let mut flows = Vec::with_capacity(self.graph.arc_count());
         for (i, (aid, arc)) in self.graph.arcs().enumerate() {
             let mut delivered = arc.bandwidth.as_mbps();
@@ -242,6 +244,29 @@ impl<'a> NetSim<'a> {
                 } else if dem > cap {
                     delivered = delivered.min(arc.bandwidth.as_mbps() * cap / dem);
                 }
+            }
+            if ledger_on && blackout {
+                // Attribution: which injected failure (or missing route)
+                // blacked this flow out.
+                let dead: Vec<String> = arc_groups[i]
+                    .iter()
+                    .filter(|g| self.failed.contains(g))
+                    .map(|g| g.to_string())
+                    .collect();
+                let detail = if arc_broken[i] {
+                    "broken_route".to_string()
+                } else if dead.is_empty() {
+                    "zero_capacity".to_string()
+                } else {
+                    format!("failed_groups={}", dead.join("+"))
+                };
+                ledger::emit(DecisionEvent::new(
+                    Cause::NetsimBlackout,
+                    vec![aid.0],
+                    arc.bandwidth.as_mbps(),
+                    0.0,
+                    detail,
+                ));
             }
             let hops = arc_groups[i]
                 .iter()

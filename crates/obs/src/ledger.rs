@@ -1,0 +1,698 @@
+//! A bounded, deterministic ledger of pipeline *decisions*.
+//!
+//! Metrics and the profiler say how much happened; the ledger records
+//! **why**: every candidate pruned, gated, solved, dominated, selected
+//! or rejected — and every simulated blackout — as a typed
+//! [`DecisionEvent`] attributed to a [`Cause`]. `ccs explain` answers
+//! provenance queries ("why does hub H exist?", "why was candidate C
+//! rejected?") against the rendered `ccs-ledger-v1` document.
+//!
+//! Three properties shape the design:
+//!
+//! * **Bounded.** A thousand-arc instance emits millions of prune
+//!   decisions. Per cause, the ledger keeps an *exact* event count plus
+//!   a bounded sample of events — the `cap` events whose content hash
+//!   is smallest. Hash-minimum sampling is a pure function of event
+//!   *content*, so the retained sample is independent of arrival
+//!   order.
+//! * **Deterministic.** Workers record into thread-local buffers (like
+//!   the profiler) which merge into the global ledger on scope exit.
+//!   Because per-cause samples form a commutative semilattice under
+//!   [`Ledger::merge`] (union, re-truncate to the hash-smallest `cap`)
+//!   and counts add, any merge order — hence any thread count —
+//!   reconstructs the identical global ledger.
+//! * **Near-zero cost when off.** [`emit`] starts with one relaxed
+//!   atomic load, exactly like the metrics recorder; call sites build
+//!   no event when the ledger is disabled.
+//!
+//! The one exception to the cap is [`Cause::CoveringSelected`]: the
+//! covering solver selects at most one candidate per constraint arc, so
+//! the set is already small, and hub-existence queries must always be
+//! answerable. Selected events are therefore retained exactly.
+
+use crate::json::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Schema identifier written into every ledger document.
+pub const LEDGER_SCHEMA: &str = "ccs-ledger-v1";
+
+/// Default per-cause sample cap (exact counts are always kept).
+pub const DEFAULT_CAP: usize = 256;
+
+/// Why a decision was taken. Each variant has a stable string id used
+/// in the JSON document and by `ccs explain`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cause {
+    /// A merge subset was pruned by the geometry (distance) test.
+    MergingGeometryPruned,
+    /// A merge subset was pruned by the trunk-bandwidth test.
+    MergingBandwidthPruned,
+    /// An arc stopped participating in higher merge levels.
+    MergingDeactivated,
+    /// Level enumeration stopped early at the candidate cap.
+    MergingTruncated,
+    /// A hub-placement solve was skipped: the cost lower bound already
+    /// proved the merge dominated.
+    PlacementLbGated,
+    /// Hub placement found no feasible implementation for the subset.
+    PlacementInfeasible,
+    /// A solved merge candidate cost no less than its members' sum.
+    PlacementDominated,
+    /// A solved merge candidate survived into the covering matrix.
+    PlacementKept,
+    /// The covering solver put this candidate in the final solution.
+    CoveringSelected,
+    /// The candidate was priced but left out of the final cover.
+    CoveringRejected,
+    /// A simulated flow was blacked out by a failure or broken route.
+    NetsimBlackout,
+}
+
+/// Every cause, in pipeline order (the order `ccs explain` walks when
+/// reconstructing a candidate's fate).
+pub const CAUSES: [Cause; 11] = [
+    Cause::MergingGeometryPruned,
+    Cause::MergingBandwidthPruned,
+    Cause::MergingDeactivated,
+    Cause::MergingTruncated,
+    Cause::PlacementLbGated,
+    Cause::PlacementInfeasible,
+    Cause::PlacementDominated,
+    Cause::PlacementKept,
+    Cause::CoveringSelected,
+    Cause::CoveringRejected,
+    Cause::NetsimBlackout,
+];
+
+impl Cause {
+    /// The stable string id (e.g. `"merging.geometry_pruned"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Cause::MergingGeometryPruned => "merging.geometry_pruned",
+            Cause::MergingBandwidthPruned => "merging.bandwidth_pruned",
+            Cause::MergingDeactivated => "merging.deactivated",
+            Cause::MergingTruncated => "merging.truncated",
+            Cause::PlacementLbGated => "placement.lb_gated",
+            Cause::PlacementInfeasible => "placement.infeasible",
+            Cause::PlacementDominated => "placement.dominated",
+            Cause::PlacementKept => "placement.kept",
+            Cause::CoveringSelected => "covering.selected",
+            Cause::CoveringRejected => "covering.rejected",
+            Cause::NetsimBlackout => "netsim.blackout",
+        }
+    }
+
+    /// The cause for a string id, if it names one.
+    pub fn from_id(id: &str) -> Option<Cause> {
+        CAUSES.into_iter().find(|c| c.id() == id)
+    }
+
+    fn index(self) -> usize {
+        CAUSES.iter().position(|&c| c == self).expect("listed")
+    }
+}
+
+/// One recorded decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Why the decision happened.
+    pub cause: Cause,
+    /// The constraint arcs involved (a merge subset, a single arc, or
+    /// empty), sorted ascending by the emitter.
+    pub arcs: Vec<u32>,
+    /// The cost figure that drove the decision (candidate cost, lower
+    /// bound, subset bandwidth, ... — cause-specific; 0 when none).
+    pub cost: f64,
+    /// The threshold the cost was compared against (member cost sum,
+    /// bandwidth limit, ... — cause-specific; 0 when none).
+    pub bound: f64,
+    /// Machine-readable context tags, e.g. `"k=3"`, `"index=7"`,
+    /// `"no_hub_hardware"`, `"groups=1,4"`.
+    pub detail: String,
+}
+
+impl DecisionEvent {
+    /// A convenience constructor.
+    pub fn new(cause: Cause, arcs: Vec<u32>, cost: f64, bound: f64, detail: String) -> Self {
+        DecisionEvent {
+            cause,
+            arcs,
+            cost,
+            bound,
+            detail,
+        }
+    }
+
+    /// The `detail` value for `key`, given comma-separated `key=value`
+    /// tags (e.g. `detail_tag("k")` on `"k=3,cap=50000"` is `Some("3")`).
+    pub fn detail_tag(&self, key: &str) -> Option<&str> {
+        self.detail.split(',').find_map(|tag| {
+            let (k, v) = tag.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// `splitmix64` finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Content hash of an event: the sampling priority (smaller is kept).
+/// A pure function of the event's fields, so every thread count and
+/// merge order agrees on which events survive truncation.
+fn content_hash(e: &DecisionEvent) -> u64 {
+    let mut h = mix(e.cause.index() as u64 ^ 0x5851_f42d_4c95_7f2d);
+    h = mix(h ^ e.arcs.len() as u64);
+    for &a in &e.arcs {
+        h = mix(h ^ u64::from(a));
+    }
+    h = mix(h ^ e.cost.to_bits());
+    h = mix(h ^ e.bound.to_bits());
+    for b in e.detail.bytes() {
+        h = mix(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Total order on sampled events: hash first (the sampling priority),
+/// then full content so ties are broken identically everywhere.
+fn sample_cmp(a: &(u64, DecisionEvent), b: &(u64, DecisionEvent)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0)
+        .then_with(|| a.1.arcs.cmp(&b.1.arcs))
+        .then_with(|| a.1.cost.to_bits().cmp(&b.1.cost.to_bits()))
+        .then_with(|| a.1.bound.to_bits().cmp(&b.1.bound.to_bits()))
+        .then_with(|| a.1.detail.cmp(&b.1.detail))
+}
+
+/// The per-cause record: an exact count plus the hash-smallest sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CauseRecord {
+    /// Exact number of events emitted with this cause.
+    pub count: u64,
+    /// Sampled events, sorted by content hash; at most the cap unless
+    /// the cause is retained exactly.
+    events: Vec<(u64, DecisionEvent)>,
+}
+
+impl CauseRecord {
+    /// The sampled events, in stable (content-hash) order.
+    pub fn events(&self) -> impl Iterator<Item = &DecisionEvent> + '_ {
+        self.events.iter().map(|(_, e)| e)
+    }
+
+    /// How many events are retained in the sample.
+    pub fn sampled(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// An accumulated ledger: per-cause exact counts and bounded samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    cap: usize,
+    causes: Vec<CauseRecord>,
+}
+
+impl Ledger {
+    /// An empty ledger sampling at most `cap` events per cause
+    /// ([`Cause::CoveringSelected`] is retained exactly).
+    pub fn new(cap: usize) -> Ledger {
+        Ledger {
+            cap: cap.max(1),
+            causes: vec![CauseRecord::default(); CAUSES.len()],
+        }
+    }
+
+    /// The per-cause sample cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The record for `cause`.
+    pub fn cause(&self, cause: Cause) -> &CauseRecord {
+        &self.causes[cause.index()]
+    }
+
+    /// Total events recorded across all causes (exact, not sampled).
+    pub fn total(&self) -> u64 {
+        self.causes.iter().map(|c| c.count).sum()
+    }
+
+    fn cause_cap(&self, cause: Cause) -> usize {
+        if cause == Cause::CoveringSelected {
+            usize::MAX
+        } else {
+            self.cap
+        }
+    }
+
+    /// Records one event: bumps the exact count and inserts the event
+    /// into the sample if its content hash is small enough.
+    pub fn insert(&mut self, event: DecisionEvent) {
+        let cap = self.cause_cap(event.cause);
+        let rec = &mut self.causes[event.cause.index()];
+        rec.count += 1;
+        let entry = (content_hash(&event), event);
+        if rec.events.len() == cap {
+            if let Some(last) = rec.events.last() {
+                if sample_cmp(&entry, last) != std::cmp::Ordering::Less {
+                    return;
+                }
+            }
+        }
+        let at = rec
+            .events
+            .partition_point(|e| sample_cmp(e, &entry) == std::cmp::Ordering::Less);
+        rec.events.insert(at, entry);
+        rec.events.truncate(cap);
+    }
+
+    /// Merges `other` into `self`. Counts add; samples union and
+    /// re-truncate to the hash-smallest cap, so the result is the same
+    /// for any partition of the event stream merged in any order.
+    pub fn merge(&mut self, other: Ledger) {
+        for (cause, rec) in CAUSES.into_iter().zip(other.causes) {
+            let cap = self.cause_cap(cause);
+            let mine = &mut self.causes[cause.index()];
+            mine.count += rec.count;
+            if rec.events.is_empty() {
+                continue;
+            }
+            let mut merged = Vec::with_capacity(mine.events.len() + rec.events.len());
+            merged.append(&mut mine.events);
+            merged.extend(rec.events);
+            merged.sort_by(sample_cmp);
+            merged.truncate(cap);
+            mine.events = merged;
+        }
+    }
+
+    /// Renders the `ccs-ledger-v1` document. Causes with no events are
+    /// omitted; sampled events appear in stable content-hash order.
+    pub fn to_json(&self) -> Value {
+        let mut causes = BTreeMap::new();
+        for c in CAUSES {
+            let rec = self.cause(c);
+            if rec.count == 0 {
+                continue;
+            }
+            let events: Vec<Value> = rec
+                .events()
+                .map(|e| {
+                    let mut obj = BTreeMap::new();
+                    obj.insert(
+                        "arcs".to_string(),
+                        Value::Arr(e.arcs.iter().map(|&a| Value::Num(f64::from(a))).collect()),
+                    );
+                    obj.insert("cost".to_string(), Value::Num(e.cost));
+                    obj.insert("bound".to_string(), Value::Num(e.bound));
+                    obj.insert("detail".to_string(), Value::Str(e.detail.clone()));
+                    Value::Obj(obj)
+                })
+                .collect();
+            let mut entry = BTreeMap::new();
+            entry.insert("count".to_string(), Value::Num(rec.count as f64));
+            entry.insert("sampled".to_string(), Value::Num(rec.sampled() as f64));
+            entry.insert("events".to_string(), Value::Arr(events));
+            causes.insert(c.id().to_string(), Value::Obj(entry));
+        }
+        let mut doc = BTreeMap::new();
+        doc.insert("schema".to_string(), Value::Str(LEDGER_SCHEMA.to_string()));
+        doc.insert("cap".to_string(), Value::Num(self.cap as f64));
+        doc.insert("causes".to_string(), Value::Obj(causes));
+        Value::Obj(doc)
+    }
+
+    /// Reconstructs a ledger from a `ccs-ledger-v1` document. Returns
+    /// `None` if the value is not such a document; unknown cause ids
+    /// are skipped for forward compatibility.
+    pub fn from_json(value: &Value) -> Option<Ledger> {
+        if value.get("schema")?.as_str()? != LEDGER_SCHEMA {
+            return None;
+        }
+        let cap = value.get("cap")?.as_num()? as usize;
+        let mut ledger = Ledger::new(cap);
+        for (id, entry) in value.get("causes")?.as_obj()? {
+            let Some(cause) = Cause::from_id(id) else {
+                continue;
+            };
+            let count = entry.get("count")?.as_num()? as u64;
+            let mut events = Vec::new();
+            let Value::Arr(items) = entry.get("events")? else {
+                return None;
+            };
+            for item in items {
+                let Value::Arr(arcs) = item.get("arcs")? else {
+                    return None;
+                };
+                let arcs: Option<Vec<u32>> =
+                    arcs.iter().map(|a| Some(a.as_num()? as u32)).collect();
+                let event = DecisionEvent {
+                    cause,
+                    arcs: arcs?,
+                    cost: item.get("cost")?.as_num().unwrap_or(0.0),
+                    bound: item.get("bound")?.as_num().unwrap_or(0.0),
+                    detail: item.get("detail")?.as_str()?.to_string(),
+                };
+                events.push((content_hash(&event), event));
+            }
+            events.sort_by(sample_cmp);
+            let rec = &mut ledger.causes[cause.index()];
+            rec.count = count;
+            rec.events = events;
+        }
+        Some(ledger)
+    }
+}
+
+static LEDGER_ENABLED: AtomicBool = AtomicBool::new(false);
+static LEDGER_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_CAP);
+static GLOBAL: Mutex<Option<Ledger>> = Mutex::new(None);
+
+thread_local! {
+    static BUFFER: RefCell<Option<Ledger>> = const { RefCell::new(None) };
+}
+
+/// Whether the global ledger is collecting. One relaxed atomic load —
+/// emitters use this to skip building events entirely when off.
+#[inline]
+pub fn enabled() -> bool {
+    LEDGER_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a fresh global ledger with per-cause sample cap `cap` and
+/// starts collecting, replacing any previous ledger.
+pub fn install(cap: usize) {
+    let cap = cap.max(1);
+    LEDGER_CAP.store(cap, Ordering::Relaxed);
+    let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(Ledger::new(cap));
+    LEDGER_ENABLED.store(true, Ordering::Release);
+}
+
+/// Stops collecting and returns the accumulated ledger, if one was
+/// installed.
+pub fn take() -> Option<Ledger> {
+    LEDGER_ENABLED.store(false, Ordering::Release);
+    let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    slot.take()
+}
+
+/// Records one decision. A no-op (one atomic load) when disabled.
+/// Within a [`worker_scope`] the event lands in the thread-local
+/// buffer; otherwise it goes straight to the global ledger.
+pub fn emit(event: DecisionEvent) {
+    if !enabled() {
+        return;
+    }
+    let to_global = BUFFER.with(|b| {
+        let mut local = b.borrow_mut();
+        match local.as_mut() {
+            Some(ledger) => {
+                ledger.insert(event);
+                None
+            }
+            None => Some(event),
+        }
+    });
+    if let Some(event) = to_global {
+        let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(ledger) = slot.as_mut() {
+            ledger.insert(event);
+        }
+    }
+}
+
+/// Buffers this thread's emissions locally until the returned guard
+/// drops, then merges them into the global ledger in one lock. Executor
+/// workers wrap their run loops in this so parallel sweeps don't
+/// contend on the global mutex per event; because [`Ledger::merge`] is
+/// order-independent, the merged result is identical for every
+/// schedule. Scopes nest: the previous buffer is restored on drop.
+/// When the ledger is disabled this is free (no buffer is installed).
+#[must_use = "the scope merges its buffer when dropped"]
+pub fn worker_scope() -> WorkerScope {
+    if !enabled() {
+        return WorkerScope { previous: None };
+    }
+    let cap = LEDGER_CAP.load(Ordering::Relaxed);
+    let previous = BUFFER.with(|b| b.borrow_mut().replace(Ledger::new(cap)));
+    WorkerScope {
+        previous: Some(previous),
+    }
+}
+
+/// RAII guard returned by [`worker_scope`].
+#[derive(Debug)]
+pub struct WorkerScope {
+    /// `None` when the ledger was disabled at scope entry; otherwise
+    /// the buffer (possibly `None`) to restore on drop.
+    previous: Option<Option<Ledger>>,
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        let Some(previous) = self.previous.take() else {
+            return;
+        };
+        let mine = BUFFER.with(|b| std::mem::replace(&mut *b.borrow_mut(), previous));
+        let Some(mine) = mine else {
+            return;
+        };
+        if mine.total() == 0 {
+            return;
+        }
+        let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(ledger) = slot.as_mut() {
+            ledger.merge(mine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The ledger is process-global; tests that install one must not
+    // interleave (same discipline as the recorder tests).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn ev(cause: Cause, arcs: &[u32], cost: f64) -> DecisionEvent {
+        DecisionEvent::new(cause, arcs.to_vec(), cost, 0.0, format!("cost={cost}"))
+    }
+
+    fn synthetic_stream(n: u32) -> Vec<DecisionEvent> {
+        (0..n)
+            .map(|i| {
+                let cause = CAUSES[(i as usize) % CAUSES.len()];
+                ev(cause, &[i, i.wrapping_mul(7) % 97], f64::from(i) * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cause_ids_round_trip() {
+        for c in CAUSES {
+            assert_eq!(Cause::from_id(c.id()), Some(c));
+        }
+        assert_eq!(Cause::from_id("no.such.cause"), None);
+    }
+
+    #[test]
+    fn counts_are_exact_and_samples_bounded() {
+        let mut ledger = Ledger::new(8);
+        for e in synthetic_stream(1100) {
+            ledger.insert(e);
+        }
+        assert_eq!(ledger.total(), 1100);
+        for c in CAUSES {
+            let rec = ledger.cause(c);
+            assert_eq!(rec.count, 100);
+            if c == Cause::CoveringSelected {
+                assert_eq!(rec.sampled(), 100, "selected events retained exactly");
+            } else {
+                assert_eq!(rec.sampled(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_independent_of_partition_and_order() {
+        let stream = synthetic_stream(500);
+        let mut whole = Ledger::new(5);
+        for e in &stream {
+            whole.insert(e.clone());
+        }
+        // Partition into 3 shards and merge in two different orders.
+        for order in [[0usize, 1, 2], [2, 0, 1]] {
+            let mut shards: Vec<Ledger> = (0..3).map(|_| Ledger::new(5)).collect();
+            for (i, e) in stream.iter().enumerate() {
+                shards[i % 3].insert(e.clone());
+            }
+            let mut merged = Ledger::new(5);
+            for &s in &order {
+                merged.merge(shards[s].clone());
+            }
+            assert_eq!(merged, whole, "merge order {order:?}");
+        }
+    }
+
+    #[test]
+    fn sample_keeps_the_hash_smallest_events() {
+        let mut ledger = Ledger::new(3);
+        let events: Vec<DecisionEvent> = (0..50)
+            .map(|i| ev(Cause::PlacementDominated, &[i], f64::from(i)))
+            .collect();
+        for e in &events {
+            ledger.insert(e.clone());
+        }
+        let mut by_hash: Vec<u64> = events.iter().map(content_hash).collect();
+        by_hash.sort_unstable();
+        let kept: Vec<u64> = ledger
+            .cause(Cause::PlacementDominated)
+            .events
+            .iter()
+            .map(|(h, _)| *h)
+            .collect();
+        assert_eq!(kept, by_hash[..3].to_vec());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut ledger = Ledger::new(4);
+        for e in synthetic_stream(80) {
+            ledger.insert(e);
+        }
+        let doc = ledger.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(LEDGER_SCHEMA)
+        );
+        let text = doc.to_string();
+        let parsed = crate::json::parse(&text).expect("valid JSON");
+        let back = Ledger::from_json(&parsed).expect("ledger document");
+        assert_eq!(back, ledger);
+        // Compact form round-trips identically too.
+        let mut compact = String::new();
+        doc.write_compact(&mut compact);
+        let back2 = Ledger::from_json(&crate::json::parse(&compact).unwrap()).unwrap();
+        assert_eq!(back2, ledger);
+    }
+
+    #[test]
+    fn empty_causes_are_omitted_from_json() {
+        let mut ledger = Ledger::new(4);
+        ledger.insert(ev(Cause::PlacementKept, &[1, 2], 3.0));
+        let doc = ledger.to_json();
+        let causes = doc.get("causes").and_then(Value::as_obj).unwrap();
+        assert_eq!(causes.len(), 1);
+        assert!(causes.contains_key("placement.kept"));
+    }
+
+    #[test]
+    fn detail_tags_parse() {
+        let e = DecisionEvent::new(
+            Cause::PlacementLbGated,
+            vec![1],
+            0.0,
+            0.0,
+            "k=3,index=12".to_string(),
+        );
+        assert_eq!(e.detail_tag("k"), Some("3"));
+        assert_eq!(e.detail_tag("index"), Some("12"));
+        assert_eq!(e.detail_tag("missing"), None);
+    }
+
+    #[test]
+    fn disabled_emit_is_a_no_op() {
+        let _guard = exclusive();
+        let _ = take();
+        assert!(!enabled());
+        emit(ev(Cause::PlacementKept, &[1], 1.0));
+        {
+            let _scope = worker_scope();
+            emit(ev(Cause::PlacementKept, &[2], 2.0));
+        }
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn emissions_reach_the_global_ledger_directly_and_via_scopes() {
+        let _guard = exclusive();
+        install(16);
+        emit(ev(Cause::CoveringSelected, &[1], 1.0));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                scope.spawn(move || {
+                    let _scope = worker_scope();
+                    for i in 0..10u32 {
+                        emit(ev(Cause::MergingGeometryPruned, &[t, i], f64::from(i)));
+                    }
+                });
+            }
+        });
+        let ledger = take().expect("installed");
+        assert_eq!(ledger.cause(Cause::CoveringSelected).count, 1);
+        assert_eq!(ledger.cause(Cause::MergingGeometryPruned).count, 40);
+        assert_eq!(ledger.cause(Cause::MergingGeometryPruned).sampled(), 16);
+    }
+
+    #[test]
+    fn thread_partitioning_does_not_change_the_ledger() {
+        let _guard = exclusive();
+        let stream = synthetic_stream(300);
+        let run = |parts: usize| {
+            install(7);
+            std::thread::scope(|scope| {
+                for p in 0..parts {
+                    let shard: Vec<DecisionEvent> = stream
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % parts == p)
+                        .map(|(_, e)| e.clone())
+                        .collect();
+                    scope.spawn(move || {
+                        let _scope = worker_scope();
+                        for e in shard {
+                            emit(e);
+                        }
+                    });
+                }
+            });
+            take().expect("installed")
+        };
+        let serial = run(1);
+        for parts in [2, 3, 8] {
+            assert_eq!(run(parts), serial, "{parts} worker threads");
+        }
+    }
+
+    #[test]
+    fn worker_scopes_nest_and_restore() {
+        let _guard = exclusive();
+        install(8);
+        let outer = worker_scope();
+        emit(ev(Cause::PlacementKept, &[1], 1.0));
+        {
+            let _inner = worker_scope();
+            emit(ev(Cause::PlacementKept, &[2], 2.0));
+        }
+        // The inner scope merged into the global ledger and restored
+        // the outer buffer, which still holds only the first event.
+        emit(ev(Cause::PlacementKept, &[3], 3.0));
+        drop(outer);
+        let ledger = take().expect("installed");
+        assert_eq!(ledger.cause(Cause::PlacementKept).count, 3);
+    }
+}

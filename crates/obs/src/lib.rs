@@ -22,9 +22,10 @@
 //! [`JsonLinesRecorder`] streams each event as one compact JSON line
 //! (`--trace`), and [`Fanout`] drives several recorders at once.
 //!
-//! Two deeper instruments build on the same philosophy (zero cost when
-//! off): the hierarchical call-tree profiler in [`profile`] and the
-//! counting global allocator in [`alloc`].
+//! Three deeper instruments build on the same philosophy (zero cost
+//! when off): the hierarchical call-tree profiler in [`profile`], the
+//! counting global allocator in [`alloc`], and the decision-provenance
+//! ledger in [`ledger`].
 
 // `alloc` needs `unsafe` for the `GlobalAlloc` impl; everything else
 // stays forbidden via the crate-level deny (the module opts in).
@@ -33,6 +34,7 @@
 
 pub mod alloc;
 pub mod json;
+pub mod ledger;
 pub mod profile;
 
 use std::collections::BTreeMap;

@@ -169,10 +169,13 @@ impl ProfileNode {
     /// Writes the tree in folded-stack format (`a;b;c <self_ns>`, one
     /// line per node, children in sorted order) — the input format of
     /// flamegraph renderers. `self` is treated as the anonymous root
-    /// and contributes no frame.
+    /// and contributes no frame. Frame names are sanitized: `;` is the
+    /// format's stack separator and the final space separates the
+    /// count, so those characters (and all other whitespace) are
+    /// rewritten to `_` rather than corrupting the row structure.
     pub fn write_folded(&self, out: &mut String) {
         for (name, child) in &self.children {
-            child.folded_into(name, out);
+            child.folded_into(&folded_frame(name), out);
         }
     }
 
@@ -182,7 +185,7 @@ impl ProfileNode {
         out.push_str(&self.self_ns().to_string());
         out.push('\n');
         for (name, child) in &self.children {
-            child.folded_into(&format!("{prefix};{name}"), out);
+            child.folded_into(&format!("{prefix};{}", folded_frame(name)), out);
         }
     }
 
@@ -207,6 +210,27 @@ impl ProfileNode {
 impl Default for ProfileNode {
     fn default() -> Self {
         ProfileNode::new()
+    }
+}
+
+/// A frame name made safe for folded-stack rows: `;` and whitespace
+/// are structural in that format, so they become `_`. Clean names are
+/// borrowed unchanged.
+fn folded_frame(name: &str) -> Cow<'_, str> {
+    if name.contains(|c: char| c == ';' || c.is_whitespace()) {
+        Cow::Owned(
+            name.chars()
+                .map(|c| {
+                    if c == ';' || c.is_whitespace() {
+                        '_'
+                    } else {
+                        c
+                    }
+                })
+                .collect(),
+        )
+    } else {
+        Cow::Borrowed(name)
     }
 }
 
@@ -533,6 +557,25 @@ mod tests {
             vec!["synth 70", "synth;p2p 5", "synth;p2p;plan 25"],
             "{out}"
         );
+    }
+
+    #[test]
+    fn folded_output_escapes_separator_and_whitespace_in_frame_names() {
+        let mut root = ProfileNode::new();
+        root.child_mut("a;b c").add_call(40);
+        root.child_mut("a;b c").child_mut("tab\tname").add_call(15);
+        let mut out = String::new();
+        root.write_folded(&mut out);
+        assert_eq!(
+            out.lines().collect::<Vec<_>>(),
+            vec!["a_b_c 25", "a_b_c;tab_name 15",]
+        );
+        // Every row still splits into exactly (stack, count).
+        for line in out.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("one separating space");
+            assert!(!stack.contains(' ') && !stack.contains('\t'));
+            count.parse::<u64>().expect("numeric sample count");
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property tests for `ccs_obs::json`: `parse` must invert both
+//! writers on arbitrary `Value` trees, not just the hand-picked edge
+//! cases in the unit suite.
+
+use ccs_obs::json::{self, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::collections::BTreeMap;
+
+/// A finite `f64` drawn from the shapes the pipeline actually emits
+/// plus adversarial ones: small/huge integers (exercising the integral
+/// i128 print path on both sides of 2^53), fractions, exponent-formatted
+/// magnitudes, and signed zero.
+fn gen_num(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..6u32) {
+        0 => f64::from(rng.random_range(-1000i32..1000)),
+        1 => rng.random_range(0u64..=u64::MAX) as f64,
+        2 => -(rng.random_range(0u64..=u64::MAX) as f64),
+        3 => rng.random_range(-1.0..1.0f64),
+        4 => {
+            let exp = rng.random_range(-300i32..300);
+            let m = rng.random_range(-1.0..1.0f64);
+            let v = m * 10f64.powi(exp);
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        }
+        _ => {
+            if rng.random_range(0..2u32) == 0 {
+                0.0
+            } else {
+                -0.0
+            }
+        }
+    }
+}
+
+/// An arbitrary string mixing ASCII, the characters the escaper treats
+/// specially (quotes, backslashes, C0 controls), and non-ASCII scalars.
+fn gen_string(rng: &mut StdRng) -> String {
+    let len = rng.random_range(0..10usize);
+    (0..len)
+        .map(|_| match rng.random_range(0..4u32) {
+            0 => char::from_u32(rng.random_range(0u32..0x20)).unwrap(),
+            1 => *[b'"', b'\\', b'/', b' ']
+                .map(char::from)
+                .get(rng.random_range(0..4usize))
+                .unwrap(),
+            2 => char::from(rng.random_range(0x20u8..0x7f)),
+            _ => {
+                // Any Unicode scalar value (surrogates are not scalars,
+                // so retry past the gap).
+                loop {
+                    if let Some(c) = char::from_u32(rng.random_range(0u32..0x11_0000)) {
+                        break c;
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn gen_value(rng: &mut StdRng, depth: u32) -> Value {
+    let kinds = if depth == 0 { 4 } else { 6 };
+    match rng.random_range(0..kinds) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.random_range(0..2u32) == 1),
+        2 => Value::Num(gen_num(rng)),
+        3 => Value::Str(gen_string(rng)),
+        4 => {
+            let n = rng.random_range(0..4usize);
+            Value::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0..4usize);
+            let map: BTreeMap<String, Value> = (0..n)
+                .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                .collect();
+            Value::Obj(map)
+        }
+    }
+}
+
+/// Arbitrary `Value` trees up to `depth` levels of nesting.
+struct ValueTree {
+    depth: u32,
+}
+
+impl Strategy for ValueTree {
+    type Value = Value;
+    fn generate(&self, rng: &mut StdRng) -> Value {
+        gen_value(rng, self.depth)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    fn parse_inverts_write_compact(v in ValueTree { depth: 3 }) {
+        let mut compact = String::new();
+        v.write_compact(&mut compact);
+        let back = json::parse(&compact)
+            .unwrap_or_else(|e| panic!("unparseable compact output {compact:?}: {e}"));
+        prop_assert_eq!(&back, &v, "compact was {}", compact);
+        // Compact output must be a single physical line: recorders
+        // stream one event per line.
+        prop_assert!(!compact.contains('\n'));
+    }
+
+    fn parse_inverts_write_pretty(v in ValueTree { depth: 3 }) {
+        let mut pretty = String::new();
+        v.write_pretty(&mut pretty, 0);
+        let back = json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("unparseable pretty output {pretty:?}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    fn writers_agree_on_content(v in ValueTree { depth: 2 }) {
+        // Pretty and compact must serialize the same value, differing
+        // only in whitespace.
+        let mut compact = String::new();
+        v.write_compact(&mut compact);
+        let mut pretty = String::new();
+        v.write_pretty(&mut pretty, 0);
+        prop_assert_eq!(json::parse(&compact).unwrap(), json::parse(&pretty).unwrap());
+    }
+}

@@ -10,6 +10,8 @@
 //! ccs analyze  --instance net.ccs --library lib.ccs [--fail-k K] [--scenario-budget N]
 //!              [--max-cost-overhead PCT] [--threads N] [--trace] [--metrics-json FILE]
 //! ccs tables   --instance net.ccs
+//! ccs explain  --ledger run.ledger.json --hub N | --candidate a,b,... | --arc N
+//! ccs diff     first.json second.json
 //! ccs example  instance wan|mpeg4   # print a built-in instance file
 //! ccs example  library  wan|soc     # print a built-in library file
 //! ccs gen      wan|soc [--seed N] [--channels N] ...   # seeded random instance
@@ -26,7 +28,15 @@
 //! and for `analyze` both that and the `ccs-resilience-v1` section
 //! under the `"resilience"` key. `--profile-folded FILE` writes the
 //! same call tree in folded-stack format for flamegraph rendering;
-//! both flags accept `-` to mean standard output.
+//! these flags accept `-` to mean standard output.
+//!
+//! `--ledger FILE` records the decision-provenance ledger during the
+//! run and writes it as a `ccs-ledger-v1` document: exact per-cause
+//! decision counts plus a bounded, thread-count-invariant sample of
+//! the decisions themselves. `ccs explain` answers provenance queries
+//! against such a document ([`crate::explain`]), and `ccs diff`
+//! compares two recorded runs and attributes the first divergence to
+//! the earliest differing decision ([`crate::diff`]).
 //!
 //! `analyze` synthesizes the instance, then sweeps lane-group failure
 //! scenarios through the network simulator: exhaustive N-1, plus
@@ -60,6 +70,8 @@ usage:
                [--max-cost-overhead PCT] [--greedy] [--max-k N]
                [--no-lb-gate] [--threads N] [--trace] [--metrics-json FILE]
   ccs tables   --instance FILE
+  ccs explain  --ledger FILE (--hub N | --candidate a,b,... | --arc N)
+  ccs diff     FIRST.json SECOND.json
   ccs example  instance wan|mpeg4
   ccs example  library  wan|soc
   ccs gen      wan [--seed N] [--channels N] [--clusters N] [--nodes-per-cluster N]
@@ -100,6 +112,20 @@ observability:
                        format (one \"path;to;scope <self_ns>\" line per
                        tree node) for flamegraph rendering
                        FILE may be \"-\" for stdout (both flags)
+  --ledger FILE        record the decision-provenance ledger and write it
+                       as a ccs-ledger-v1 document: exact per-cause counts
+                       plus a bounded, thread-count-invariant sample of the
+                       pruning/placement/covering decisions themselves
+                       (synth, simulate and analyze; off by default)
+
+provenance (ccs explain / ccs diff):
+  ccs explain answers queries against a recorded ledger:
+  --hub N              why does the N-th selected candidate exist?
+  --candidate a,b,...  what happened to the merge subset with these arcs?
+  --arc N              which selected candidate implements arc N?
+  ccs diff compares two recorded documents (ccs-metrics-v1,
+  ccs-topology-v1 or ccs-ledger-v1) and reports the first diverging
+  decision; it exits non-zero on divergence
 ";
 
 /// Runs the CLI on `args` (without the program name); returns the text to
@@ -116,6 +142,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("simulate") => simulate_cmd(&parse_flags(it)?),
         Some("analyze") => analyze_cmd(&parse_flags(it)?),
         Some("tables") => tables(&parse_flags(it)?),
+        Some("explain") => explain_cmd(&parse_flags(it)?),
+        Some("diff") => diff_cmd(&it.collect::<Vec<_>>()),
         Some("example") => example(&it.collect::<Vec<_>>()),
         Some("gen") => gen(&it.collect::<Vec<_>>()),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -138,8 +166,12 @@ struct Flags {
     trace: bool,
     metrics_json: Option<String>,
     profile_folded: Option<String>,
+    ledger: Option<String>,
     threads: Option<usize>,
     no_lb_gate: bool,
+    hub: Option<usize>,
+    candidate: Option<Vec<u32>>,
+    arc: Option<u32>,
 }
 
 fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
@@ -155,6 +187,29 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
             "--trace" => f.trace = true,
             "--metrics-json" => f.metrics_json = Some(required(&mut it, tok)?.to_string()),
             "--profile-folded" => f.profile_folded = Some(required(&mut it, tok)?.to_string()),
+            "--ledger" => f.ledger = Some(required(&mut it, tok)?.to_string()),
+            "--hub" => {
+                f.hub = Some(
+                    required(&mut it, tok)?
+                        .parse()
+                        .map_err(|_| "--hub needs an integer".to_string())?,
+                )
+            }
+            "--candidate" => {
+                let list = required(&mut it, tok)?;
+                let arcs: Result<Vec<u32>, _> =
+                    list.split(',').map(|s| s.trim().parse::<u32>()).collect();
+                f.candidate = Some(
+                    arcs.map_err(|_| "--candidate needs a comma-separated arc list".to_string())?,
+                );
+            }
+            "--arc" => {
+                f.arc = Some(
+                    required(&mut it, tok)?
+                        .parse()
+                        .map_err(|_| "--arc needs an integer".to_string())?,
+                )
+            }
             "--max-k" => {
                 f.max_k = Some(
                     required(&mut it, tok)?
@@ -245,6 +300,7 @@ struct ObsSession {
     collector: Option<std::sync::Arc<ccs_obs::Collector>>,
     metrics_path: Option<String>,
     folded_path: Option<String>,
+    ledger_path: Option<String>,
     profiling: bool,
     installed: bool,
 }
@@ -270,10 +326,14 @@ impl ObsSession {
         if profiling {
             ccs_obs::profile::start();
         }
+        if f.ledger.is_some() {
+            ccs_obs::ledger::install(ccs_obs::ledger::DEFAULT_CAP);
+        }
         ObsSession {
             collector,
             metrics_path: f.metrics_json.clone(),
             folded_path: f.profile_folded.clone(),
+            ledger_path: f.ledger.clone(),
             profiling,
             installed,
         }
@@ -303,6 +363,13 @@ impl ObsSession {
         sections: Vec<(&'static str, ccs_obs::json::Value)>,
     ) -> Result<(), String> {
         if self.installed {
+            // The allocator's high-water mark, recorded as a gauge so
+            // run comparisons (`ccs diff`) can attribute memory
+            // regressions; must land before the recorder is torn down.
+            ccs_obs::gauge(
+                "alloc.peak_live_bytes",
+                ccs_obs::alloc::stats().peak_live_bytes as f64,
+            );
             ccs_obs::clear_recorder();
             self.installed = false;
         }
@@ -333,6 +400,13 @@ impl ObsSession {
                 tree.write_folded(&mut folded);
             }
             write_output(&path, &folded)?;
+        }
+        if let Some(path) = self.ledger_path.take() {
+            let ledger = ccs_obs::ledger::take()
+                .unwrap_or_else(|| ccs_obs::ledger::Ledger::new(ccs_obs::ledger::DEFAULT_CAP));
+            let mut text = ledger.to_json().to_string();
+            text.push('\n');
+            write_output(&path, &text)?;
         }
         Ok(())
     }
@@ -608,6 +682,40 @@ fn tables(f: &Flags) -> Result<String, String> {
     let _ = writeln!(out, "Gamma:\n{}", report::table_gamma(&m));
     let _ = writeln!(out, "Delta:\n{}", report::table_delta(&m));
     Ok(out)
+}
+
+fn explain_cmd(f: &Flags) -> Result<String, String> {
+    let path = f
+        .ledger
+        .as_ref()
+        .ok_or("--ledger is required (a ccs-ledger-v1 file from a --ledger run)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ledger = crate::explain::load_ledger(&text).map_err(|e| format!("{path}: {e}"))?;
+    let query = match (f.hub, &f.candidate, f.arc) {
+        (Some(n), None, None) => crate::explain::Query::Hub(n),
+        (None, Some(arcs), None) => crate::explain::Query::Candidate(arcs.clone()),
+        (None, None, Some(a)) => crate::explain::Query::Arc(a),
+        _ => {
+            return Err(format!(
+                "explain needs exactly one of --hub N, --candidate a,b,... or --arc N\n{USAGE}"
+            ))
+        }
+    };
+    crate::explain::explain(&ledger, &query)
+}
+
+fn diff_cmd(rest: &[&str]) -> Result<String, String> {
+    let [a, b] = rest else {
+        return Err(format!("usage: ccs diff FIRST.json SECOND.json\n{USAGE}"));
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let outcome = crate::diff::diff_texts(a, &read(a)?, b, &read(b)?)?;
+    if outcome.diverged {
+        // Non-zero exit on divergence, like diff(1).
+        Err(outcome.report)
+    } else {
+        Ok(outcome.report)
+    }
 }
 
 fn example(rest: &[&str]) -> Result<String, String> {

@@ -1,0 +1,478 @@
+//! `ccs diff` — compares two recorded runs and attributes the first
+//! divergence to the earliest pipeline decision that differs.
+//!
+//! Accepts any pair of same-schema documents the tool writes:
+//!
+//! * `ccs-metrics-v1` (from `--metrics-json`) — compares the embedded
+//!   `ccs-topology-v1` section, then the deterministic counters in
+//!   pipeline-phase order, so the first reported difference is the
+//!   first phase whose decisions diverged;
+//! * `ccs-topology-v1` — total cost and selection;
+//! * `ccs-ledger-v1` (from `--ledger`) — per-cause counts and sampled
+//!   events in pipeline order, pinpointing the first diverging
+//!   decision event itself.
+//!
+//! Scheduling- and environment-dependent measurements — wall-clock
+//! phase timings, `exec.*` work-stealing counters, `alloc.*` allocator
+//! figures (including the `alloc.peak_live_bytes` gauge), and all
+//! other gauges — are reported informationally but never counted as
+//! divergence: two runs of the same synthesis at different thread
+//! counts must diff clean.
+
+use ccs_obs::json::{self, Value};
+use ccs_obs::ledger::{Ledger, CAUSES, LEDGER_SCHEMA};
+use std::fmt::Write as _;
+
+/// The result of comparing two run documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// Human-readable comparison report.
+    pub report: String,
+    /// Whether any deterministic quantity diverged.
+    pub diverged: bool,
+}
+
+/// Pipeline phases in execution order; a counter's phase is its name's
+/// first dot-separated segment, and the earliest differing phase is
+/// where the runs first made different decisions.
+const PHASE_ORDER: [&str; 9] = [
+    "gen",
+    "p2p",
+    "matrices",
+    "merging",
+    "placement",
+    "covering",
+    "assembly",
+    "netsim",
+    "resilience",
+];
+
+/// Counter/gauge prefixes that measure the machine, not the decisions:
+/// differences here are reported but are not divergence.
+const INFORMATIONAL: [&str; 3] = ["exec", "alloc", "trace"];
+
+fn phase_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+fn phase_rank(name: &str) -> usize {
+    let phase = phase_of(name);
+    PHASE_ORDER
+        .iter()
+        .position(|&p| p == phase)
+        .unwrap_or(PHASE_ORDER.len())
+}
+
+fn is_informational(name: &str) -> bool {
+    INFORMATIONAL.contains(&phase_of(name))
+}
+
+/// Compares two run documents (each the text of a file the tool
+/// wrote).
+///
+/// # Errors
+///
+/// A human-readable message when either text is not a valid document
+/// of a supported schema. A divergence is reported in the outcome, not
+/// as an error.
+pub fn diff_texts(
+    name_a: &str,
+    text_a: &str,
+    name_b: &str,
+    text_b: &str,
+) -> Result<DiffOutcome, String> {
+    let a = json::parse(text_a).map_err(|e| format!("{name_a}: not valid JSON: {e}"))?;
+    let b = json::parse(text_b).map_err(|e| format!("{name_b}: not valid JSON: {e}"))?;
+    let schema_a = schema_of(&a).ok_or_else(|| format!("{name_a}: missing \"schema\" key"))?;
+    let schema_b = schema_of(&b).ok_or_else(|| format!("{name_b}: missing \"schema\" key"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "comparing {name_a} ({schema_a}) with {name_b} ({schema_b})"
+    );
+    if schema_a != schema_b {
+        let _ = writeln!(out, "DIVERGED: schema {schema_a:?} vs {schema_b:?}");
+        return Ok(DiffOutcome {
+            report: out,
+            diverged: true,
+        });
+    }
+    let diverged = match schema_a.as_str() {
+        s if s == LEDGER_SCHEMA => diff_ledgers(&a, &b, &mut out)?,
+        "ccs-metrics-v1" => diff_metrics(&a, &b, &mut out),
+        "ccs-topology-v1" => diff_topology(&a, &b, &mut out),
+        other => return Err(format!("unsupported schema {other:?}")),
+    };
+    if !diverged {
+        let _ = writeln!(out, "no divergence: the runs made identical decisions");
+    }
+    Ok(DiffOutcome {
+        report: out,
+        diverged,
+    })
+}
+
+fn schema_of(doc: &Value) -> Option<String> {
+    doc.get("schema")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+}
+
+/// A numeric entry for display: the number, or "absent" when one
+/// document lacks it.
+fn show(v: Option<f64>) -> String {
+    v.map_or_else(|| "absent".to_string(), |x| x.to_string())
+}
+
+/// Ledger vs ledger: counts then sampled events, cause by cause in
+/// pipeline order, so the first mismatch is the first diverging
+/// decision.
+fn diff_ledgers(a: &Value, b: &Value, out: &mut String) -> Result<bool, String> {
+    let a = Ledger::from_json(a).ok_or("first document: malformed ledger")?;
+    let b = Ledger::from_json(b).ok_or("second document: malformed ledger")?;
+    if a.cap() != b.cap() {
+        let _ = writeln!(
+            out,
+            "note: sample caps differ ({} vs {}); counts stay comparable, samples may not",
+            a.cap(),
+            b.cap()
+        );
+    }
+    for cause in CAUSES {
+        let (ra, rb) = (a.cause(cause), b.cause(cause));
+        if ra.count != rb.count {
+            let _ = writeln!(
+                out,
+                "DIVERGED at {}: {} decisions vs {} — first diverging phase: {}",
+                cause.id(),
+                ra.count,
+                rb.count,
+                phase_of(cause.id())
+            );
+            return Ok(true);
+        }
+        for (i, (ea, eb)) in ra.events().zip(rb.events()).enumerate() {
+            if ea != eb {
+                let _ = writeln!(
+                    out,
+                    "DIVERGED at {} (sampled event {i}): first diverging decision",
+                    cause.id()
+                );
+                let _ = writeln!(
+                    out,
+                    "  first:  arcs={:?} cost={} bound={} detail={:?}",
+                    ea.arcs, ea.cost, ea.bound, ea.detail
+                );
+                let _ = writeln!(
+                    out,
+                    "  second: arcs={:?} cost={} bound={} detail={:?}",
+                    eb.arcs, eb.cost, eb.bound, eb.detail
+                );
+                return Ok(true);
+            }
+        }
+        if ra.sampled() != rb.sampled() {
+            let _ = writeln!(
+                out,
+                "DIVERGED at {}: {} sampled events vs {}",
+                cause.id(),
+                ra.sampled(),
+                rb.sampled()
+            );
+            return Ok(true);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "ledgers identical: {} decisions across {} causes",
+        a.total(),
+        CAUSES.len()
+    );
+    Ok(false)
+}
+
+/// Topology vs topology: the end result, most decisive first.
+fn diff_topology(a: &Value, b: &Value, out: &mut String) -> bool {
+    let cost = |v: &Value| v.get("total_cost").and_then(Value::as_num);
+    let (ca, cb) = (cost(a), cost(b));
+    if ca != cb {
+        let _ = writeln!(
+            out,
+            "DIVERGED at topology.total_cost: {} vs {}",
+            show(ca),
+            show(cb)
+        );
+        return true;
+    }
+    let mut ra = String::new();
+    a.write_pretty(&mut ra, 0);
+    let mut rb = String::new();
+    b.write_pretty(&mut rb, 0);
+    if ra != rb {
+        // Same cost, different structure: point at the first differing
+        // line of the canonical rendering.
+        for (la, lb) in ra.lines().zip(rb.lines()) {
+            if la != lb {
+                let _ = writeln!(out, "DIVERGED in topology: {la:?} vs {lb:?}");
+                return true;
+            }
+        }
+        let _ = writeln!(out, "DIVERGED in topology: documents differ in length");
+        return true;
+    }
+    let _ = writeln!(out, "topology identical (total cost {})", show(ca));
+    false
+}
+
+/// Metrics vs metrics: embedded deterministic sections first, then the
+/// deterministic counters in phase order; informational measurements
+/// reported last and never flagged.
+fn diff_metrics(a: &Value, b: &Value, out: &mut String) -> bool {
+    let mut diverged = false;
+    match (a.get("topology"), b.get("topology")) {
+        (Some(ta), Some(tb)) => diverged = diff_topology(ta, tb, out),
+        (None, None) => {}
+        _ => {
+            let _ = writeln!(out, "DIVERGED: only one document embeds a topology section");
+            diverged = true;
+        }
+    }
+    if !diverged {
+        if let (Some(ra), Some(rb)) = (a.get("resilience"), b.get("resilience")) {
+            let mut ta = String::new();
+            ra.write_pretty(&mut ta, 0);
+            let mut tb = String::new();
+            rb.write_pretty(&mut tb, 0);
+            if ta != tb {
+                let _ = writeln!(out, "DIVERGED in the resilience section");
+                diverged = true;
+            }
+        }
+    }
+    if !diverged {
+        diverged = diff_named_numbers(a, b, "counters", out);
+    }
+    // Informational: machine measurements, listed for attribution (a
+    // memory or scheduling regression shows up here) but never counted
+    // as divergence.
+    report_informational(a, b, "counters", out);
+    report_informational(a, b, "gauges", out);
+    diverged
+}
+
+/// Numeric entries under `key` (e.g. `"counters"`), where a
+/// deterministic mismatch is a divergence. Walks the union of names in
+/// phase order so the first report is the earliest diverging phase.
+fn diff_named_numbers(a: &Value, b: &Value, key: &str, out: &mut String) -> bool {
+    let names = number_names(a, b, key, false);
+    for name in names {
+        let (va, vb) = (number_entry(a, key, &name), number_entry(b, key, &name));
+        if va != vb {
+            let _ = writeln!(
+                out,
+                "DIVERGED at {key}.{name}: {} vs {} — first diverging phase: {}",
+                show(va),
+                show(vb),
+                phase_of(&name)
+            );
+            return true;
+        }
+    }
+    false
+}
+
+fn report_informational(a: &Value, b: &Value, key: &str, out: &mut String) {
+    // Gauges are point-in-time measurements, informational as a class;
+    // counters are filtered to the informational prefixes.
+    let names = number_names(a, b, key, true);
+    for name in names {
+        if key == "counters" && !is_informational(&name) {
+            continue;
+        }
+        let (va, vb) = (number_entry(a, key, &name), number_entry(b, key, &name));
+        if va != vb {
+            let delta = match (va, vb) {
+                (Some(x), Some(y)) if x != 0.0 => {
+                    format!(" ({:+.1}%)", (y - x) / x * 100.0)
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "info: {key}.{name}: {} vs {}{delta}",
+                show(va),
+                show(vb)
+            );
+        }
+    }
+}
+
+/// The union of entry names under `key` in both documents, phase-rank
+/// ordered; `informational` selects which half of the split to return.
+fn number_names(a: &Value, b: &Value, key: &str, informational: bool) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for doc in [a, b] {
+        if let Some(Value::Obj(map)) = doc.get(key) {
+            for name in map.keys() {
+                if !names.contains(name) {
+                    names.push(name.clone());
+                }
+            }
+        }
+    }
+    names.retain(|n| is_informational(n) == informational || key == "gauges");
+    if key == "gauges" && !informational {
+        names.clear();
+    }
+    names.sort_by(|x, y| phase_rank(x).cmp(&phase_rank(y)).then_with(|| x.cmp(y)));
+    names
+}
+
+fn number_entry(doc: &Value, key: &str, name: &str) -> Option<f64> {
+    doc.get(key)?.get(name)?.as_num()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(counters: &[(&str, f64)], cost: f64) -> String {
+        let mut c = String::new();
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                c.push(',');
+            }
+            let _ = write!(c, "\"{k}\":{v}");
+        }
+        format!(
+            "{{\"schema\":\"ccs-metrics-v1\",\"counters\":{{{c}}},\
+             \"topology\":{{\"schema\":\"ccs-topology-v1\",\"total_cost\":{cost}}}}}"
+        )
+    }
+
+    #[test]
+    fn identical_metrics_diff_clean() {
+        let a = metrics(&[("merging.k2.examined", 10.0)], 42.0);
+        let out = diff_texts("a", &a, "b", &a).unwrap();
+        assert!(!out.diverged, "{}", out.report);
+        assert!(out.report.contains("no divergence"), "{}", out.report);
+    }
+
+    #[test]
+    fn counter_mismatch_names_the_earliest_phase() {
+        let a = metrics(
+            &[("covering.bnb_nodes", 5.0), ("merging.k2.examined", 10.0)],
+            42.0,
+        );
+        let b = metrics(
+            &[("covering.bnb_nodes", 9.0), ("merging.k2.examined", 12.0)],
+            42.0,
+        );
+        let out = diff_texts("a", &a, "b", &b).unwrap();
+        assert!(out.diverged);
+        // Merging runs before covering, so it is reported first even
+        // though both counters differ.
+        assert!(
+            out.report
+                .contains("DIVERGED at counters.merging.k2.examined"),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("first diverging phase: merging"),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn cost_mismatch_wins_over_counters() {
+        let a = metrics(&[("merging.k2.examined", 10.0)], 42.0);
+        let b = metrics(&[("merging.k2.examined", 11.0)], 43.0);
+        let out = diff_texts("a", &a, "b", &b).unwrap();
+        assert!(out.diverged);
+        assert!(out.report.contains("topology.total_cost"), "{}", out.report);
+    }
+
+    #[test]
+    fn informational_differences_are_not_divergence() {
+        let a = metrics(
+            &[("exec.steals", 3.0), ("alloc.placement.bytes", 1000.0)],
+            42.0,
+        );
+        let b = metrics(
+            &[("exec.steals", 9.0), ("alloc.placement.bytes", 2000.0)],
+            42.0,
+        );
+        let out = diff_texts("a", &a, "b", &b).unwrap();
+        assert!(!out.diverged, "{}", out.report);
+        assert!(
+            out.report.contains("info: counters.alloc.placement.bytes"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("(+100.0%)"), "{}", out.report);
+    }
+
+    #[test]
+    fn gauges_are_informational_even_for_pipeline_phases() {
+        let g = |v: f64| {
+            format!(
+                "{{\"schema\":\"ccs-metrics-v1\",\"gauges\":{{\"alloc.peak_live_bytes\":{v},\
+                 \"covering.greedy_gap\":0.1}}}}"
+            )
+        };
+        let out = diff_texts("a", &g(1000.0), "b", &g(1500.0)).unwrap();
+        assert!(!out.diverged, "{}", out.report);
+        assert!(
+            out.report.contains("info: gauges.alloc.peak_live_bytes"),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn ledger_diff_pinpoints_the_first_diverging_decision() {
+        use ccs_obs::ledger::{Cause, DecisionEvent, Ledger, DEFAULT_CAP};
+        let mut a = Ledger::new(DEFAULT_CAP);
+        let mut b = Ledger::new(DEFAULT_CAP);
+        for l in [&mut a, &mut b] {
+            l.insert(DecisionEvent::new(
+                Cause::MergingGeometryPruned,
+                vec![0, 1],
+                0.0,
+                0.0,
+                "k=2".to_string(),
+            ));
+        }
+        let ta = a.to_json().to_string();
+        let same = diff_texts("a", &ta, "b", &b.to_json().to_string()).unwrap();
+        assert!(!same.diverged, "{}", same.report);
+
+        b.insert(DecisionEvent::new(
+            Cause::PlacementKept,
+            vec![2, 3],
+            5.0,
+            9.0,
+            "k=2,index=4".to_string(),
+        ));
+        let out = diff_texts("a", &ta, "b", &b.to_json().to_string()).unwrap();
+        assert!(out.diverged);
+        assert!(
+            out.report.contains("DIVERGED at placement.kept"),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_and_bad_input_are_handled() {
+        let m = metrics(&[], 1.0);
+        let t = "{\"schema\":\"ccs-topology-v1\",\"total_cost\":1}";
+        let out = diff_texts("a", &m, "b", t).unwrap();
+        assert!(out.diverged);
+        assert!(out.report.contains("DIVERGED: schema"), "{}", out.report);
+        assert!(diff_texts("a", "nope", "b", t).is_err());
+        assert!(diff_texts("a", "{}", "b", t).is_err());
+    }
+}

@@ -45,6 +45,8 @@
 //! ```
 
 pub mod cli;
+pub mod diff;
+pub mod explain;
 
 pub use ccs_baselines as baselines;
 pub use ccs_core as core;
