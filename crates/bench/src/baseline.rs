@@ -44,6 +44,10 @@ enum Work {
     Matrices,
     /// Synthesis plus an exhaustive N-1 resilience sweep.
     ResilienceN1,
+    /// A batch of requests through the `ccs serve` engine (the thread
+    /// count is the worker-slot count); reports request throughput and
+    /// p99 latency as extra `serve` metrics.
+    Serve,
 }
 
 fn paper_wan() -> (ConstraintGraph, Library, SynthesisConfig) {
@@ -106,6 +110,11 @@ fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
             build: seeded_wan,
             work: Work::ResilienceN1,
         },
+        Case {
+            name: "serve_engine",
+            build: paper_wan, // unused; the serve load builds its own batch
+            work: Work::Serve,
+        },
     ];
     match preset {
         "quick" => Ok(quick),
@@ -124,17 +133,34 @@ fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
     }
 }
 
-/// Executes one case once. Returns the run's deterministic synthesis
-/// counters (empty for non-synthesis workloads). Errors only on
-/// pipeline failure (a broken workload, not a slow one).
-fn run_case(case: &Case, threads: usize) -> Result<BTreeMap<String, u64>, String> {
+/// Per-run output of a case: the deterministic synthesis counters
+/// (empty for non-synthesis workloads) plus workload-specific extra
+/// metrics (the serve case's latency/throughput figures; empty
+/// elsewhere).
+struct CaseRun {
+    counters: BTreeMap<String, u64>,
+    extras: BTreeMap<String, u64>,
+}
+
+impl CaseRun {
+    fn counters(counters: BTreeMap<String, u64>) -> CaseRun {
+        CaseRun {
+            counters,
+            extras: BTreeMap::new(),
+        }
+    }
+}
+
+/// Executes one case once. Errors only on pipeline failure (a broken
+/// workload, not a slow one).
+fn run_case(case: &Case, threads: usize) -> Result<CaseRun, String> {
     let (graph, library, mut config) = (case.build)();
     config.threads = threads;
     match case.work {
         Work::Matrices => {
             let m = DistanceMatrices::compute(&graph);
             std::hint::black_box(&m);
-            Ok(BTreeMap::new())
+            Ok(CaseRun::counters(BTreeMap::new()))
         }
         Work::Synth => {
             let r = Synthesizer::new(&graph, &library)
@@ -142,7 +168,7 @@ fn run_case(case: &Case, threads: usize) -> Result<BTreeMap<String, u64>, String
                 .run()
                 .map_err(|e| format!("{}: {e}", case.name))?;
             std::hint::black_box(&r);
-            Ok(r.stats.counters)
+            Ok(CaseRun::counters(r.stats.counters))
         }
         Work::ResilienceN1 => {
             let r = Synthesizer::new(&graph, &library)
@@ -153,9 +179,97 @@ fn run_case(case: &Case, threads: usize) -> Result<BTreeMap<String, u64>, String
             let cfg = ccs_netsim::resilience::ResilienceConfig::default();
             let sweep = ccs_netsim::resilience::analyze(&graph, &r.implementation, &cfg, &exec);
             std::hint::black_box(&sweep);
-            Ok(r.stats.counters)
+            Ok(CaseRun::counters(r.stats.counters))
+        }
+        Work::Serve => serve_load(threads),
+    }
+}
+
+/// Pushes a fixed batch of requests through an in-process `ccs serve`
+/// engine with `workers` request slots and reports end-to-end request
+/// latency (p99, submission to response, queueing included) and
+/// throughput. This is the wire-format-free core of the daemon — the
+/// TCP transport adds only the syscalls.
+fn serve_load(workers: usize) -> Result<CaseRun, String> {
+    use ccs::serve::{Engine, Request, RequestKind, ResponseSink, ServeConfig};
+    use std::sync::{Arc, Mutex};
+
+    struct LatencySink {
+        start: Instant,
+        done_ns: Mutex<Vec<u64>>,
+    }
+    impl ResponseSink for LatencySink {
+        fn send_line(&self, _line: &str) {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.done_ns.lock().unwrap().push(ns);
         }
     }
+
+    const REQUESTS: usize = 24;
+    let library = ccs_gen::io::library_to_string(&ccs_gen::wan::paper_library());
+    let reqs: Vec<Request> = (0..REQUESTS)
+        .map(|i| {
+            let cfg = ccs_gen::random::ClusteredWanConfig {
+                seed: 900 + i as u64,
+                channels: 5,
+                ..Default::default()
+            };
+            Request {
+                id: format!("b{i}"),
+                kind: RequestKind::Synth,
+                instance: ccs_gen::io::instance_to_string(&ccs_gen::random::clustered_wan(&cfg)),
+                library: library.clone(),
+                priority: (i % 3) as i64,
+                threads: Some(1),
+                greedy: false,
+                max_k: None,
+                lb_gate: true,
+                ledger: i % 2 == 0,
+                fail_k: None,
+                scenario_budget: None,
+                max_cost_overhead: None,
+                target: None,
+            }
+        })
+        .collect();
+
+    let engine = Engine::new(&ServeConfig::default());
+    let sink = Arc::new(LatencySink {
+        start: Instant::now(),
+        done_ns: Mutex::new(Vec::with_capacity(REQUESTS)),
+    });
+    let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+    for req in reqs {
+        engine.submit(req, &dyn_sink);
+    }
+    engine.close();
+    let mut handles = Vec::with_capacity(workers.max(1));
+    for _ in 0..workers.max(1) {
+        let engine = engine.clone();
+        handles.push(std::thread::spawn(move || engine.worker_loop()));
+    }
+    for h in handles {
+        h.join().map_err(|_| "serve worker panicked".to_string())?;
+    }
+    let total_ns = u64::try_from(sink.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let summary = engine.summary();
+    if summary.served != REQUESTS as u64 || summary.errors != 0 {
+        return Err(format!(
+            "serve_engine: expected {REQUESTS} served responses, got {summary:?}"
+        ));
+    }
+    let mut done = sink.done_ns.lock().unwrap().clone();
+    done.sort_unstable();
+    let p99 = done[((done.len() - 1) * 99) / 100];
+    let req_per_sec = (REQUESTS as f64 / (total_ns.max(1) as f64 / 1e9)) as u64;
+    let mut extras = BTreeMap::new();
+    extras.insert("p99_ns".to_string(), p99);
+    extras.insert("req_per_sec".to_string(), req_per_sec);
+    Ok(CaseRun {
+        counters: BTreeMap::new(),
+        extras,
+    })
 }
 
 fn median_u64(sorted: &[u64]) -> u64 {
@@ -206,15 +320,19 @@ pub fn run_preset(preset: &str, reps: usize, threads: &[usize]) -> Result<Value,
             let mut walls = Vec::with_capacity(reps);
             let mut allocs = Vec::with_capacity(reps);
             let mut bytes = Vec::with_capacity(reps);
+            let mut extra_samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
             for _ in 0..reps {
                 let a0 = ccs_obs::alloc::stats();
                 let t0 = Instant::now();
-                run_case(case, t)?;
+                let run = run_case(case, t)?;
                 let wall = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 let delta = ccs_obs::alloc::stats().delta_since(&a0);
                 walls.push(wall);
                 allocs.push(delta.allocs);
                 bytes.push(delta.alloc_bytes);
+                for (k, v) in run.extras {
+                    extra_samples.entry(k).or_default().push(v);
+                }
             }
             walls.sort_unstable();
             allocs.sort_unstable();
@@ -231,6 +349,14 @@ pub fn run_preset(preset: &str, reps: usize, threads: &[usize]) -> Result<Value,
             let mut entry = BTreeMap::new();
             entry.insert("wall_ns".to_string(), Value::Obj(wall_obj));
             entry.insert("alloc".to_string(), Value::Obj(alloc_obj));
+            if !extra_samples.is_empty() {
+                let mut serve_obj = BTreeMap::new();
+                for (k, mut samples) in extra_samples {
+                    samples.sort_unstable();
+                    serve_obj.insert(format!("{k}_median"), num(median_u64(&samples)));
+                }
+                entry.insert("serve".to_string(), Value::Obj(serve_obj));
+            }
             threads_obj.insert(format!("t{t}"), Value::Obj(entry));
         }
 
@@ -239,7 +365,7 @@ pub fn run_preset(preset: &str, reps: usize, threads: &[usize]) -> Result<Value,
         // reads these to prove optimizations (e.g. the placement
         // lower-bound gate) are actually firing, not just not crashing.
         ccs_obs::profile::start();
-        let counters = run_case(case, threads[0])?;
+        let counters = run_case(case, threads[0])?.counters;
         let tree = ccs_obs::profile::stop();
 
         let mut case_obj = BTreeMap::new();
@@ -348,6 +474,15 @@ pub fn compare(
         (&["alloc", "allocs_median"], true),
         (&["alloc", "alloc_bytes_median"], true),
     ];
+    // Optional metrics (wall tolerance): compared only when the baseline
+    // has them, so older baselines predating a metric still gate; a
+    // baseline metric missing from `current` is an error like any
+    // other. `higher_is_better` flips the regression direction
+    // (throughput figures regress by shrinking).
+    let optional: [(&[&str], bool); 2] = [
+        (&["serve", "p99_ns_median"], false),
+        (&["serve", "req_per_sec_median"], true),
+    ];
 
     let mut regressions = Vec::new();
     for (case, base_case) in base_cases {
@@ -384,6 +519,38 @@ pub fn compare(
                         baseline: base_v,
                         current: cur_v,
                         change_pct: (cur_v / base_v - 1.0) * 100.0,
+                    });
+                }
+            }
+            for (path, higher_is_better) in &optional {
+                let metric = path.join(".");
+                let Some(base_v) = lookup(base_entry, path).and_then(Value::as_num) else {
+                    continue; // baseline predates this metric
+                };
+                let cur_v = lookup(cur_entry, path)
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("current {case}/{tkey}: missing {metric}"))?;
+                if base_v <= 0.0 || cur_v <= 0.0 {
+                    continue;
+                }
+                let worse = if *higher_is_better {
+                    cur_v < base_v / (1.0 + wall_tol_pct / 100.0)
+                } else {
+                    cur_v > base_v * (1.0 + wall_tol_pct / 100.0)
+                };
+                if worse {
+                    let ratio = if *higher_is_better {
+                        base_v / cur_v
+                    } else {
+                        cur_v / base_v
+                    };
+                    regressions.push(Regression {
+                        case: case.clone(),
+                        threads: tkey.clone(),
+                        metric,
+                        baseline: base_v,
+                        current: cur_v,
+                        change_pct: (ratio - 1.0) * 100.0,
                     });
                 }
             }
@@ -443,6 +610,62 @@ mod tests {
         assert!(compare(&base, &fast, 1.0, 1.0).unwrap().is_empty());
     }
 
+    fn serve_doc(wall: u64, p99: u64, req_s: u64) -> Value {
+        let text = format!(
+            r#"{{"schema":"ccs-bench-v1","preset":"quick","reps":3,
+                "cases":{{"serve_engine":{{"threads":{{"t1":{{
+                    "wall_ns":{{"median":{wall},"iqr":0,"min":{wall},"max":{wall}}},
+                    "alloc":{{"allocs_median":10,"alloc_bytes_median":640}},
+                    "serve":{{"p99_ns_median":{p99},"req_per_sec_median":{req_s}}}
+                }}}}}}}}}}"#
+        );
+        ccs_obs::json::parse(&text).expect("valid test doc")
+    }
+
+    #[test]
+    fn serve_metrics_gate_in_both_directions() {
+        let base = serve_doc(1_000_000, 500_000, 100);
+        // Identity is clean.
+        assert!(compare(&base, &base, 10.0, 10.0).unwrap().is_empty());
+        // Latency regression: p99 doubles.
+        let slow = serve_doc(1_000_000, 1_000_000, 100);
+        let regs = compare(&base, &slow, 10.0, 10.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "serve.p99_ns_median");
+        assert!(regs[0].change_pct > 90.0);
+        // Throughput regression: req/s halves (p99 unchanged).
+        let starved = serve_doc(1_000_000, 500_000, 50);
+        let regs = compare(&base, &starved, 10.0, 10.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "serve.req_per_sec_median");
+        assert!(regs[0].change_pct > 90.0);
+        // Both within tolerance pass.
+        let wiggle = serve_doc(1_000_000, 520_000, 96);
+        assert!(compare(&base, &wiggle, 10.0, 10.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn optional_serve_metrics_are_skipped_when_baseline_predates_them() {
+        // A baseline without the serve section still gates the rest...
+        let old = tiny_doc(1_000_000, 5_000);
+        let mut new_text = String::new();
+        old.write_compact(&mut new_text);
+        assert!(compare(&old, &old, 10.0, 10.0).unwrap().is_empty());
+        // ...but a baseline WITH serve metrics that the current run
+        // dropped is an error, not a silent pass.
+        let with = serve_doc(1_000_000, 500_000, 100);
+        let without = ccs_obs::json::parse(
+            r#"{"schema":"ccs-bench-v1","cases":{"serve_engine":{"threads":{"t1":{
+                "wall_ns":{"median":1000000,"iqr":0,"min":1000000,"max":1000000},
+                "alloc":{"allocs_median":10,"alloc_bytes_median":640}
+            }}}}}"#,
+        )
+        .unwrap();
+        assert!(compare(&with, &without, 10.0, 10.0).is_err());
+        // The reverse (new metric, old baseline) is fine.
+        assert!(compare(&without, &with, 10.0, 10.0).unwrap().is_empty());
+    }
+
     #[test]
     fn zero_baseline_metrics_are_skipped() {
         let base = tiny_doc(1_000_000, 0); // untracked allocator
@@ -479,6 +702,7 @@ mod tests {
             "synth_wan_seeded",
             "matrices_seeded",
             "resilience_n1",
+            "serve_engine",
         ] {
             let case = cases.get(name).unwrap_or_else(|| panic!("case {name}"));
             let t1 = case.get("threads").and_then(|t| t.get("t1")).expect("t1");
@@ -505,6 +729,15 @@ mod tests {
                 );
             } else if name.starts_with("matrices") {
                 assert!(counters.is_empty());
+            }
+            if name == "serve_engine" {
+                let serve = t1.get("serve").expect("serve metrics");
+                for metric in ["p99_ns_median", "req_per_sec_median"] {
+                    assert!(
+                        serve.get(metric).and_then(Value::as_num).unwrap() > 0.0,
+                        "{metric} must be positive"
+                    );
+                }
             }
         }
         // Identity comparison of a real document is clean.

@@ -102,6 +102,10 @@ pub enum SynthesisError {
     /// The library violates Assumption 2.1 on this constraint graph, so
     /// the prune theorems would be unsound. Carries the offending arcs.
     AssumptionViolated(ArcId, ArcId),
+    /// The run was cancelled cooperatively (via
+    /// [`ccs_exec::CancelToken`]) before completing; no partial result
+    /// is produced.
+    Cancelled,
 }
 
 impl fmt::Display for SynthesisError {
@@ -126,6 +130,7 @@ impl fmt::Display for SynthesisError {
                 f,
                 "library violates Assumption 2.1 (cost monotonicity) on arcs {a}, {b}"
             ),
+            SynthesisError::Cancelled => write!(f, "synthesis cancelled"),
         }
     }
 }

@@ -176,9 +176,27 @@ pub struct PlacementCache {
 }
 
 impl PlacementCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the right default for a one-shot
+    /// synthesis run, whose distinct demand count is bounded by the
+    /// instance).
     pub fn new() -> PlacementCache {
         PlacementCache::default()
+    }
+
+    /// An empty cache bounded to `per_shard` entries per shard (16
+    /// shards per table), for long-running processes that share one
+    /// cache across many requests. Eviction is deterministic — see
+    /// [`ShardedCache::bounded`].
+    pub fn bounded(per_shard: usize) -> PlacementCache {
+        PlacementCache {
+            rates: ShardedCache::bounded(per_shard),
+            floors: ShardedCache::bounded(per_shard),
+        }
+    }
+
+    /// Total entries evicted from both tables so far.
+    pub fn evictions(&self) -> u64 {
+        self.rates.evictions() + self.floors.evictions()
     }
 
     /// Memoized [`effective_rate`].

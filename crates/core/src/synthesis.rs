@@ -29,13 +29,14 @@ use crate::placement::{
     merge_candidate_explained, merge_cost_lower_bound, point_to_point_candidate, Candidate,
     InfeasibleReason, PlacementCache,
 };
-use ccs_exec::{ExecStats, Executor};
+use ccs_exec::{CancelToken, ExecStats, Executor};
 use ccs_obs::ledger::{self, Cause, DecisionEvent};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tunable knobs of the pipeline. The default reproduces the paper.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SynthesisConfig {
     /// Merge-candidate enumeration configuration.
     pub merge: MergeConfig,
@@ -53,6 +54,36 @@ pub struct SynthesisConfig {
     /// available parallelism). Results are bit-identical for every
     /// thread count.
     pub threads: usize,
+    /// Cooperative cancellation: the pipeline polls this token at phase
+    /// boundaries and per sweep item and aborts with
+    /// [`SynthesisError::Cancelled`] once it is cancelled. The default
+    /// token is never cancelled.
+    pub cancel: CancelToken,
+    /// A placement-rate cache shared across runs (the `ccs serve`
+    /// daemon reuses one per library so repeated demands are priced
+    /// once per process, not once per request). Cached values are pure
+    /// functions of `(library, demand)`, so sharing cannot perturb
+    /// results — but a cache must only ever be shared between runs
+    /// using the *same* library. `None` gives each run a private cache.
+    pub shared_cache: Option<Arc<PlacementCache>>,
+}
+
+/// Configs compare by value for the plain knobs; the cancel token and
+/// shared cache compare by identity (they are handles, not values).
+impl PartialEq for SynthesisConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.merge == other.merge
+            && self.cover == other.cover
+            && self.keep_dominated == other.keep_dominated
+            && self.check_assumption == other.check_assumption
+            && self.threads == other.threads
+            && self.cancel == other.cancel
+            && match (&self.shared_cache, &other.shared_cache) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                (None, None) => true,
+                _ => false,
+            }
+    }
 }
 
 /// Wall-clock time spent in each pipeline phase of one synthesis run.
@@ -253,6 +284,10 @@ impl<'a> Synthesizer<'a> {
         let library = self.library;
         let exec = Executor::new(self.config.threads);
         let threads = exec.threads();
+        let cancel = &self.config.cancel;
+        if cancel.is_cancelled() {
+            return Err(SynthesisError::Cancelled);
+        }
 
         if self.config.check_assumption {
             if let Some((a, b)) = crate::p2p::check_assumption(graph, library)? {
@@ -270,6 +305,9 @@ impl<'a> Synthesizer<'a> {
         let profile_phase = ccs_obs::profile::scope("p2p");
         let arc_idxs: Vec<usize> = (0..graph.arc_count()).collect();
         let (p2p_results, p2p_exec) = exec.par_map_stats(&arc_idxs, |_, &i| {
+            if cancel.is_cancelled() {
+                return Err(SynthesisError::Cancelled);
+            }
             point_to_point_candidate(graph, library, i)
         });
         let mut candidates: Vec<Candidate> = Vec::with_capacity(p2p_results.len());
@@ -284,6 +322,10 @@ impl<'a> Synthesizer<'a> {
         ccs_obs::counter("p2p.candidates", candidates.len() as u64);
         timings.p2p = t.elapsed();
         cpu.p2p = p2p_exec.busy;
+
+        if cancel.is_cancelled() {
+            return Err(SynthesisError::Cancelled);
+        }
 
         // Phase 1b: merge candidates — Γ/Δ matrices, pruned enumeration,
         // then hub placement and exact costing of every survivor.
@@ -303,6 +345,9 @@ impl<'a> Synthesizer<'a> {
         phase_alloc_counters("merging", &alloc0);
         timings.merging = t.elapsed();
         cpu.merging = enumeration.stats.exec.busy;
+        if cancel.is_cancelled() {
+            return Err(SynthesisError::Cancelled);
+        }
 
         // Hub placement fans out per surviving subset; the shared cache
         // memoizes per-demand placement weights across subsets and
@@ -313,7 +358,12 @@ impl<'a> Synthesizer<'a> {
         let alloc0 = ccs_obs::alloc::stats();
         let profile_phase = ccs_obs::profile::scope("placement");
         let subsets: Vec<&Vec<usize>> = enumeration.all_subsets().collect();
-        let cache = PlacementCache::new();
+        let cache: Arc<PlacementCache> = self
+            .config
+            .shared_cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(PlacementCache::new()));
+        let cache = &*cache;
         // Lower-bound gate: a subset whose cheap geometric bound already
         // reaches the dominance threshold below cannot yield a kept
         // candidate (any real solve costs at least the bound), so the
@@ -325,16 +375,19 @@ impl<'a> Synthesizer<'a> {
         }
         let lb_gate = self.config.merge.lb_gate && !self.config.keep_dominated;
         let (placed, placement_exec) = exec.par_map_stats(&subsets, |_, s| {
+            if cancel.is_cancelled() {
+                return Err(SynthesisError::Cancelled);
+            }
             if lb_gate {
                 // One profiler call per subset, independent of chunking.
                 let _profile = ccs_obs::profile::scope("lb_gate");
-                let lb = merge_cost_lower_bound(graph, library, s, &cache);
+                let lb = merge_cost_lower_bound(graph, library, s, cache);
                 let member_sum: f64 = s.iter().map(|&i| candidates[i].cost).sum();
                 if lb >= member_sum * (1.0 - 1e-6) - 1e-12 {
                     return Ok(Placed::Gated { lb, member_sum });
                 }
             }
-            merge_candidate_explained(graph, library, s, &cache).map(Placed::Done)
+            merge_candidate_explained(graph, library, s, cache).map(Placed::Done)
         });
         let ledger_on = ledger::enabled();
         let subset_arcs = |s: &[usize]| -> Vec<u32> { s.iter().map(|&i| i as u32).collect() };
@@ -420,6 +473,10 @@ impl<'a> Synthesizer<'a> {
         ccs_obs::counter("placement.dominated_dropped", dominated as u64);
         ccs_obs::counter("placement.lb_gated", lb_gated as u64);
         ccs_obs::counter("placement.solves_skipped", solves_skipped);
+
+        if cancel.is_cancelled() {
+            return Err(SynthesisError::Cancelled);
+        }
 
         // Phase 2: weighted unate covering.
         let t = Instant::now();
@@ -797,6 +854,52 @@ mod tests {
         // With dominated candidates kept, every solve must actually run.
         assert_eq!(r.stats.lb_gated, 0);
         assert_eq!(r.stats.solves_skipped, 0);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_no_result() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let cfg = SynthesisConfig::default();
+        cfg.cancel.cancel();
+        let err = Synthesizer::new(&g, &lib)
+            .with_config(cfg)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SynthesisError::Cancelled);
+        assert_eq!(err.to_string(), "synthesis cancelled");
+    }
+
+    #[test]
+    fn shared_cache_reuse_is_invisible_in_results() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let private = Synthesizer::new(&g, &lib).run().unwrap();
+        let cache = std::sync::Arc::new(PlacementCache::new());
+        let cfg = SynthesisConfig {
+            shared_cache: Some(cache.clone()),
+            ..SynthesisConfig::default()
+        };
+        // Two runs against one cache: the second hits warm entries.
+        let first = Synthesizer::new(&g, &lib)
+            .with_config(cfg.clone())
+            .run()
+            .unwrap();
+        let warm = cache.len();
+        assert!(warm > 0, "shared cache should be populated");
+        let second = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+        assert_eq!(cache.len(), warm, "second run re-prices nothing");
+        for r in [&first, &second] {
+            assert_eq!(r.total_cost(), private.total_cost());
+            assert_eq!(r.stats.counters, private.stats.counters);
+            let arcs = |x: &SynthesisResult| {
+                x.selected
+                    .iter()
+                    .map(|c| c.arcs.clone())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(arcs(r), arcs(&private));
+        }
     }
 
     #[test]

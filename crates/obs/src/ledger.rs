@@ -380,11 +380,17 @@ thread_local! {
     static BUFFER: RefCell<Option<Ledger>> = const { RefCell::new(None) };
 }
 
-/// Whether the global ledger is collecting. One relaxed atomic load —
-/// emitters use this to skip building events entirely when off.
+/// Whether a ledger is collecting on this thread: the active
+/// [`crate::scope::RequestObs`] if one is entered (a scope *replaces*
+/// the global ledger while active), otherwise the process-global
+/// ledger. Emitters use this to skip building events entirely when
+/// off.
 #[inline]
 pub fn enabled() -> bool {
-    LEDGER_ENABLED.load(Ordering::Relaxed)
+    match crate::scope::ledger_override() {
+        Some(on) => on,
+        None => LEDGER_ENABLED.load(Ordering::Relaxed),
+    }
 }
 
 /// Installs a fresh global ledger with per-cause sample cap `cap` and
@@ -423,6 +429,10 @@ pub fn emit(event: DecisionEvent) {
         }
     });
     if let Some(event) = to_global {
+        let event = match crate::scope::insert_scoped(event) {
+            Ok(()) => return,
+            Err(event) => event,
+        };
         let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(ledger) = slot.as_mut() {
             ledger.insert(event);
@@ -442,7 +452,8 @@ pub fn worker_scope() -> WorkerScope {
     if !enabled() {
         return WorkerScope { previous: None };
     }
-    let cap = LEDGER_CAP.load(Ordering::Relaxed);
+    let cap =
+        crate::scope::ledger_cap_override().unwrap_or_else(|| LEDGER_CAP.load(Ordering::Relaxed));
     let previous = BUFFER.with(|b| b.borrow_mut().replace(Ledger::new(cap)));
     WorkerScope {
         previous: Some(previous),
@@ -469,6 +480,10 @@ impl Drop for WorkerScope {
         if mine.total() == 0 {
             return;
         }
+        let mine = match crate::scope::merge_scoped(mine) {
+            Ok(()) => return,
+            Err(buffer) => buffer,
+        };
         let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(ledger) = slot.as_mut() {
             ledger.merge(mine);

@@ -36,6 +36,7 @@ pub mod alloc;
 pub mod json;
 pub mod ledger;
 pub mod profile;
+pub mod scope;
 
 use std::collections::BTreeMap;
 use std::io::{BufWriter, Write as _};
@@ -98,14 +99,23 @@ pub fn clear_recorder() {
     *slot = None;
 }
 
-/// Whether a recorder is installed. Instrumented code can use this to
-/// skip building event names (`format!`) when nobody is listening.
+/// Whether anything is listening on this thread: the active
+/// [`scope::RequestObs`] if one is entered (a scope *replaces* the
+/// globals while active), otherwise the process-global recorder.
+/// Instrumented code can use this to skip building event names
+/// (`format!`) when nobody is listening.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    match scope::recorder_override() {
+        Some(on) => on,
+        None => ENABLED.load(Ordering::Relaxed),
+    }
 }
 
 fn dispatch(event: &Event<'_>) {
+    if scope::dispatch_scoped(event) {
+        return;
+    }
     let slot = RECORDER.read().unwrap_or_else(|e| e.into_inner());
     if let Some(recorder) = slot.as_ref() {
         recorder.record(event);

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""CI driver proving the `ccs serve` daemon under load.
+
+Checks, in order:
+
+1. **Concurrent equivalence** — 32 synth/analyze requests from 8
+   parallel TCP connections; every response's topology / resilience /
+   ledger document must be byte-identical (canonical JSON) to a
+   one-shot `ccs synth` / `ccs analyze` run of the same instance.
+2. **Queued-request cancellation** — with one worker slot, a request
+   queued behind a long-running one is cancelled before it starts; its
+   response is `"status": "cancelled"` with no body.
+3. **In-flight cancellation** — a cancel landing while the pipeline is
+   running aborts it cooperatively (no body, `cancelled` status).
+4. **Graceful shutdown** — a `shutdown` request drains every queued
+   request to a real response and is acknowledged last; the daemon
+   exits 0.
+5. **Stdin mode** — ping/shutdown over stdin/stdout JSON lines.
+
+Usage: scripts/serve_ci.py path/to/ccs
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+CONNECTIONS = 8
+REQUESTS_PER_CONNECTION = 4  # 32 total
+SLOW_SEED, SLOW_CHANNELS = 7, 12  # ~0.5 s optimized: ample cancel window
+
+
+def run(argv, **kw):
+    return subprocess.run(argv, check=True, capture_output=True, text=True, **kw).stdout
+
+
+def canonical(doc):
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class Daemon:
+    def __init__(self, ccs, workers):
+        self.proc = subprocess.Popen(
+            [ccs, "serve", "--listen", "127.0.0.1:0", "--workers", str(workers)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        banner = self.proc.stdout.readline().strip()
+        prefix = "ccs serve: listening on "
+        assert banner.startswith(prefix), f"unexpected banner: {banner!r}"
+        host, port = banner[len(prefix):].rsplit(":", 1)
+        self.addr = (host, int(port))
+
+    def connect(self):
+        return Conn(self.addr)
+
+    def wait(self, timeout=60):
+        out, err = self.proc.communicate(timeout=timeout)
+        assert self.proc.returncode == 0, f"daemon exited {self.proc.returncode}: {err}"
+        return err
+
+
+class Conn:
+    def __init__(self, addr):
+        self.sock = socket.create_connection(addr)
+        self.reader = self.sock.makefile("r")
+
+    def send(self, obj):
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+
+    def recv(self):
+        line = self.reader.readline()
+        assert line, "daemon closed the connection"
+        return json.loads(line)
+
+
+def request(rid, kind, instance=None, library=None, **extra):
+    req = {"schema": "ccs-request-v1", "id": rid, "kind": kind, **extra}
+    if instance is not None:
+        req["instance"] = instance
+        req["library"] = library
+    return req
+
+
+def main():
+    ccs = sys.argv[1]
+    tmp = Path(tempfile.mkdtemp(prefix="serve-ci-"))
+    library = run([ccs, "example", "library", "wan"])
+    lib_file = tmp / "lib.ccs"
+    lib_file.write_text(library)
+
+    # --- reference one-shot runs -----------------------------------------
+    # 8 distinct workloads; each is requested 4 times concurrently.
+    seeds = list(range(300, 300 + CONNECTIONS))
+    instances, references = {}, {}
+    for i, seed in enumerate(seeds):
+        inst = run([ccs, "gen", "wan", "--seed", str(seed), "--channels", "6"])
+        instances[seed] = inst
+        inst_file = tmp / f"i{seed}.ccs"
+        inst_file.write_text(inst)
+        metrics = tmp / f"m{seed}.json"
+        ledger = tmp / f"l{seed}.json"
+        kind = "analyze" if i % 2 else "synth"
+        argv = [ccs, kind, "--instance", str(inst_file), "--library", str(lib_file),
+                "--threads", "1", "--metrics-json", str(metrics), "--ledger", str(ledger)]
+        if kind == "analyze":
+            argv += ["--fail-k", "2", "--scenario-budget", "128"]
+        run(argv)
+        doc = json.loads(metrics.read_text())
+        references[seed] = {
+            "kind": kind,
+            "topology": canonical(doc["topology"]),
+            "resilience": canonical(doc["resilience"]) if kind == "analyze" else None,
+            "ledger": canonical(json.loads(ledger.read_text())),
+        }
+
+    # --- 1. concurrent equivalence over TCP ------------------------------
+    daemon = Daemon(ccs, workers=4)
+    failures = []
+
+    def client(c_idx):
+        conn = daemon.connect()
+        sent = []
+        for j in range(REQUESTS_PER_CONNECTION):
+            seed = seeds[(c_idx + j) % len(seeds)]
+            ref = references[seed]
+            rid = f"c{c_idx}-r{j}-s{seed}"
+            req = request(rid, ref["kind"], instances[seed], library,
+                          ledger=True, threads=2, priority=j % 3)
+            if ref["kind"] == "analyze":
+                req["fail_k"] = 2
+                req["scenario_budget"] = 128
+            conn.send(req)
+            sent.append((rid, seed))
+        got = {}
+        for _ in sent:
+            resp = conn.recv()
+            got[resp["id"]] = resp
+        for rid, seed in sent:
+            ref, resp = references[seed], got.get(rid)
+            try:
+                assert resp is not None, f"{rid}: no response"
+                assert resp["status"] == "ok", f"{rid}: {resp.get('error')}"
+                assert canonical(resp["metrics"]["topology"]) == ref["topology"], \
+                    f"{rid}: topology diverges from one-shot"
+                if ref["resilience"] is not None:
+                    assert canonical(resp["metrics"]["resilience"]) == ref["resilience"], \
+                        f"{rid}: resilience diverges from one-shot"
+                assert canonical(resp["ledger"]) == ref["ledger"], \
+                    f"{rid}: ledger diverges from one-shot"
+            except AssertionError as e:
+                failures.append(str(e))
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(CONNECTIONS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures, "\n".join(failures)
+
+    bye = daemon.connect()
+    bye.send(request("bye", "shutdown"))
+    ack = bye.recv()
+    total = CONNECTIONS * REQUESTS_PER_CONNECTION
+    assert ack["kind"] == "shutdown" and ack["served"] == total, ack
+    daemon.wait()
+    print(f"[1/5] {total} concurrent requests byte-identical to one-shot runs")
+
+    # --- 2. queued-request cancellation ----------------------------------
+    slow = run([ccs, "gen", "wan", "--seed", str(SLOW_SEED),
+                "--channels", str(SLOW_CHANNELS)])
+    daemon = Daemon(ccs, workers=1)
+    conn = daemon.connect()
+    conn.send(request("slow", "synth", slow, library))
+    conn.send(request("victim", "synth", instances[seeds[0]], library, ledger=True))
+    conn.send(request("c1", "cancel", target="victim"))
+    ack = conn.recv()
+    assert ack["kind"] == "cancel" and ack["found"], ack
+    slow_resp = conn.recv()
+    assert slow_resp["id"] == "slow" and slow_resp["status"] == "ok", slow_resp
+    victim = conn.recv()
+    assert victim["id"] == "victim" and victim["status"] == "cancelled", victim
+    for key in ("metrics", "ledger", "topology", "error"):
+        assert key not in victim, f"cancelled response leaked {key!r}"
+    print("[2/5] queued request cancelled before starting, no body")
+
+    # --- 3. in-flight cancellation ---------------------------------------
+    side = daemon.connect()
+    cancelled_mid_run = False
+    for attempt in range(5):
+        rid = f"mid{attempt}"
+        conn.send(request(rid, "synth", slow, library, ledger=True))
+        time.sleep(0.1)
+        side.send(request(f"c-{rid}", "cancel", target=rid))
+        ack = side.recv()
+        resp = conn.recv()
+        if ack["found"]:
+            assert resp["status"] == "cancelled", resp
+            assert "metrics" not in resp and "ledger" not in resp, resp
+            cancelled_mid_run = True
+            break
+        # The run finished before the cancel landed; it must have served.
+        assert resp["status"] == "ok", resp
+    assert cancelled_mid_run, "cancel never landed mid-run in 5 attempts"
+    conn.send(request("bye", "shutdown"))
+    daemon.wait()
+    print("[3/5] in-flight request aborted cooperatively")
+
+    # --- 4. graceful shutdown drains queued work -------------------------
+    daemon = Daemon(ccs, workers=2)
+    conn = daemon.connect()
+    ids = [f"drain{i}" for i in range(6)]
+    for i, rid in enumerate(ids):
+        conn.send(request(rid, "synth", instances[seeds[i % len(seeds)]], library))
+    conn.send(request("bye", "shutdown"))
+    drained = [conn.recv() for _ in ids]
+    assert all(r["status"] == "ok" for r in drained), drained
+    assert sorted(r["id"] for r in drained) == sorted(ids)
+    ack = conn.recv()
+    assert ack["kind"] == "shutdown" and ack["served"] == len(ids), ack
+    daemon.wait()
+    print("[4/5] shutdown drained 6 queued requests, acknowledged last")
+
+    # --- 5. stdin mode ----------------------------------------------------
+    lines = "\n".join(json.dumps(r) for r in [
+        request("p1", "ping"),
+        request("s1", "synth", instances[seeds[0]], library),
+        request("bye", "shutdown"),
+    ])
+    out = subprocess.run([ccs, "serve"], input=lines + "\n", capture_output=True,
+                         text=True, check=True, timeout=60)
+    docs = [json.loads(l) for l in out.stdout.splitlines() if l.strip()]
+    assert [d["id"] for d in docs] == ["p1", "s1", "bye"], docs
+    assert docs[0]["kind"] == "ping" and docs[1]["status"] == "ok", docs
+    assert docs[2]["kind"] == "shutdown" and docs[2]["served"] == 1, docs
+    print("[5/5] stdin mode: pure JSON-lines stdout, summary on stderr")
+    print("serve CI: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@
 //! ccs example  instance wan|mpeg4   # print a built-in instance file
 //! ccs example  library  wan|soc     # print a built-in library file
 //! ccs gen      wan|soc [--seed N] [--channels N] ...   # seeded random instance
+//! ccs serve    [--listen ADDR] [--workers N] [--request-threads N]
+//!              [--cache-capacity N] [--ledger-cap N]
 //! ```
 //!
 //! Instance and library files use the plain-text format of
@@ -48,6 +50,12 @@
 //! `--threads N` sets the worker count of the parallel synthesis phases
 //! (default: available parallelism, or the `CCS_THREADS` environment
 //! variable). Synthesis output is bit-identical for every `N`.
+//!
+//! `ccs serve` runs the long-lived synthesis daemon ([`crate::serve`]):
+//! JSON-lines requests over stdin or TCP, answered with responses that
+//! embed the same `ccs-topology-v1` / `ccs-resilience-v1` /
+//! `ccs-ledger-v1` documents the one-shot commands produce,
+//! byte-identical in canonical form.
 
 use ccs_core::constraint::ConstraintGraph;
 use ccs_core::cover::CoverStrategy;
@@ -76,6 +84,8 @@ usage:
   ccs example  library  wan|soc
   ccs gen      wan [--seed N] [--channels N] [--clusters N] [--nodes-per-cluster N]
   ccs gen      soc [--seed N] [--channels N] [--modules N]
+  ccs serve    [--listen ADDR] [--workers N] [--request-threads N]
+               [--cache-capacity N] [--ledger-cap N]
   ccs help
 
 parallelism:
@@ -118,6 +128,23 @@ observability:
                        pruning/placement/covering decisions themselves
                        (synth, simulate and analyze; off by default)
 
+service (ccs serve):
+  reads ccs-request-v1 JSON lines (kind: synth, analyze, ping, cancel,
+  shutdown) and answers each with one ccs-response-v1 line embedding the
+  request's own ccs-metrics-v1 document (plus ccs-ledger-v1 on request);
+  topology and ledger output is byte-identical to a one-shot run
+  --listen ADDR        accept requests over TCP on ADDR (e.g.
+                       127.0.0.1:7477; port 0 picks a free port, printed
+                       on stdout); default is stdin/stdout JSON lines
+  --workers N          concurrent request slots (default: min(4, cores))
+  --request-threads N  default per-request synthesis threads (default 1;
+                       a request's \"threads\" field overrides it)
+  --cache-capacity N   per-shard capacity of the shared placement caches
+                       (default 512 entries x 16 shards per table)
+  --ledger-cap N       per-cause sample cap of returned ledgers (default
+                       256, the one-shot cap; lower caps trade provenance
+                       detail for response size)
+
 provenance (ccs explain / ccs diff):
   ccs explain answers queries against a recorded ledger:
   --hub N              why does the N-th selected candidate exist?
@@ -146,6 +173,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("diff") => diff_cmd(&it.collect::<Vec<_>>()),
         Some("example") => example(&it.collect::<Vec<_>>()),
         Some("gen") => gen(&it.collect::<Vec<_>>()),
+        Some("serve") => serve_cmd(&it.collect::<Vec<_>>()),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -783,6 +811,48 @@ fn gen(rest: &[&str]) -> Result<String, String> {
         return Err(format!("unknown ccs gen {kind} flag --{unknown}"));
     }
     Ok(io::instance_to_string(&graph))
+}
+
+fn serve_cmd(rest: &[&str]) -> Result<String, String> {
+    let mut cfg = crate::serve::ServeConfig::default();
+    let mut it = rest.iter();
+    while let Some(&tok) = it.next() {
+        let mut value =
+            || -> Result<&str, String> { it.next().copied().ok_or(format!("{tok} needs a value")) };
+        match tok {
+            "--listen" => cfg.listen = Some(value()?.to_string()),
+            "--workers" => {
+                cfg.workers = value()?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--request-threads" => {
+                cfg.request_threads = value()?
+                    .parse()
+                    .map_err(|_| "--request-threads needs an integer".to_string())?;
+            }
+            "--cache-capacity" => {
+                cfg.cache_per_shard = value()?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer".to_string())?;
+            }
+            "--ledger-cap" => {
+                cfg.ledger_cap = value()?
+                    .parse()
+                    .map_err(|_| "--ledger-cap needs an integer".to_string())?;
+            }
+            other => return Err(format!("unknown ccs serve flag {other:?}\n{USAGE}")),
+        }
+    }
+    let server = crate::serve::Server::bind(cfg)?;
+    let summary = server.run()?;
+    // Stdout stays pure JSON lines in stdin mode; the human-readable
+    // wrap-up goes to stderr.
+    eprintln!(
+        "ccs serve: done ({} served, {} cancelled, {} errors)",
+        summary.served, summary.cancelled, summary.errors
+    );
+    Ok(String::new())
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@
 pub mod cli;
 pub mod diff;
 pub mod explain;
+pub mod serve;
 
 pub use ccs_baselines as baselines;
 pub use ccs_core as core;

@@ -1,0 +1,1167 @@
+//! `ccs serve`: a long-running synthesis service.
+//!
+//! One-shot `ccs synth` pays process startup and cold caches on every
+//! request. The daemon amortizes both: it accepts a stream of
+//! synthesis/analyze requests as JSON lines (`ccs-request-v1`) over
+//! stdin or a TCP listener, multiplexes them onto a fixed pool of
+//! worker threads through a priority [`JobQueue`], and answers each
+//! with one `ccs-response-v1` JSON line.
+//!
+//! Three properties carry over from the rest of the workspace:
+//!
+//! * **Determinism.** A request's topology and ledger documents are
+//!   byte-identical (in canonical form) whether the request is served
+//!   concurrently with 31 others, served alone, or run via one-shot
+//!   `ccs synth`. Per-request observability scoping
+//!   ([`ccs_obs::scope`]) keeps concurrent requests from
+//!   cross-contaminating metrics; the shared placement cache memoizes
+//!   only pure functions of `(library, demand)`, so cache hits cannot
+//!   perturb results.
+//! * **Bounded memory.** The per-library placement caches are
+//!   [`PlacementCache::bounded`] with deterministic eviction, and at
+//!   most [`MAX_LIBRARIES`] libraries are cached at once, so a
+//!   long-running daemon cannot leak.
+//! * **Cooperative cancellation.** A `cancel` request flips the
+//!   target's [`CancelToken`]; the pipeline aborts at the next poll
+//!   and the response is a bare `"status":"cancelled"` line — a
+//!   cancelled request never writes a response body (no metrics, no
+//!   topology, no ledger).
+//!
+//! Graceful shutdown (`kind":"shutdown"`) stops intake, drains every
+//! queued and in-flight request to a real response, then answers the
+//! shutdown request itself last with serve counters.
+
+use ccs_core::cover::CoverStrategy;
+use ccs_core::error::SynthesisError;
+use ccs_core::placement::PlacementCache;
+use ccs_core::report;
+use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_exec::{CancelToken, Executor, JobQueue};
+use ccs_gen::io;
+use ccs_obs::json::{self, Value};
+use ccs_obs::scope::RequestObs;
+use ccs_obs::{Collector, Record};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Schema identifier of request lines.
+pub const REQUEST_SCHEMA: &str = "ccs-request-v1";
+/// Schema identifier of response lines.
+pub const RESPONSE_SCHEMA: &str = "ccs-response-v1";
+
+/// Default per-shard capacity of each shared placement cache (16
+/// shards per table; see [`PlacementCache::bounded`]).
+pub const DEFAULT_CACHE_PER_SHARD: usize = 512;
+
+/// Most distinct libraries with live shared caches. Beyond this the
+/// cache for the largest library fingerprint is dropped — a
+/// content-determined rule, like the placement cache's own eviction.
+pub const MAX_LIBRARIES: usize = 16;
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Full synthesis; the response embeds `ccs-topology-v1`.
+    Synth,
+    /// Synthesis plus a resilience sweep; the response embeds both
+    /// `ccs-topology-v1` and `ccs-resilience-v1`.
+    Analyze,
+    /// Liveness probe; answered immediately, never queued.
+    Ping,
+    /// Cancels the in-flight or queued request named by `target`.
+    Cancel,
+    /// Graceful shutdown: drain everything, answer this last.
+    Shutdown,
+}
+
+impl RequestKind {
+    fn id(self) -> &'static str {
+        match self {
+            RequestKind::Synth => "synth",
+            RequestKind::Analyze => "analyze",
+            RequestKind::Ping => "ping",
+            RequestKind::Cancel => "cancel",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed `ccs-request-v1` line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Instance text ([`ccs_gen::io`] format); synth/analyze only.
+    pub instance: String,
+    /// Library text ([`ccs_gen::io`] format); synth/analyze only.
+    pub library: String,
+    /// Scheduling priority (higher runs first; default 0).
+    pub priority: i64,
+    /// Worker threads for this request's parallel phases (`None` =
+    /// the server's per-request default).
+    pub threads: Option<usize>,
+    /// Use the greedy covering solver.
+    pub greedy: bool,
+    /// Merge-enumeration level cap.
+    pub max_k: Option<usize>,
+    /// Lower-bound gate (defaults on, like the CLI).
+    pub lb_gate: bool,
+    /// Collect and return a `ccs-ledger-v1` document.
+    pub ledger: bool,
+    /// analyze: largest simultaneous failure order (default 1).
+    pub fail_k: Option<usize>,
+    /// analyze: N-k scenario cap.
+    pub scenario_budget: Option<usize>,
+    /// analyze: sweep the cost-resilience frontier within this percent
+    /// overhead.
+    pub max_cost_overhead: Option<f64>,
+    /// cancel: the id of the request to cancel.
+    pub target: Option<String>,
+}
+
+/// A parse/validation failure, with the request id when one was
+/// recoverable from the line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// The `id` field, when the line parsed far enough to have one.
+    pub id: Option<String>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+fn fail(id: Option<&str>, message: impl Into<String>) -> RequestError {
+    RequestError {
+        id: id.map(str::to_string),
+        message: message.into(),
+    }
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// [`RequestError`] with the offending line's id when recoverable.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let doc = json::parse(line).map_err(|e| fail(None, format!("invalid JSON: {e}")))?;
+    let id = doc.get("id").and_then(Value::as_str).map(str::to_string);
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(REQUEST_SCHEMA) => {}
+        Some(other) => {
+            return Err(fail(
+                id.as_deref(),
+                format!("unsupported schema {other:?} (expected {REQUEST_SCHEMA:?})"),
+            ))
+        }
+        None => return Err(fail(id.as_deref(), "missing \"schema\"")),
+    }
+    let Some(id) = id else {
+        return Err(fail(None, "missing \"id\" (a string)"));
+    };
+    let kind = match doc.get("kind").and_then(Value::as_str) {
+        Some("synth") => RequestKind::Synth,
+        Some("analyze") => RequestKind::Analyze,
+        Some("ping") => RequestKind::Ping,
+        Some("cancel") => RequestKind::Cancel,
+        Some("shutdown") => RequestKind::Shutdown,
+        Some(other) => return Err(fail(Some(&id), format!("unknown kind {other:?}"))),
+        None => return Err(fail(Some(&id), "missing \"kind\"")),
+    };
+    let str_field = |key: &str| doc.get(key).and_then(Value::as_str).map(str::to_string);
+    let num_field = |key: &str| -> Result<Option<f64>, RequestError> {
+        match doc.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::Num(n)) => Ok(Some(*n)),
+            Some(_) => Err(fail(Some(&id), format!("{key:?} must be a number"))),
+        }
+    };
+    let usize_field = |key: &str| -> Result<Option<usize>, RequestError> {
+        match num_field(key)? {
+            None => Ok(None),
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(Some(n as usize)),
+            Some(_) => Err(fail(
+                Some(&id),
+                format!("{key:?} must be a non-negative integer"),
+            )),
+        }
+    };
+    let bool_field = |key: &str, default: bool| -> Result<bool, RequestError> {
+        match doc.get(key) {
+            None | Some(Value::Null) => Ok(default),
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(_) => Err(fail(Some(&id), format!("{key:?} must be a boolean"))),
+        }
+    };
+
+    let mut req = Request {
+        id: id.clone(),
+        kind,
+        instance: String::new(),
+        library: String::new(),
+        priority: num_field("priority")?.unwrap_or(0.0) as i64,
+        threads: usize_field("threads")?,
+        greedy: bool_field("greedy", false)?,
+        max_k: usize_field("max_k")?,
+        lb_gate: bool_field("lb_gate", true)?,
+        ledger: bool_field("ledger", false)?,
+        fail_k: usize_field("fail_k")?,
+        scenario_budget: usize_field("scenario_budget")?,
+        max_cost_overhead: num_field("max_cost_overhead")?,
+        target: str_field("target"),
+    };
+    if let Some(pct) = req.max_cost_overhead {
+        if !pct.is_finite() || pct < 0.0 {
+            return Err(fail(
+                Some(&id),
+                "\"max_cost_overhead\" must be a non-negative percent",
+            ));
+        }
+    }
+    match kind {
+        RequestKind::Synth | RequestKind::Analyze => {
+            req.instance = str_field("instance")
+                .ok_or_else(|| fail(Some(&id), "missing \"instance\" (instance file text)"))?;
+            req.library = str_field("library")
+                .ok_or_else(|| fail(Some(&id), "missing \"library\" (library file text)"))?;
+        }
+        RequestKind::Cancel => {
+            if req.target.is_none() {
+                return Err(fail(Some(&id), "cancel needs \"target\" (a request id)"));
+            }
+        }
+        RequestKind::Ping | RequestKind::Shutdown => {}
+    }
+    Ok(req)
+}
+
+/// A line-atomic sink for response lines (one complete JSON line per
+/// call, concurrently usable from every worker).
+pub trait ResponseSink: Send + Sync {
+    /// Writes one line (already `\n`-terminated).
+    fn send_line(&self, line: &str);
+}
+
+/// A sink over any writer; lines are written and flushed under a lock.
+pub struct WriterSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wraps `out`.
+    pub fn new(out: W) -> Arc<WriterSink<W>> {
+        Arc::new(WriterSink {
+            out: Mutex::new(out),
+        })
+    }
+}
+
+impl<W: Write + Send> ResponseSink for WriterSink<W> {
+    fn send_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // A dead peer must not take the daemon down with it.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+fn send_value(sink: &dyn ResponseSink, value: &Value) {
+    let mut line = String::new();
+    value.write_compact(&mut line);
+    line.push('\n');
+    sink.send_line(&line);
+}
+
+fn response_base(id: &str, status: &str) -> BTreeMap<String, Value> {
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "schema".to_string(),
+        Value::Str(RESPONSE_SCHEMA.to_string()),
+    );
+    obj.insert("id".to_string(), Value::Str(id.to_string()));
+    obj.insert("status".to_string(), Value::Str(status.to_string()));
+    obj
+}
+
+/// An error response; `id` is `null` when the line had none.
+pub fn error_response(id: Option<&str>, message: &str) -> Value {
+    let mut obj = response_base(id.unwrap_or(""), "error");
+    if id.is_none() {
+        obj.insert("id".to_string(), Value::Null);
+    }
+    obj.insert("error".to_string(), Value::Str(message.to_string()));
+    Value::Obj(obj)
+}
+
+fn cancelled_response(req: &Request) -> Value {
+    let mut obj = response_base(&req.id, "cancelled");
+    obj.insert("kind".to_string(), Value::Str(req.kind.id().to_string()));
+    Value::Obj(obj)
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (e.g. `"127.0.0.1:0"`); `None` = stdin mode.
+    pub listen: Option<String>,
+    /// Concurrent request slots (worker threads popping the queue);
+    /// `0` resolves to `min(4, available parallelism)`.
+    pub workers: usize,
+    /// Default per-request synthesis threads when a request does not
+    /// say; `0` resolves through [`ccs_exec::default_threads`]. The
+    /// daemon default is 1: with several request slots busy,
+    /// intra-request parallelism oversubscribes the machine.
+    pub request_threads: usize,
+    /// Per-shard capacity of the shared placement caches.
+    pub cache_per_shard: usize,
+    /// Per-cause sample cap of returned ledgers (must match the
+    /// one-shot CLI's cap for byte-identical documents).
+    pub ledger_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: None,
+            workers: 0,
+            request_threads: 1,
+            cache_per_shard: DEFAULT_CACHE_PER_SHARD,
+            ledger_cap: ccs_obs::ledger::DEFAULT_CAP,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            ccs_exec::available().min(4)
+        }
+    }
+}
+
+/// Counters reported by the shutdown response and [`Server::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered with a full body.
+    pub served: u64,
+    /// Requests answered `"cancelled"`.
+    pub cancelled: u64,
+    /// Lines answered `"error"`.
+    pub errors: u64,
+}
+
+struct Job {
+    req: Request,
+    cancel: CancelToken,
+    sink: Arc<dyn ResponseSink>,
+}
+
+/// What [`Engine::submit_line`] did with a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submit {
+    /// Queued for a worker (synth/analyze).
+    Queued,
+    /// Answered inline (ping, cancel, errors).
+    Handled,
+    /// A shutdown request: the caller must stop intake, drain, then
+    /// call [`Engine::shutdown_ack`] with this id and sink.
+    Shutdown(String),
+}
+
+/// The request engine: a priority queue of jobs, the in-flight cancel
+/// registry, and the per-library shared placement caches. Transport
+/// (stdin/TCP) lives in [`Server`]; the engine is transport-agnostic,
+/// which is what the interleaving tests exercise in-process.
+pub struct Engine {
+    queue: JobQueue<Job>,
+    inflight: Mutex<HashMap<String, CancelToken>>,
+    caches: Mutex<BTreeMap<u64, Arc<PlacementCache>>>,
+    request_threads: usize,
+    cache_per_shard: usize,
+    ledger_cap: usize,
+    served: AtomicU64,
+    cancelled: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("queued", &self.queue.len())
+            .field("summary", &self.summary())
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a over a byte string (the library fingerprint).
+fn fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Engine {
+    /// A fresh engine for `cfg`.
+    pub fn new(cfg: &ServeConfig) -> Arc<Engine> {
+        Arc::new(Engine {
+            queue: JobQueue::new(),
+            inflight: Mutex::new(HashMap::new()),
+            caches: Mutex::new(BTreeMap::new()),
+            request_threads: cfg.request_threads,
+            cache_per_shard: cfg.cache_per_shard.max(1),
+            ledger_cap: cfg.ledger_cap.max(1),
+            served: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The counters so far.
+    pub fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            served: self.served.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs queued but not yet picked up.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The shared placement cache for this library text, creating (and
+    /// bounding the library set) as needed.
+    fn cache_for(&self, library_text: &str) -> Arc<PlacementCache> {
+        let key = fingerprint(library_text);
+        let mut caches = self.caches.lock().unwrap_or_else(|e| e.into_inner());
+        let cache = caches
+            .entry(key)
+            .or_insert_with(|| Arc::new(PlacementCache::bounded(self.cache_per_shard)))
+            .clone();
+        while caches.len() > MAX_LIBRARIES {
+            // Deterministic bound: drop the largest fingerprint (the
+            // BTreeMap's last key), independent of arrival order.
+            let last = *caches.keys().next_back().expect("non-empty");
+            caches.remove(&last);
+        }
+        cache
+    }
+
+    /// Parses one line and dispatches it. Ping/cancel/errors are
+    /// answered inline; synth/analyze are queued.
+    pub fn submit_line(&self, line: &str, sink: &Arc<dyn ResponseSink>) -> Submit {
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                send_value(sink.as_ref(), &error_response(e.id.as_deref(), &e.message));
+                return Submit::Handled;
+            }
+        };
+        self.submit(req, sink)
+    }
+
+    /// Dispatches an already-parsed request.
+    pub fn submit(&self, req: Request, sink: &Arc<dyn ResponseSink>) -> Submit {
+        match req.kind {
+            RequestKind::Ping => {
+                let mut obj = response_base(&req.id, "ok");
+                obj.insert("kind".to_string(), Value::Str("ping".to_string()));
+                send_value(sink.as_ref(), &Value::Obj(obj));
+                Submit::Handled
+            }
+            RequestKind::Cancel => {
+                let target = req.target.as_deref().unwrap_or("");
+                let token = {
+                    let inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                    inflight.get(target).cloned()
+                };
+                let found = token.is_some();
+                if let Some(token) = token {
+                    token.cancel();
+                }
+                let mut obj = response_base(&req.id, "ok");
+                obj.insert("kind".to_string(), Value::Str("cancel".to_string()));
+                obj.insert("target".to_string(), Value::Str(target.to_string()));
+                obj.insert("found".to_string(), Value::Bool(found));
+                send_value(sink.as_ref(), &Value::Obj(obj));
+                Submit::Handled
+            }
+            RequestKind::Shutdown => Submit::Shutdown(req.id),
+            RequestKind::Synth | RequestKind::Analyze => {
+                let cancel = CancelToken::new();
+                {
+                    let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                    if inflight.contains_key(&req.id) {
+                        drop(inflight);
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        send_value(
+                            sink.as_ref(),
+                            &error_response(Some(&req.id), "duplicate in-flight id"),
+                        );
+                        return Submit::Handled;
+                    }
+                    inflight.insert(req.id.clone(), cancel.clone());
+                }
+                let priority = req.priority;
+                let id = req.id.clone();
+                let job = Job {
+                    req,
+                    cancel,
+                    sink: sink.clone(),
+                };
+                match self.queue.push(priority, job) {
+                    Ok(()) => Submit::Queued,
+                    Err(_job) => {
+                        self.inflight
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&id);
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        send_value(
+                            sink.as_ref(),
+                            &error_response(Some(&id), "server is shutting down"),
+                        );
+                        Submit::Handled
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops and runs jobs until the queue is closed and drained. Each
+    /// worker thread of the server runs this loop.
+    pub fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            self.run_job(job);
+        }
+    }
+
+    /// Stops intake: queued jobs still drain, new pushes are rejected.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Sends the final shutdown response (call after every worker has
+    /// drained).
+    pub fn shutdown_ack(&self, id: &str, sink: &Arc<dyn ResponseSink>) {
+        let s = self.summary();
+        let mut obj = response_base(id, "ok");
+        obj.insert("kind".to_string(), Value::Str("shutdown".to_string()));
+        obj.insert("served".to_string(), Value::Num(s.served as f64));
+        obj.insert("cancelled".to_string(), Value::Num(s.cancelled as f64));
+        obj.insert("errors".to_string(), Value::Num(s.errors as f64));
+        send_value(sink.as_ref(), &Value::Obj(obj));
+    }
+
+    fn run_job(&self, job: Job) {
+        let response = if job.cancel.is_cancelled() {
+            // Cancelled while still queued: never started, no body.
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            cancelled_response(&job.req)
+        } else {
+            self.execute(&job)
+        };
+        // Unregister before responding: a cancel that loses the race
+        // reports found=false rather than cancelling a finished id.
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job.req.id);
+        send_value(job.sink.as_ref(), &response);
+    }
+
+    /// Runs one synth/analyze job to a response value. The whole run
+    /// executes inside the request's observability scope, so its
+    /// metrics and ledger are exactly what a one-shot run of the same
+    /// request records.
+    fn execute(&self, job: &Job) -> Value {
+        let req = &job.req;
+        let fail = |msg: &str| {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(Some(&req.id), msg)
+        };
+        let graph = match io::instance_from_str(&req.instance) {
+            Ok(g) => g,
+            Err(e) => return fail(&format!("instance: {e}")),
+        };
+        let library = match io::library_from_str(&req.library) {
+            Ok(l) => l,
+            Err(e) => return fail(&format!("library: {e}")),
+        };
+
+        let collector = Collector::new();
+        let obs = RequestObs::new(
+            Some(collector.clone() as Arc<dyn Record>),
+            req.ledger.then_some(self.ledger_cap),
+        );
+        let guard = ccs_obs::scope::enter(obs.clone());
+
+        let threads = req.threads.unwrap_or(self.request_threads);
+        let mut cfg = SynthesisConfig::default();
+        if req.greedy {
+            cfg.cover = CoverStrategy::Greedy;
+        }
+        cfg.merge.max_k = req.max_k;
+        cfg.merge.lb_gate = req.lb_gate;
+        cfg.threads = threads;
+        cfg.cancel = job.cancel.clone();
+        cfg.shared_cache = Some(self.cache_for(&req.library));
+        let result = Synthesizer::new(&graph, &library).with_config(cfg).run();
+        let r = match result {
+            Ok(r) => r,
+            Err(SynthesisError::Cancelled) => {
+                drop(guard);
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                return cancelled_response(req);
+            }
+            Err(e) => {
+                drop(guard);
+                return fail(&e.to_string());
+            }
+        };
+
+        let mut sections: Vec<(&str, Value)> =
+            vec![("topology", report::topology_json(&r, &graph, &library))];
+        if req.kind == RequestKind::Analyze {
+            use ccs_netsim::resilience;
+            if job.cancel.is_cancelled() {
+                drop(guard);
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                return cancelled_response(req);
+            }
+            let exec = Executor::new(threads);
+            let mut rcfg = resilience::ResilienceConfig {
+                max_k: req.fail_k.unwrap_or(1).max(1),
+                ..Default::default()
+            };
+            if let Some(b) = req.scenario_budget {
+                rcfg.scenario_budget = b;
+            }
+            let sweep = resilience::analyze(&graph, &r.implementation, &rcfg, &exec);
+            let mut doc = resilience::resilience_json(&sweep);
+            if let Some(pct) = req.max_cost_overhead {
+                let budget = pct / 100.0;
+                let points = match resilience::cost_resilience_frontier(&graph, &library, &r, &exec)
+                {
+                    Ok(p) => p,
+                    Err(e) => {
+                        drop(guard);
+                        return fail(&e.to_string());
+                    }
+                };
+                let chosen = resilience::pick_within_overhead(&points, budget);
+                if let Value::Obj(map) = &mut doc {
+                    map.insert(
+                        "frontier".to_string(),
+                        resilience::frontier_json(&points, chosen, Some(budget)),
+                    );
+                }
+            }
+            sections.push(("resilience", doc));
+        }
+
+        // Stop recording before snapshotting so the response's metrics
+        // document is complete and stable.
+        drop(guard);
+        let mut metrics = collector.snapshot().to_json();
+        if let Value::Obj(map) = &mut metrics {
+            for (name, section) in sections {
+                map.insert(name.to_string(), section);
+            }
+        }
+        let mut obj = response_base(&req.id, "ok");
+        obj.insert("kind".to_string(), Value::Str(req.kind.id().to_string()));
+        obj.insert("metrics".to_string(), metrics);
+        if req.ledger {
+            if let Some(ledger) = obs.take_ledger() {
+                obj.insert("ledger".to_string(), ledger.to_json());
+            }
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Value::Obj(obj)
+    }
+}
+
+/// (shutdown id, sink to answer on) once a shutdown request arrives.
+type PendingShutdown = Option<(String, Arc<dyn ResponseSink>)>;
+
+/// The daemon: an [`Engine`] plus a transport (stdin or TCP).
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: Option<TcpListener>,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Builds the server, binding the TCP listener when
+    /// [`ServeConfig::listen`] is set (port 0 picks a free port;
+    /// [`Server::local_addr`] reports the resolved address).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when binding fails.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, String> {
+        let listener = match &cfg.listen {
+            Some(addr) => {
+                Some(TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?)
+            }
+            None => None,
+        };
+        Ok(Server {
+            engine: Engine::new(&cfg),
+            listener,
+            cfg,
+        })
+    }
+
+    /// The bound TCP address, in TCP mode.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The engine (for in-process drivers and tests).
+    pub fn engine(&self) -> Arc<Engine> {
+        self.engine.clone()
+    }
+
+    /// Runs the serve loop to completion (EOF on stdin, or a shutdown
+    /// request) and returns the final counters. In TCP mode the
+    /// resolved listen address is announced on stdout as one
+    /// `ccs serve: listening on ADDR` line before accepting.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on transport failure.
+    pub fn run(self) -> Result<ServeSummary, String> {
+        let workers = self.cfg.resolved_workers();
+        let engine = self.engine;
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let engine = engine.clone();
+            handles.push(std::thread::spawn(move || engine.worker_loop()));
+        }
+
+        // (shutdown id, sink to answer on) once a shutdown arrives.
+        let pending_shutdown: PendingShutdown = match self.listener {
+            None => {
+                let sink: Arc<dyn ResponseSink> = WriterSink::new(std::io::stdout());
+                let stdin = std::io::stdin();
+                let mut pending = None;
+                for line in stdin.lock().lines() {
+                    let line = line.map_err(|e| format!("stdin: {e}"))?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match engine.submit_line(&line, &sink) {
+                        Submit::Shutdown(id) => {
+                            pending = Some((id, sink.clone()));
+                            break;
+                        }
+                        Submit::Queued | Submit::Handled => {}
+                    }
+                }
+                pending
+            }
+            Some(listener) => {
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| format!("listener address: {e}"))?;
+                {
+                    let mut out = std::io::stdout();
+                    let _ = writeln!(out, "ccs serve: listening on {addr}");
+                    let _ = out.flush();
+                }
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| format!("listener: {e}"))?;
+                let stop = Arc::new(AtomicBool::new(false));
+                let pending: Arc<Mutex<PendingShutdown>> = Arc::new(Mutex::new(None));
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let engine = engine.clone();
+                            let stop = stop.clone();
+                            let pending = pending.clone();
+                            // Readers block on their own sockets; they
+                            // are not joined — the process (or test)
+                            // ends with connections closed by peers.
+                            std::thread::spawn(move || {
+                                serve_connection(&engine, stream, &stop, &pending);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => return Err(format!("accept: {e}")),
+                    }
+                }
+                let taken = pending.lock().unwrap_or_else(|e| e.into_inner()).take();
+                taken
+            }
+        };
+
+        // Drain: no new jobs, queued ones finish, workers exit.
+        engine.close();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some((id, sink)) = pending_shutdown {
+            engine.shutdown_ack(&id, &sink);
+        }
+        Ok(engine.summary())
+    }
+}
+
+fn serve_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    pending: &Mutex<PendingShutdown>,
+) {
+    // Accepted sockets must block regardless of the listener's mode.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let sink: Arc<dyn ResponseSink> = WriterSink::new(write_half);
+    let reader = std::io::BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match engine.submit_line(&line, &sink) {
+            Submit::Shutdown(id) => {
+                *pending.lock().unwrap_or_else(|e| e.into_inner()) = Some((id, sink.clone()));
+                stop.store(true, Ordering::Release);
+                return;
+            }
+            Submit::Queued | Submit::Handled => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink collecting complete lines for assertions.
+    #[derive(Default)]
+    struct VecSink {
+        lines: Mutex<Vec<String>>,
+    }
+
+    impl VecSink {
+        fn new() -> Arc<VecSink> {
+            Arc::new(VecSink::default())
+        }
+        fn lines(&self) -> Vec<String> {
+            self.lines.lock().unwrap().clone()
+        }
+        fn parsed(&self) -> Vec<Value> {
+            self.lines()
+                .iter()
+                .map(|l| json::parse(l).expect("valid response JSON"))
+                .collect()
+        }
+    }
+
+    impl ResponseSink for VecSink {
+        fn send_line(&self, line: &str) {
+            assert!(line.ends_with('\n'));
+            self.lines.lock().unwrap().push(line.trim_end().to_string());
+        }
+    }
+
+    fn wan_instance(seed: u64) -> String {
+        let cfg = ccs_gen::random::ClusteredWanConfig {
+            seed,
+            channels: 6,
+            ..Default::default()
+        };
+        io::instance_to_string(&ccs_gen::random::clustered_wan(&cfg))
+    }
+
+    fn wan_library() -> String {
+        io::library_to_string(&ccs_core::library::wan_paper_library())
+    }
+
+    fn synth_line(id: &str, seed: u64) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema".to_string(), Value::Str(REQUEST_SCHEMA.to_string()));
+        obj.insert("id".to_string(), Value::Str(id.to_string()));
+        obj.insert("kind".to_string(), Value::Str("synth".to_string()));
+        obj.insert("instance".to_string(), Value::Str(wan_instance(seed)));
+        obj.insert("library".to_string(), Value::Str(wan_library()));
+        obj.insert("ledger".to_string(), Value::Bool(true));
+        let mut line = String::new();
+        Value::Obj(obj).write_compact(&mut line);
+        line
+    }
+
+    #[test]
+    fn parse_request_validates() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"id\":\"x\"}")
+            .unwrap_err()
+            .message
+            .contains("schema"));
+        let missing_kind =
+            parse_request("{\"schema\":\"ccs-request-v1\",\"id\":\"x\"}").unwrap_err();
+        assert_eq!(missing_kind.id.as_deref(), Some("x"));
+        let ping = parse_request("{\"schema\":\"ccs-request-v1\",\"id\":\"p\",\"kind\":\"ping\"}")
+            .unwrap();
+        assert_eq!(ping.kind, RequestKind::Ping);
+        assert!(ping.lb_gate, "lb_gate defaults on");
+        let cancel = parse_request(
+            "{\"schema\":\"ccs-request-v1\",\"id\":\"c\",\"kind\":\"cancel\",\"target\":\"r1\"}",
+        )
+        .unwrap();
+        assert_eq!(cancel.target.as_deref(), Some("r1"));
+        assert!(
+            parse_request("{\"schema\":\"ccs-request-v1\",\"id\":\"c\",\"kind\":\"cancel\"}")
+                .is_err()
+        );
+        assert!(
+            parse_request("{\"schema\":\"ccs-request-v1\",\"id\":\"s\",\"kind\":\"synth\"}")
+                .unwrap_err()
+                .message
+                .contains("instance")
+        );
+    }
+
+    #[test]
+    fn ping_and_errors_answer_inline() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(
+                "{\"schema\":\"ccs-request-v1\",\"id\":\"p\",\"kind\":\"ping\"}",
+                &dyn_sink
+            ),
+            Submit::Handled
+        );
+        assert_eq!(engine.submit_line("garbage", &dyn_sink), Submit::Handled);
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(docs[0].get("kind").unwrap().as_str(), Some("ping"));
+        assert_eq!(docs[1].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(docs[1].get("id"), Some(&Value::Null));
+        assert_eq!(engine.summary().errors, 1);
+    }
+
+    #[test]
+    fn synth_request_serves_topology_metrics_and_ledger() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(&synth_line("r1", 7), &dyn_sink),
+            Submit::Queued
+        );
+        engine.close();
+        engine.worker_loop();
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 1);
+        let resp = &docs[0];
+        assert_eq!(resp.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
+        assert_eq!(resp.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        let metrics = resp.get("metrics").expect("metrics embedded");
+        assert_eq!(
+            metrics.get("schema").unwrap().as_str(),
+            Some(ccs_obs::METRICS_SCHEMA)
+        );
+        let topo = metrics.get("topology").expect("topology embedded");
+        assert_eq!(
+            topo.get("schema").unwrap().as_str(),
+            Some(report::TOPOLOGY_SCHEMA)
+        );
+        let ledger = resp.get("ledger").expect("ledger requested");
+        assert_eq!(
+            ledger.get("schema").unwrap().as_str(),
+            Some(ccs_obs::ledger::LEDGER_SCHEMA)
+        );
+        assert_eq!(engine.summary().served, 1);
+    }
+
+    #[test]
+    fn cancelled_queued_request_has_no_body() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        engine.submit_line(&synth_line("victim", 3), &dyn_sink);
+        // Cancel while still queued (no worker is running).
+        engine.submit_line(
+            "{\"schema\":\"ccs-request-v1\",\"id\":\"c\",\"kind\":\"cancel\",\"target\":\"victim\"}",
+            &dyn_sink,
+        );
+        engine.close();
+        engine.worker_loop();
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 2);
+        let cancel_resp = &docs[0];
+        assert_eq!(cancel_resp.get("found"), Some(&Value::Bool(true)));
+        let victim = &docs[1];
+        assert_eq!(victim.get("status").unwrap().as_str(), Some("cancelled"));
+        assert!(victim.get("metrics").is_none(), "no body after cancel");
+        assert!(victim.get("ledger").is_none());
+        assert!(victim.get("topology").is_none());
+        assert_eq!(engine.summary().cancelled, 1);
+        assert_eq!(engine.summary().served, 0);
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_reports_not_found() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        engine.submit_line(
+            "{\"schema\":\"ccs-request-v1\",\"id\":\"c\",\"kind\":\"cancel\",\"target\":\"ghost\"}",
+            &dyn_sink,
+        );
+        let docs = sink.parsed();
+        assert_eq!(docs[0].get("found"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn duplicate_in_flight_id_is_rejected() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 1), &dyn_sink),
+            Submit::Queued
+        );
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 1), &dyn_sink),
+            Submit::Handled
+        );
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].get("status").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn priorities_order_the_drain() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        let mut low = json::parse(&synth_line("low", 2)).unwrap();
+        if let Value::Obj(m) = &mut low {
+            m.insert("priority".to_string(), Value::Num(0.0));
+        }
+        let mut high = json::parse(&synth_line("high", 2)).unwrap();
+        if let Value::Obj(m) = &mut high {
+            m.insert("priority".to_string(), Value::Num(9.0));
+        }
+        let mut line = String::new();
+        low.write_compact(&mut line);
+        engine.submit_line(&line, &dyn_sink);
+        line.clear();
+        high.write_compact(&mut line);
+        engine.submit_line(&line, &dyn_sink);
+        engine.close();
+        engine.worker_loop();
+        let docs = sink.parsed();
+        assert_eq!(docs[0].get("id").unwrap().as_str(), Some("high"));
+        assert_eq!(docs[1].get("id").unwrap().as_str(), Some("low"));
+    }
+
+    #[test]
+    fn served_response_matches_a_solo_run_byte_for_byte() {
+        let line = synth_line("solo", 11);
+        let serve_once = || {
+            let engine = Engine::new(&ServeConfig::default());
+            let sink = VecSink::new();
+            let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+            engine.submit_line(&line, &dyn_sink);
+            engine.close();
+            engine.worker_loop();
+            let doc = sink.parsed().remove(0);
+            let mut topo = String::new();
+            doc.get("metrics")
+                .unwrap()
+                .get("topology")
+                .unwrap()
+                .write_compact(&mut topo);
+            let mut ledger = String::new();
+            doc.get("ledger").unwrap().write_compact(&mut ledger);
+            (topo, ledger)
+        };
+        let (t1, l1) = serve_once();
+        let (t2, l2) = serve_once();
+        assert_eq!(t1, t2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn shared_cache_is_keyed_per_library() {
+        let engine = Engine::new(&ServeConfig::default());
+        let a = engine.cache_for("library a");
+        let b = engine.cache_for("library b");
+        let a2 = engine.cache_for("library a");
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        // The library set stays bounded.
+        for i in 0..100 {
+            engine.cache_for(&format!("library {i}"));
+        }
+        assert!(engine.caches.lock().unwrap().len() <= MAX_LIBRARIES);
+    }
+
+    #[test]
+    fn tcp_round_trip_with_shutdown_ack_last() {
+        let server = Server::bind(ServeConfig {
+            listen: Some("127.0.0.1:0".to_string()),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        for (id, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            writeln!(writer, "{}", synth_line(id, seed)).unwrap();
+        }
+        writeln!(
+            writer,
+            "{{\"schema\":\"ccs-request-v1\",\"id\":\"bye\",\"kind\":\"shutdown\"}}"
+        )
+        .unwrap();
+        let mut lines = Vec::new();
+        let mut buf = String::new();
+        use std::io::BufRead as _;
+        while reader.read_line(&mut buf).unwrap() > 0 {
+            lines.push(buf.trim_end().to_string());
+            buf.clear();
+        }
+        assert_eq!(lines.len(), 4, "three responses plus the shutdown ack");
+        let last = json::parse(&lines[3]).unwrap();
+        assert_eq!(last.get("id").unwrap().as_str(), Some("bye"));
+        assert_eq!(last.get("kind").unwrap().as_str(), Some("shutdown"));
+        assert_eq!(last.get("served").unwrap().as_num(), Some(3.0));
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.served, 3);
+        assert_eq!(summary.errors, 0);
+    }
+}

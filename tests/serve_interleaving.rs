@@ -1,0 +1,190 @@
+//! Request-interleaving determinism of the `ccs serve` engine: a
+//! request's topology and ledger documents must be byte-identical (in
+//! compact form) whether the request is served alone, concurrently with
+//! the rest of its batch on one worker or four, in any submission
+//! order — and equal to a one-shot run of the same synthesis.
+//!
+//! A cancelled request must never write a response body: no metrics,
+//! no topology, no ledger.
+
+use ccs::core::report;
+use ccs::core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs::gen::io;
+use ccs::gen::random::{clustered_wan, ClusteredWanConfig};
+use ccs::gen::wan;
+use ccs::obs::json::{self, Value};
+use ccs::obs::scope::RequestObs;
+use ccs::serve::{Engine, Request, RequestKind, ResponseSink, ServeConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct CollectSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl ResponseSink for CollectSink {
+    fn send_line(&self, line: &str) {
+        self.lines.lock().unwrap().push(line.trim_end().to_string());
+    }
+}
+
+fn compact(v: &Value) -> String {
+    let mut s = String::new();
+    v.write_compact(&mut s);
+    s
+}
+
+fn instance_text(seed: u64, channels: usize) -> String {
+    let cfg = ClusteredWanConfig {
+        seed,
+        channels,
+        ..Default::default()
+    };
+    io::instance_to_string(&clustered_wan(&cfg))
+}
+
+fn library_text() -> String {
+    io::library_to_string(&wan::paper_library())
+}
+
+fn synth_request(id: &str, seed: u64, threads: usize) -> Request {
+    Request {
+        id: id.to_string(),
+        kind: RequestKind::Synth,
+        instance: instance_text(seed, 5),
+        library: library_text(),
+        priority: 0,
+        threads: Some(threads),
+        greedy: false,
+        max_k: None,
+        lb_gate: true,
+        ledger: true,
+        fail_k: None,
+        scenario_budget: None,
+        max_cost_overhead: None,
+        target: None,
+    }
+}
+
+/// Serves `reqs` on `workers` threads; returns id -> (topology, ledger)
+/// in compact form.
+fn serve_batch(reqs: &[Request], workers: usize) -> BTreeMap<String, (String, String)> {
+    let engine = Engine::new(&ServeConfig::default());
+    let sink = Arc::new(CollectSink::default());
+    let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+    for req in reqs {
+        engine.submit(req.clone(), &dyn_sink);
+    }
+    engine.close();
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let engine = engine.clone();
+        handles.push(std::thread::spawn(move || engine.worker_loop()));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut out = BTreeMap::new();
+    for line in sink.lines.lock().unwrap().iter() {
+        let doc = json::parse(line).expect("valid response");
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"), "{line}");
+        let id = doc.get("id").unwrap().as_str().unwrap().to_string();
+        let topo = compact(doc.get("metrics").unwrap().get("topology").unwrap());
+        let ledger = compact(doc.get("ledger").unwrap());
+        out.insert(id, (topo, ledger));
+    }
+    out
+}
+
+/// The one-shot reference: a direct synthesis run with a scoped ledger,
+/// exactly what `ccs synth --ledger` records for this request.
+fn one_shot(req: &Request) -> (String, String) {
+    let g = io::instance_from_str(&req.instance).unwrap();
+    let lib = io::library_from_str(&req.library).unwrap();
+    let obs = RequestObs::new(None, Some(ccs::obs::ledger::DEFAULT_CAP));
+    let guard = ccs::obs::scope::enter(obs.clone());
+    let cfg = SynthesisConfig {
+        threads: 1,
+        ..SynthesisConfig::default()
+    };
+    let r = Synthesizer::new(&g, &lib).with_config(cfg).run().unwrap();
+    drop(guard);
+    let topo = compact(&report::topology_json(&r, &g, &lib));
+    let ledger = compact(&obs.take_ledger().unwrap().to_json());
+    (topo, ledger)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any permutation of the batch, on one worker or four, yields the
+    /// same per-request documents as serving each request alone — and
+    /// as a one-shot run.
+    #[test]
+    fn served_documents_are_interleaving_invariant(
+        seeds in proptest::collection::vec(1u64..500, 2..5),
+        perm_seed in 0u64..1_000_000,
+        threads in 1usize..3,
+    ) {
+        let mut reqs: Vec<Request> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| synth_request(&format!("r{i}"), seed, threads))
+            .collect();
+        // Fisher–Yates on a splitmix stream: submission order is a
+        // random permutation of the batch.
+        let mut state = perm_seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..reqs.len()).rev() {
+            reqs.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+
+        let one_worker = serve_batch(&reqs, 1);
+        let four_workers = serve_batch(&reqs, 4);
+        prop_assert_eq!(&one_worker, &four_workers);
+
+        for req in &reqs {
+            let alone = serve_batch(std::slice::from_ref(req), 1);
+            prop_assert_eq!(&alone[&req.id], &one_worker[&req.id]);
+            let reference = one_shot(req);
+            prop_assert_eq!(&reference, &one_worker[&req.id]);
+        }
+    }
+}
+
+#[test]
+fn cancelled_request_never_writes_a_body() {
+    let engine = Engine::new(&ServeConfig::default());
+    let sink = Arc::new(CollectSink::default());
+    let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+    let victim = synth_request("victim", 7, 1);
+    engine.submit(victim, &dyn_sink);
+    engine.submit(
+        Request {
+            id: "c".to_string(),
+            kind: RequestKind::Cancel,
+            target: Some("victim".to_string()),
+            ..synth_request("c", 0, 1)
+        },
+        &dyn_sink,
+    );
+    engine.close();
+    engine.worker_loop();
+    let lines = sink.lines.lock().unwrap().clone();
+    assert_eq!(lines.len(), 2, "cancel ack + cancelled response");
+    let resp = json::parse(&lines[1]).unwrap();
+    assert_eq!(resp.get("id").unwrap().as_str(), Some("victim"));
+    assert_eq!(resp.get("status").unwrap().as_str(), Some("cancelled"));
+    assert!(resp.get("metrics").is_none());
+    assert!(resp.get("topology").is_none());
+    assert!(resp.get("ledger").is_none());
+    assert!(resp.get("error").is_none());
+}
