@@ -17,7 +17,8 @@
 use ccs_core::constraint::ConstraintGraph;
 use ccs_core::library::Library;
 use ccs_core::matrices::DistanceMatrices;
-use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_core::synthesis::{Edit, SynthesisConfig, SynthesisSession, Synthesizer};
+use ccs_core::units::Bandwidth;
 use ccs_obs::json::Value;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -48,6 +49,22 @@ enum Work {
     /// count is the worker-slot count); reports request throughput and
     /// p99 latency as extra `serve` metrics.
     Serve,
+    /// A cold `SynthesisSession` fill followed by a warm single-arc
+    /// rate edit; reports both wall times as extra `resynth` metrics.
+    /// [`compare`] gates the ratio: the warm re-synthesis must stay
+    /// under a tenth of the cold run.
+    ResynthWarm,
+}
+
+impl Work {
+    /// Thread-entry key the workload's extra metrics are filed under.
+    fn extras_section(&self) -> &'static str {
+        match self {
+            Work::Serve => "serve",
+            Work::ResynthWarm => "resynth",
+            _ => "extras",
+        }
+    }
 }
 
 fn paper_wan() -> (ConstraintGraph, Library, SynthesisConfig) {
@@ -114,6 +131,11 @@ fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
             name: "serve_engine",
             build: paper_wan, // unused; the serve load builds its own batch
             work: Work::Serve,
+        },
+        Case {
+            name: "resynth_warm",
+            build: seeded_wan,
+            work: Work::ResynthWarm,
         },
     ];
     match preset {
@@ -182,6 +204,30 @@ fn run_case(case: &Case, threads: usize) -> Result<CaseRun, String> {
             Ok(CaseRun::counters(r.stats.counters))
         }
         Work::Serve => serve_load(threads),
+        Work::ResynthWarm => {
+            let mut session = SynthesisSession::new(graph, library, config);
+            let t0 = Instant::now();
+            session
+                .resynthesize(&[])
+                .map_err(|e| format!("{} (cold): {e}", case.name))?;
+            let cold_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let edit = Edit::ArcRate {
+                arc: 2,
+                bandwidth: Bandwidth::from_mbps(25.0),
+            };
+            let t1 = Instant::now();
+            let r = session
+                .resynthesize(&[edit])
+                .map_err(|e| format!("{} (warm): {e}", case.name))?;
+            let warm_ns = u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let mut extras = BTreeMap::new();
+            extras.insert("cold_ns".to_string(), cold_ns);
+            extras.insert("warm_ns".to_string(), warm_ns);
+            Ok(CaseRun {
+                counters: r.stats.counters,
+                extras,
+            })
+        }
     }
 }
 
@@ -229,6 +275,8 @@ fn serve_load(workers: usize) -> Result<CaseRun, String> {
                 scenario_budget: None,
                 max_cost_overhead: None,
                 target: None,
+                session: None,
+                edits: Vec::new(),
             }
         })
         .collect();
@@ -350,12 +398,15 @@ pub fn run_preset(preset: &str, reps: usize, threads: &[usize]) -> Result<Value,
             entry.insert("wall_ns".to_string(), Value::Obj(wall_obj));
             entry.insert("alloc".to_string(), Value::Obj(alloc_obj));
             if !extra_samples.is_empty() {
-                let mut serve_obj = BTreeMap::new();
+                let mut extras_obj = BTreeMap::new();
                 for (k, mut samples) in extra_samples {
                     samples.sort_unstable();
-                    serve_obj.insert(format!("{k}_median"), num(median_u64(&samples)));
+                    extras_obj.insert(format!("{k}_median"), num(median_u64(&samples)));
                 }
-                entry.insert("serve".to_string(), Value::Obj(serve_obj));
+                entry.insert(
+                    case.work.extras_section().to_string(),
+                    Value::Obj(extras_obj),
+                );
             }
             threads_obj.insert(format!("t{t}"), Value::Obj(entry));
         }
@@ -435,6 +486,12 @@ fn lookup<'v>(doc: &'v Value, path: &[&str]) -> Option<&'v Value> {
     Some(v)
 }
 
+/// Warm re-synthesis must finish inside this fraction of the cold run
+/// for the incremental engine to count as incremental at all. Enforced
+/// on the *current* document by [`compare`], independent of any
+/// baseline drift.
+pub const RESYNTH_WARM_MAX_FRACTION: f64 = 0.10;
+
 /// Compares `current` against `baseline` (both `ccs-bench-v1`).
 /// Returns every metric of the baseline whose current value exceeds it
 /// by more than the applicable tolerance (`wall_tol_pct` for wall
@@ -442,6 +499,12 @@ fn lookup<'v>(doc: &'v Value, path: &[&str]) -> Option<&'v Value> {
 /// count; getting faster is never a regression. Extra cases in
 /// `current` are ignored; a baseline case or thread count missing from
 /// `current` is an error (the gate must not silently shrink).
+///
+/// Additionally gates the current document's own `resynth` sections:
+/// wherever a thread entry reports `cold_ns_median`/`warm_ns_median`,
+/// the warm time must stay under [`RESYNTH_WARM_MAX_FRACTION`] of the
+/// cold time — a warm-started re-synthesis that costs as much as a
+/// cold run is a regression even if the baseline had the same defect.
 ///
 /// # Errors
 ///
@@ -479,9 +542,11 @@ pub fn compare(
     // baseline metric missing from `current` is an error like any
     // other. `higher_is_better` flips the regression direction
     // (throughput figures regress by shrinking).
-    let optional: [(&[&str], bool); 2] = [
+    let optional: [(&[&str], bool); 4] = [
         (&["serve", "p99_ns_median"], false),
         (&["serve", "req_per_sec_median"], true),
+        (&["resynth", "cold_ns_median"], false),
+        (&["resynth", "warm_ns_median"], false),
     ];
 
     let mut regressions = Vec::new();
@@ -530,8 +595,17 @@ pub fn compare(
                 let cur_v = lookup(cur_entry, path)
                     .and_then(Value::as_num)
                     .ok_or_else(|| format!("current {case}/{tkey}: missing {metric}"))?;
-                if base_v <= 0.0 || cur_v <= 0.0 {
+                if base_v <= 0.0 {
+                    // No meaningful baseline ratio; nothing to gate.
                     continue;
+                }
+                if cur_v <= 0.0 {
+                    // A metric the baseline tracked has zeroed out —
+                    // the workload silently stopped measuring it, which
+                    // must fail loudly rather than slip past the gate.
+                    return Err(format!(
+                        "current {case}/{tkey}: {metric} is {cur_v} but baseline recorded {base_v}"
+                    ));
                 }
                 let worse = if *higher_is_better {
                     cur_v < base_v / (1.0 + wall_tol_pct / 100.0)
@@ -551,6 +625,43 @@ pub fn compare(
                         baseline: base_v,
                         current: cur_v,
                         change_pct: (ratio - 1.0) * 100.0,
+                    });
+                }
+            }
+        }
+    }
+
+    // Property gate on the current run: warm re-synthesis must stay
+    // under RESYNTH_WARM_MAX_FRACTION of the cold fill. Checked on
+    // `current` (not against the baseline) so a slow warm path fails
+    // even on the run that first introduces it.
+    if let Some(cur_cases) = current.get("cases").and_then(Value::as_obj) {
+        for (case, cur_case) in cur_cases {
+            let Some(cur_threads) = cur_case.get("threads").and_then(Value::as_obj) else {
+                continue;
+            };
+            for (tkey, entry) in cur_threads {
+                let cold = lookup(entry, &["resynth", "cold_ns_median"]).and_then(Value::as_num);
+                let warm = lookup(entry, &["resynth", "warm_ns_median"]).and_then(Value::as_num);
+                let (Some(cold), Some(warm)) = (cold, warm) else {
+                    continue;
+                };
+                if cold <= 0.0 {
+                    return Err(format!(
+                        "current {case}/{tkey}: resynth.cold_ns_median is {cold}; \
+                         cannot gate the warm/cold ratio"
+                    ));
+                }
+                let cap_pct = RESYNTH_WARM_MAX_FRACTION * 100.0;
+                let pct = warm / cold * 100.0;
+                if pct >= cap_pct {
+                    regressions.push(Regression {
+                        case: case.clone(),
+                        threads: tkey.clone(),
+                        metric: "resynth.warm_pct_of_cold".to_string(),
+                        baseline: cap_pct,
+                        current: pct,
+                        change_pct: (pct / cap_pct - 1.0) * 100.0,
                     });
                 }
             }
@@ -667,6 +778,61 @@ mod tests {
     }
 
     #[test]
+    fn optional_metric_zeroing_out_is_an_error() {
+        // Baseline tracked a positive p99; the current run reports 0 —
+        // the workload silently stopped measuring. Must error, not skip.
+        let base = serve_doc(1_000_000, 500_000, 100);
+        let zeroed = serve_doc(1_000_000, 0, 100);
+        let err = compare(&base, &zeroed, 10.0, 10.0).unwrap_err();
+        assert!(err.contains("p99_ns_median"), "{err}");
+        // The other direction stays a skip: a zero *baseline* has no
+        // meaningful ratio, and the current positive value is progress.
+        assert!(compare(&zeroed, &base, 10.0, 10.0).unwrap().is_empty());
+    }
+
+    fn resynth_doc(cold: u64, warm: u64) -> Value {
+        let text = format!(
+            r#"{{"schema":"ccs-bench-v1","preset":"quick","reps":3,
+                "cases":{{"resynth_warm":{{"threads":{{"t1":{{
+                    "wall_ns":{{"median":{},"iqr":0,"min":{},"max":{}}},
+                    "alloc":{{"allocs_median":10,"alloc_bytes_median":640}},
+                    "resynth":{{"cold_ns_median":{cold},"warm_ns_median":{warm}}}
+                }}}}}}}}}}"#,
+            cold + warm,
+            cold + warm,
+            cold + warm
+        );
+        ccs_obs::json::parse(&text).expect("valid test doc")
+    }
+
+    #[test]
+    fn resynth_warm_ratio_gates_the_current_document() {
+        // Comfortably incremental: 1% of cold passes.
+        let good = resynth_doc(1_000_000, 10_000);
+        assert!(compare(&good, &good, 10.0, 10.0).unwrap().is_empty());
+        // Warm at 50% of cold fails the property gate even when the
+        // baseline carries the identical defect.
+        let bad = resynth_doc(1_000_000, 500_000);
+        let regs = compare(&bad, &bad, 1000.0, 1000.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "resynth.warm_pct_of_cold");
+        assert_eq!(regs[0].case, "resynth_warm");
+        assert!((regs[0].current - 50.0).abs() < 1e-9);
+        // Exactly at the cap is still a failure (strictly under).
+        let at_cap = resynth_doc(1_000_000, 100_000);
+        assert_eq!(compare(&good, &at_cap, 1000.0, 1000.0).unwrap().len(), 1);
+        // A zero cold median cannot be gated: error.
+        let degenerate = resynth_doc(0, 0);
+        assert!(compare(&good, &degenerate, 10.0, 10.0).is_err());
+        // Warm-time regression against the baseline is also gated (the
+        // optional-metric path): warm doubling beyond tolerance reports.
+        let slower_warm = resynth_doc(1_000_000, 20_000);
+        let regs = compare(&good, &slower_warm, 10.0, 10.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "resynth.warm_ns_median");
+    }
+
+    #[test]
     fn zero_baseline_metrics_are_skipped() {
         let base = tiny_doc(1_000_000, 0); // untracked allocator
         let cur = tiny_doc(1_000_000, 9_999_999);
@@ -703,6 +869,7 @@ mod tests {
             "matrices_seeded",
             "resilience_n1",
             "serve_engine",
+            "resynth_warm",
         ] {
             let case = cases.get(name).unwrap_or_else(|| panic!("case {name}"));
             let t1 = case.get("threads").and_then(|t| t.get("t1")).expect("t1");
@@ -738,6 +905,35 @@ mod tests {
                         "{metric} must be positive"
                     );
                 }
+            }
+            if name == "resynth_warm" {
+                let resynth = t1.get("resynth").expect("resynth metrics");
+                let cold = resynth
+                    .get("cold_ns_median")
+                    .and_then(Value::as_num)
+                    .expect("cold_ns_median");
+                let warm = resynth
+                    .get("warm_ns_median")
+                    .and_then(Value::as_num)
+                    .expect("warm_ns_median");
+                assert!(cold > 0.0 && warm > 0.0);
+                assert!(
+                    warm < cold * RESYNTH_WARM_MAX_FRACTION,
+                    "warm re-synthesis must beat {}% of cold (warm {warm}ns, cold {cold}ns)",
+                    RESYNTH_WARM_MAX_FRACTION * 100.0
+                );
+                let counters = case
+                    .get("counters")
+                    .and_then(Value::as_obj)
+                    .expect("counters");
+                assert!(
+                    counters
+                        .get("resynth.p2p_reused")
+                        .and_then(Value::as_num)
+                        .map(|n| n > 0.0)
+                        .unwrap_or(false),
+                    "the warm run must actually reuse p2p candidates"
+                );
             }
         }
         // Identity comparison of a real document is clean.

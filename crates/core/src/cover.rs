@@ -69,7 +69,28 @@ pub fn select(
     n_arcs: usize,
     strategy: CoverStrategy,
 ) -> Result<CoverOutcome, SynthesisError> {
-    select_excluding(candidates, n_arcs, strategy, |_, _| false)
+    select_inner(candidates, n_arcs, strategy, |_, _| false, None)
+}
+
+/// Like [`select`], but warm-starts the exact solver from `seed` — the
+/// candidate indices of a known feasible cover (typically the previous
+/// selection of an incremental re-synthesis session). The seed bounds
+/// the branch-and-bound search; it never changes the returned
+/// selection, which stays bit-identical to an unseeded [`select`]
+/// (see [`ccs_covering::CoverMatrix::solve_exact_seeded`]). An invalid
+/// or infeasible seed is ignored. Non-exact strategies ignore the seed
+/// entirely.
+///
+/// # Errors
+///
+/// As [`select`].
+pub fn select_seeded(
+    candidates: &[Candidate],
+    n_arcs: usize,
+    strategy: CoverStrategy,
+    seed: Option<&[usize]>,
+) -> Result<CoverOutcome, SynthesisError> {
+    select_inner(candidates, n_arcs, strategy, |_, _| false, seed)
 }
 
 /// Like [`select`], but removes every candidate for which `excluded`
@@ -93,6 +114,19 @@ pub fn select_excluding<F>(
 where
     F: Fn(usize, &Candidate) -> bool,
 {
+    select_inner(candidates, n_arcs, strategy, excluded, None)
+}
+
+fn select_inner<F>(
+    candidates: &[Candidate],
+    n_arcs: usize,
+    strategy: CoverStrategy,
+    excluded: F,
+    seed: Option<&[usize]>,
+) -> Result<CoverOutcome, SynthesisError>
+where
+    F: Fn(usize, &Candidate) -> bool,
+{
     let full = build_matrix(candidates, n_arcs);
     let excluded_cols: Vec<usize> = candidates
         .iter()
@@ -111,9 +145,15 @@ where
         ccs_obs::counter("covering.excluded_cols", excluded_cols.len() as u64);
     }
     let profile_solve = ccs_obs::profile::scope("solve_cover");
+    // The seed's indices live in the candidate (= unexcluded column)
+    // index space, so it only applies when no column was removed.
+    let seed = seed.filter(|_| excluded_cols.is_empty());
     let (cover, stats) = match strategy {
         CoverStrategy::Exact => {
-            let (c, s) = m.solve_exact_with_stats()?;
+            let (c, s) = match seed {
+                Some(seed_cols) => m.solve_exact_seeded(seed_cols)?,
+                None => m.solve_exact_with_stats()?,
+            };
             (c, Some(s))
         }
         CoverStrategy::Greedy => (m.solve_greedy()?, None),
@@ -132,6 +172,7 @@ where
             ccs_obs::counter("covering.dominated_columns", s.dominated_columns);
             ccs_obs::counter("covering.dominated_rows", s.dominated_rows);
             ccs_obs::counter("covering.bound_prunes", s.bound_prunes);
+            ccs_obs::counter("covering.seed_prunes", s.seed_prunes);
             ccs_obs::counter("covering.incumbent_updates", s.incumbent_updates);
             // How far off the greedy heuristic would have been — the
             // exact search seeds from it, so this re-solve is cheap

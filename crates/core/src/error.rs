@@ -106,6 +106,9 @@ pub enum SynthesisError {
     /// [`ccs_exec::CancelToken`]) before completing; no partial result
     /// is produced.
     Cancelled,
+    /// An incremental-session edit did not apply: unknown arc or port,
+    /// or the edited instance no longer builds (e.g. a zero rate).
+    InvalidEdit(String),
 }
 
 impl fmt::Display for SynthesisError {
@@ -131,6 +134,7 @@ impl fmt::Display for SynthesisError {
                 "library violates Assumption 2.1 (cost monotonicity) on arcs {a}, {b}"
             ),
             SynthesisError::Cancelled => write!(f, "synthesis cancelled"),
+            SynthesisError::InvalidEdit(why) => write!(f, "invalid edit: {why}"),
         }
     }
 }

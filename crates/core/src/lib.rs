@@ -75,7 +75,9 @@ pub mod prelude {
     pub use crate::error::SynthesisError;
     pub use crate::implementation::ImplementationGraph;
     pub use crate::library::{Library, LibraryBuilder, Link, LinkCost, NodeKind};
-    pub use crate::synthesis::{SynthesisConfig, SynthesisResult, Synthesizer};
+    pub use crate::synthesis::{
+        Edit, SynthesisConfig, SynthesisResult, SynthesisSession, Synthesizer,
+    };
     pub use crate::units::Bandwidth;
     pub use ccs_geom::{Norm, Point2};
 }

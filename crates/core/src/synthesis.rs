@@ -18,8 +18,8 @@
 //! 6. assembly of the final implementation graph
 //!    ([`crate::implementation`]).
 
-use crate::constraint::ConstraintGraph;
-use crate::cover::{select, CoverStrategy};
+use crate::constraint::{Channel, ConstraintGraph, Port, PortId};
+use crate::cover::{select_seeded, CoverStrategy};
 use crate::error::SynthesisError;
 use crate::implementation::ImplementationGraph;
 use crate::library::{Library, NodeKind};
@@ -29,9 +29,11 @@ use crate::placement::{
     merge_candidate_explained, merge_cost_lower_bound, point_to_point_candidate, Candidate,
     InfeasibleReason, PlacementCache,
 };
+use crate::units::Bandwidth;
 use ccs_exec::{CancelToken, ExecStats, Executor};
+use ccs_geom::Point2;
 use ccs_obs::ledger::{self, Cause, DecisionEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -273,6 +275,25 @@ impl<'a> Synthesizer<'a> {
     ///   [`SynthesisConfig::check_assumption`] is set and fails;
     /// * [`SynthesisError::Cover`] from the covering solver.
     pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
+        self.run_impl(None)
+    }
+
+    /// Pipeline body shared by cold runs ([`run`](Self::run), `session
+    /// = None`) and warm re-synthesis ([`SynthesisSession`], `session =
+    /// Some`). A warm run reuses the session's cached point-to-point
+    /// candidates and placement verdicts (both pure functions of their
+    /// member arcs and the library — [`SynthesisSession::apply_edits`]
+    /// has already dropped every entry an edit could have touched) and
+    /// seeds the covering solver with the previous selection. None of
+    /// the reuse can change a single result bit: cached values are the
+    /// bits a recompute would produce, they are folded in the same
+    /// order, and [`select_seeded`] is result-identical to an unseeded
+    /// solve by construction.
+    fn run_impl(
+        &self,
+        mut session: Option<&mut SessionState>,
+    ) -> Result<SynthesisResult, SynthesisError> {
+        let warm = session.is_some();
         let start = Instant::now();
         // The whole run profiles as one `synthesize` tree; each phase
         // below opens a child scope (dropped at phase end so siblings
@@ -304,17 +325,28 @@ impl<'a> Synthesizer<'a> {
         let alloc0 = ccs_obs::alloc::stats();
         let profile_phase = ccs_obs::profile::scope("p2p");
         let arc_idxs: Vec<usize> = (0..graph.arc_count()).collect();
-        let (p2p_results, p2p_exec) = exec.par_map_stats(&arc_idxs, |_, &i| {
-            if cancel.is_cancelled() {
-                return Err(SynthesisError::Cancelled);
-            }
-            point_to_point_candidate(graph, library, i)
-        });
+        let (p2p_results, p2p_exec) = {
+            let cached: Option<&[Option<Candidate>]> = session
+                .as_deref()
+                .map(|s| s.p2p.as_slice())
+                .filter(|p| p.len() == graph.arc_count());
+            exec.par_map_stats(&arc_idxs, |_, &i| {
+                if cancel.is_cancelled() {
+                    return Err(SynthesisError::Cancelled);
+                }
+                if let Some(c) = cached.and_then(|p| p[i].as_ref()) {
+                    return Ok((c.clone(), true));
+                }
+                point_to_point_candidate(graph, library, i).map(|c| (c, false))
+            })
+        };
         let mut candidates: Vec<Candidate> = Vec::with_capacity(p2p_results.len());
         let mut p2p_cost = 0.0;
+        let mut p2p_reused = 0u64;
         for r in p2p_results {
-            let c = r?;
+            let (c, reused) = r?;
             p2p_cost += c.cost;
+            p2p_reused += u64::from(reused);
             candidates.push(c);
         }
         drop(profile_phase);
@@ -372,35 +404,82 @@ impl<'a> Synthesizer<'a> {
         enum Placed {
             Gated { lb: f64, member_sum: f64 },
             Done(Result<Candidate, InfeasibleReason>),
+            Reused(Verdict),
         }
         let lb_gate = self.config.merge.lb_gate && !self.config.keep_dominated;
-        let (placed, placement_exec) = exec.par_map_stats(&subsets, |_, s| {
-            if cancel.is_cancelled() {
-                return Err(SynthesisError::Cancelled);
-            }
-            if lb_gate {
-                // One profiler call per subset, independent of chunking.
-                let _profile = ccs_obs::profile::scope("lb_gate");
-                let lb = merge_cost_lower_bound(graph, library, s, cache);
-                let member_sum: f64 = s.iter().map(|&i| candidates[i].cost).sum();
-                if lb >= member_sum * (1.0 - 1e-6) - 1e-12 {
-                    return Ok(Placed::Gated { lb, member_sum });
+        let (placed, placement_exec) = {
+            let verdicts = session.as_deref().map(|s| &s.verdicts);
+            exec.par_map_stats(&subsets, |_, s| {
+                if cancel.is_cancelled() {
+                    return Err(SynthesisError::Cancelled);
                 }
-            }
-            merge_candidate_explained(graph, library, s, cache).map(Placed::Done)
-        });
+                if let Some(m) = verdicts {
+                    let key: Vec<u32> = s.iter().map(|&i| i as u32).collect();
+                    if let Some(v) = m.get(&key[..]) {
+                        return Ok(Placed::Reused(v.clone()));
+                    }
+                }
+                if lb_gate {
+                    // One profiler call per subset, independent of chunking.
+                    let _profile = ccs_obs::profile::scope("lb_gate");
+                    let lb = merge_cost_lower_bound(graph, library, s, cache);
+                    let member_sum: f64 = s.iter().map(|&i| candidates[i].cost).sum();
+                    if lb >= member_sum * (1.0 - 1e-6) - 1e-12 {
+                        return Ok(Placed::Gated { lb, member_sum });
+                    }
+                }
+                merge_candidate_explained(graph, library, s, cache).map(Placed::Done)
+            })
+        };
         let ledger_on = ledger::enabled();
         let subset_arcs = |s: &[usize]| -> Vec<u32> { s.iter().map(|&i| i as u32).collect() };
         let mut infeasible = 0usize;
         let mut dominated = 0usize;
         let mut lb_gated = 0usize;
+        let mut verdicts_reused = 0u64;
         for (subset, r) in subsets.iter().zip(placed) {
-            match r? {
-                Placed::Gated { lb, member_sum } => {
+            // Normalize fresh solves and cache hits into one verdict so
+            // the counting and candidate-push order below is literally
+            // the same code on both paths.
+            let (verdict, reused) = match r? {
+                Placed::Gated { lb, member_sum } => (Verdict::Gated { lb, member_sum }, false),
+                Placed::Done(Err(reason)) => (Verdict::Infeasible(reason), false),
+                Placed::Done(Ok(c)) => {
+                    // Hub placement converges to ~1e-9; savings below a
+                    // relative 1e-6 are numerical noise, not real wins.
+                    let member_sum: f64 = subset.iter().map(|&i| candidates[i].cost).sum();
+                    if !self.config.keep_dominated && c.cost >= member_sum * (1.0 - 1e-6) - 1e-12 {
+                        (
+                            Verdict::Dominated {
+                                cost: c.cost,
+                                member_sum,
+                            },
+                            false,
+                        )
+                    } else {
+                        (Verdict::Kept(c), false)
+                    }
+                }
+                Placed::Reused(v) => (v, true),
+            };
+            verdicts_reused += u64::from(reused);
+            if warm && !reused {
+                if let Some(s) = session.as_deref_mut() {
+                    s.verdicts
+                        .insert(subset_arcs(subset).into_boxed_slice(), verdict.clone());
+                }
+            }
+            match verdict {
+                Verdict::Gated { lb, member_sum } => {
                     lb_gated += 1;
                     if ledger_on {
+                        let cause = if reused {
+                            Cause::ResynthReused
+                        } else {
+                            Cause::PlacementLbGated
+                        };
                         ledger::emit(DecisionEvent::new(
-                            Cause::PlacementLbGated,
+                            cause,
                             subset_arcs(subset),
                             lb,
                             member_sum,
@@ -408,11 +487,16 @@ impl<'a> Synthesizer<'a> {
                         ));
                     }
                 }
-                Placed::Done(Err(reason)) => {
+                Verdict::Infeasible(reason) => {
                     infeasible += 1;
                     if ledger_on {
+                        let cause = if reused {
+                            Cause::ResynthReused
+                        } else {
+                            Cause::PlacementInfeasible
+                        };
                         ledger::emit(DecisionEvent::new(
-                            Cause::PlacementInfeasible,
+                            cause,
                             subset_arcs(subset),
                             0.0,
                             0.0,
@@ -420,36 +504,43 @@ impl<'a> Synthesizer<'a> {
                         ));
                     }
                 }
-                Placed::Done(Ok(c)) => {
-                    // Hub placement converges to ~1e-9; savings below a
-                    // relative 1e-6 are numerical noise, not real wins.
-                    let member_sum: f64 = subset.iter().map(|&i| candidates[i].cost).sum();
-                    if !self.config.keep_dominated && c.cost >= member_sum * (1.0 - 1e-6) - 1e-12 {
-                        dominated += 1;
-                        if ledger_on {
-                            ledger::emit(DecisionEvent::new(
-                                Cause::PlacementDominated,
-                                subset_arcs(subset),
-                                c.cost,
-                                member_sum,
-                                format!("k={}", subset.len()),
-                            ));
-                        }
-                    } else {
-                        if ledger_on {
-                            // `index` is the candidate-slice position the
-                            // covering phase (and its ledger events) will
-                            // refer to.
-                            ledger::emit(DecisionEvent::new(
-                                Cause::PlacementKept,
-                                subset_arcs(subset),
-                                c.cost,
-                                member_sum,
-                                format!("k={},index={}", subset.len(), candidates.len()),
-                            ));
-                        }
-                        candidates.push(c);
+                Verdict::Dominated { cost, member_sum } => {
+                    dominated += 1;
+                    if ledger_on {
+                        let cause = if reused {
+                            Cause::ResynthReused
+                        } else {
+                            Cause::PlacementDominated
+                        };
+                        ledger::emit(DecisionEvent::new(
+                            cause,
+                            subset_arcs(subset),
+                            cost,
+                            member_sum,
+                            format!("k={}", subset.len()),
+                        ));
                     }
+                }
+                Verdict::Kept(c) => {
+                    if ledger_on {
+                        // `index` is the candidate-slice position the
+                        // covering phase (and its ledger events) will
+                        // refer to.
+                        let cause = if reused {
+                            Cause::ResynthReused
+                        } else {
+                            Cause::PlacementKept
+                        };
+                        let member_sum: f64 = subset.iter().map(|&i| candidates[i].cost).sum();
+                        ledger::emit(DecisionEvent::new(
+                            cause,
+                            subset_arcs(subset),
+                            c.cost,
+                            member_sum,
+                            format!("k={},index={}", subset.len(), candidates.len()),
+                        ));
+                    }
+                    candidates.push(c);
                 }
             }
         }
@@ -482,7 +573,31 @@ impl<'a> Synthesizer<'a> {
         let t = Instant::now();
         let alloc0 = ccs_obs::alloc::stats();
         let profile_phase = ccs_obs::profile::scope("covering");
-        let outcome = select(&candidates, graph.arc_count(), self.config.cover)?;
+        // A warm run seeds the exact solver with the previous cover,
+        // mapped from arc lists to this run's column indices (arc lists
+        // are unique across candidates: p2p columns are singletons in
+        // arc order, merge subsets are distinct by enumeration). A
+        // selection that no longer maps — or no longer covers — is
+        // rejected by the solver's seed validation, never trusted.
+        let prev_cols: Option<Vec<usize>> = session
+            .as_deref()
+            .and_then(|s| s.prev_selected.as_ref())
+            .map(|prev| {
+                let by_arcs: HashMap<&[usize], usize> = candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (c.arcs.as_slice(), i))
+                    .collect();
+                prev.iter()
+                    .filter_map(|arcs| by_arcs.get(arcs.as_slice()).copied())
+                    .collect()
+            });
+        let outcome = select_seeded(
+            &candidates,
+            graph.arc_count(),
+            self.config.cover,
+            prev_cols.as_deref(),
+        )?;
         let selected: Vec<Candidate> = outcome
             .selected
             .iter()
@@ -518,7 +633,29 @@ impl<'a> Synthesizer<'a> {
             ccs_obs::gauge("exec.threads", threads as f64);
         }
 
-        let stats = SynthesisStats {
+        // Persist this run's state for the next warm re-synthesis. The
+        // first `arc_count` candidates are exactly the per-arc p2p
+        // columns; the k = 2 survivors are the merge-neighborhood
+        // adjacency used for the dirty-region counter.
+        if let Some(state) = session.as_deref_mut() {
+            state.p2p = candidates[..graph.arc_count()]
+                .iter()
+                .cloned()
+                .map(Some)
+                .collect();
+            state.prev_selected = Some(selected.iter().map(|c| c.arcs.clone()).collect());
+            state.pairs = enumeration
+                .all_subsets()
+                .filter(|s| s.len() == 2)
+                .map(|s| (s[0] as u32, s[1] as u32))
+                .collect();
+        }
+        if warm && ccs_obs::enabled() {
+            ccs_obs::counter("resynth.p2p_reused", p2p_reused);
+            ccs_obs::counter("resynth.verdicts_reused", verdicts_reused);
+        }
+
+        let mut stats = SynthesisStats {
             arc_count: graph.arc_count(),
             p2p_cost,
             counters: run_counters(
@@ -544,6 +681,16 @@ impl<'a> Synthesizer<'a> {
             phase_cpu: cpu,
             threads,
         };
+        if warm {
+            // Reuse counts are pure functions of the edit and the
+            // previous state, so they belong in the deterministic map.
+            stats
+                .counters
+                .insert("resynth.p2p_reused".to_string(), p2p_reused);
+            stats
+                .counters
+                .insert("resynth.verdicts_reused".to_string(), verdicts_reused);
+        }
         Ok(SynthesisResult {
             implementation,
             selected,
@@ -551,6 +698,363 @@ impl<'a> Synthesizer<'a> {
             matrices,
             stats,
         })
+    }
+}
+
+/// One edit applied by [`SynthesisSession::resynthesize`]. Arcs are
+/// addressed by index (insertion order, the same indices reports and
+/// ledger events use); ports by name. No edit adds or removes arcs, so
+/// arc indices are stable across the life of a session.
+#[derive(Debug, Clone)]
+pub enum Edit {
+    /// Change the required bandwidth of an arc.
+    ArcRate {
+        /// Arc index.
+        arc: usize,
+        /// New required bandwidth (must be positive).
+        bandwidth: Bandwidth,
+    },
+    /// Change (or clear, with `None`) the hop bound of an arc.
+    ArcBound {
+        /// Arc index.
+        arc: usize,
+        /// New hop bound; `None` removes the bound.
+        max_hops: Option<u32>,
+    },
+    /// Move the named module/port to a new position (dirties every
+    /// incident arc — their distances, and thus every candidate that
+    /// contains them, change).
+    MovePort {
+        /// Port name as given to the builder.
+        port: String,
+        /// New position in application units.
+        position: Point2,
+    },
+    /// Replace the component library. Every cached candidate priced
+    /// against the old library is invalidated, and the session swaps in
+    /// a fresh placement cache (a cache must never be shared across
+    /// libraries).
+    SetLibrary(Library),
+}
+
+/// A cached placement outcome for one merge subset: the classification
+/// the serial accounting fold would reach, plus the data its ledger
+/// event and counters need. Pure function of the member arcs and the
+/// library, so it stays valid exactly until one of those changes.
+#[derive(Debug, Clone)]
+enum Verdict {
+    /// Skipped by the lower-bound gate.
+    Gated { lb: f64, member_sum: f64 },
+    /// Structurally infeasible with this library.
+    Infeasible(InfeasibleReason),
+    /// Solved, but never cheaper than its members' p2p sum.
+    Dominated { cost: f64, member_sum: f64 },
+    /// Solved and kept as a covering column.
+    Kept(Candidate),
+}
+
+/// Persistent warm-start state of a [`SynthesisSession`], keyed by
+/// subset signature (the sorted member-arc indices as `u32`, matching
+/// the flat arenas of [`crate::bits`]).
+#[derive(Debug, Default)]
+struct SessionState {
+    /// Cached point-to-point candidate per arc; `None` marks a dirty
+    /// arc awaiting recompute.
+    p2p: Vec<Option<Candidate>>,
+    /// Cached placement verdict per surviving merge subset.
+    verdicts: HashMap<Box<[u32]>, Verdict>,
+    /// Arc lists of the previous cover — the seed for the next exact
+    /// solve. Kept even across edits: the solver re-validates the seed
+    /// against the new matrix and ignores it when it no longer covers.
+    prev_selected: Option<Vec<Vec<usize>>>,
+    /// The k = 2 merge survivors of the previous run: the
+    /// merge-neighborhood adjacency from which the dirty region of an
+    /// edit is measured.
+    pairs: Vec<(u32, u32)>,
+}
+
+/// An incremental re-synthesis session: owns a constraint graph and a
+/// library, and re-runs the pipeline after edits while reusing every
+/// cached result the edit provably did not touch.
+///
+/// Reuse is *invisible in the results*: a warm
+/// [`resynthesize`](Self::resynthesize) returns bit-identical
+/// implementation, selection, and candidates to a cold
+/// [`Synthesizer::run`] on the same (edited) instance, at every thread
+/// count. What changes is the work: clean arcs skip their p2p solve,
+/// clean merge subsets skip hub placement, and the covering solver is
+/// warm-started from the previous cover (see
+/// [`ccs_covering::CoverMatrix::solve_exact_seeded`] for why the seed
+/// cannot change the answer).
+///
+/// Invalidation is edit-driven, before the run: an arc-rate or
+/// hop-bound edit dirties that arc; a port move dirties every incident
+/// arc; a library swap dirties everything. A cached entry is dropped
+/// iff its member set intersects the dirty arcs (or the library
+/// changed); each drop is recorded in the decision ledger under
+/// `resynth.invalidated`, each reuse under `resynth.reused`.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::synthesis::{Edit, SynthesisConfig, SynthesisSession};
+/// use ccs_core::library::wan_paper_library;
+/// use ccs_core::units::Bandwidth;
+/// # use ccs_core::constraint::ConstraintGraph;
+/// # use ccs_geom::{Norm, Point2};
+/// # let mut b = ConstraintGraph::builder(Norm::Euclidean);
+/// # let s = b.add_port("s", Point2::new(0.0, 0.0));
+/// # let t = b.add_port("t", Point2::new(10.0, 0.0));
+/// # b.add_channel(s, t, Bandwidth::from_mbps(5.0)).unwrap();
+/// # let graph = b.build().unwrap();
+/// let mut session =
+///     SynthesisSession::new(graph, wan_paper_library(), SynthesisConfig::default());
+/// let cold = session.resynthesize(&[])?; // first run populates the caches
+/// let warm = session.resynthesize(&[Edit::ArcRate {
+///     arc: 0,
+///     bandwidth: Bandwidth::from_mbps(7.5),
+/// }])?;
+/// assert_eq!(warm.stats.arc_count, cold.stats.arc_count);
+/// # Ok::<(), ccs_core::error::SynthesisError>(())
+/// ```
+#[derive(Debug)]
+pub struct SynthesisSession {
+    graph: ConstraintGraph,
+    library: Library,
+    config: SynthesisConfig,
+    state: SessionState,
+}
+
+impl SynthesisSession {
+    /// Creates a session over an instance. The first
+    /// [`resynthesize`](Self::resynthesize) call is a cold run that
+    /// populates the caches. When `config` carries no
+    /// [`shared_cache`](SynthesisConfig::shared_cache), the session
+    /// installs a private one so placement solves persist across edits.
+    pub fn new(graph: ConstraintGraph, library: Library, mut config: SynthesisConfig) -> Self {
+        if config.shared_cache.is_none() {
+            config.shared_cache = Some(Arc::new(PlacementCache::new()));
+        }
+        SynthesisSession {
+            graph,
+            library,
+            config,
+            state: SessionState::default(),
+        }
+    }
+
+    /// The current (post-edit) constraint graph.
+    pub fn graph(&self) -> &ConstraintGraph {
+        &self.graph
+    }
+
+    /// The current library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The session configuration. Immutable by design: changing pruning
+    /// or covering knobs mid-session would invalidate every cached
+    /// verdict, so a new configuration means a new session. The cancel
+    /// token is the exception — see [`set_cancel`](Self::set_cancel).
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Replaces the cancel token polled by subsequent runs (a served
+    /// session needs a fresh token per request). Cancellation identity
+    /// has no effect on results, so this cannot stale any cache.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.config.cancel = cancel;
+    }
+
+    /// Applies `edits` and re-runs the pipeline warm.
+    ///
+    /// An empty edit list re-synthesizes the unchanged instance (the
+    /// second such call reuses everything and is dominated by the
+    /// covering solve). On [`SynthesisError::InvalidEdit`] the session
+    /// is left exactly as it was — edits are validated against copies
+    /// and committed only when the edited instance builds.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::InvalidEdit`] for an unknown arc index or port
+    /// name, or when the edited instance fails graph validation (zero
+    /// bandwidth, coincident ports, zero hop bound); otherwise the same
+    /// errors as [`Synthesizer::run`].
+    pub fn resynthesize(&mut self, edits: &[Edit]) -> Result<SynthesisResult, SynthesisError> {
+        self.apply_edits(edits)?;
+        Synthesizer {
+            graph: &self.graph,
+            library: &self.library,
+            config: self.config.clone(),
+        }
+        .run_impl(Some(&mut self.state))
+    }
+
+    /// Validates and commits `edits`, then drops every cached entry the
+    /// edit could have touched. Runs inside the caller's observability
+    /// scope: emits `resynth.*` counters (edit, dirty-region, and
+    /// invalidation tallies) and one `resynth.invalidated` ledger event
+    /// per dropped entry. Serial, so ledger and counters are identical
+    /// at every thread count.
+    fn apply_edits(&mut self, edits: &[Edit]) -> Result<(), SynthesisError> {
+        let n = self.graph.arc_count();
+        let mut dirty = vec![false; n];
+        let mut library_changed = false;
+        if !edits.is_empty() {
+            // Work on copies; commit only after the rebuilt graph
+            // validates, so a bad edit leaves the session untouched.
+            let mut ports: Vec<Port> = self.graph.ports().map(|(_, p)| p.clone()).collect();
+            let mut arcs: Vec<Channel> = self.graph.arcs().map(|(_, a)| *a).collect();
+            let mut library = None;
+            for e in edits {
+                match e {
+                    Edit::ArcRate { arc, bandwidth } => {
+                        let a = arcs.get_mut(*arc).ok_or_else(|| {
+                            SynthesisError::InvalidEdit(format!("unknown arc {arc}"))
+                        })?;
+                        a.bandwidth = *bandwidth;
+                        dirty[*arc] = true;
+                    }
+                    Edit::ArcBound { arc, max_hops } => {
+                        let a = arcs.get_mut(*arc).ok_or_else(|| {
+                            SynthesisError::InvalidEdit(format!("unknown arc {arc}"))
+                        })?;
+                        a.max_hops = *max_hops;
+                        dirty[*arc] = true;
+                    }
+                    Edit::MovePort { port, position } => {
+                        let idx =
+                            ports.iter().position(|p| p.name == *port).ok_or_else(|| {
+                                SynthesisError::InvalidEdit(format!("unknown port {port:?}"))
+                            })?;
+                        ports[idx].position = *position;
+                        let pid = PortId(idx as u32);
+                        for (i, a) in arcs.iter().enumerate() {
+                            if a.src == pid || a.dst == pid {
+                                dirty[i] = true;
+                            }
+                        }
+                    }
+                    Edit::SetLibrary(lib) => {
+                        library = Some(lib.clone());
+                        library_changed = true;
+                    }
+                }
+            }
+            // Rebuild through the builder: recomputes arc distances
+            // from the (possibly moved) positions and re-runs full
+            // validation. Insertion order is preserved, so every port
+            // and arc keeps its index.
+            let mut b = ConstraintGraph::builder(self.graph.norm());
+            let pids: Vec<PortId> = ports
+                .iter()
+                .map(|p| b.add_port(p.name.clone(), p.position))
+                .collect();
+            for a in &arcs {
+                b.add_channel_limited(pids[a.src.index()], pids[a.dst.index()], a.bandwidth, a.max_hops)
+                    .map_err(|e| SynthesisError::InvalidEdit(e.to_string()))?;
+            }
+            self.graph = b
+                .build()
+                .map_err(|e| SynthesisError::InvalidEdit(e.to_string()))?;
+            if let Some(lib) = library {
+                self.library = lib;
+            }
+        }
+
+        let ledger_on = ledger::enabled();
+        let mut invalidated = 0u64;
+        if library_changed {
+            for (i, slot) in self.state.p2p.iter_mut().enumerate() {
+                if slot.take().is_some() {
+                    invalidated += 1;
+                    if ledger_on {
+                        ledger::emit(DecisionEvent::new(
+                            Cause::ResynthInvalidated,
+                            vec![i as u32],
+                            0.0,
+                            0.0,
+                            "p2p,library".to_string(),
+                        ));
+                    }
+                }
+            }
+            self.state.p2p.clear();
+            for (key, _) in self.state.verdicts.drain() {
+                invalidated += 1;
+                if ledger_on {
+                    ledger::emit(DecisionEvent::new(
+                        Cause::ResynthInvalidated,
+                        key.to_vec(),
+                        0.0,
+                        0.0,
+                        "merge,library".to_string(),
+                    ));
+                }
+            }
+            // Cached placement rates are functions of the library; a
+            // swapped library gets a fresh cache.
+            self.config.shared_cache = Some(Arc::new(PlacementCache::new()));
+        } else {
+            for (i, d) in dirty.iter().enumerate() {
+                if !*d {
+                    continue;
+                }
+                if let Some(slot) = self.state.p2p.get_mut(i) {
+                    if slot.take().is_some() {
+                        invalidated += 1;
+                        if ledger_on {
+                            ledger::emit(DecisionEvent::new(
+                                Cause::ResynthInvalidated,
+                                vec![i as u32],
+                                0.0,
+                                0.0,
+                                "p2p,edit".to_string(),
+                            ));
+                        }
+                    }
+                }
+            }
+            self.state.verdicts.retain(|key, _| {
+                let hit = key.iter().any(|&a| dirty[a as usize]);
+                if hit {
+                    invalidated += 1;
+                    if ledger_on {
+                        ledger::emit(DecisionEvent::new(
+                            Cause::ResynthInvalidated,
+                            key.to_vec(),
+                            0.0,
+                            0.0,
+                            "merge,edit".to_string(),
+                        ));
+                    }
+                }
+                !hit
+            });
+        }
+
+        if ccs_obs::enabled() {
+            // The dirty region: edited arcs plus their merge neighbors
+            // (the locality bound on how far an edit propagates).
+            let dirty_count = dirty.iter().filter(|&&d| d).count();
+            let mut region = dirty.clone();
+            for &(a, b) in &self.state.pairs {
+                if dirty[a as usize] {
+                    region[b as usize] = true;
+                }
+                if dirty[b as usize] {
+                    region[a as usize] = true;
+                }
+            }
+            let region_count = region.iter().filter(|&&d| d).count();
+            ccs_obs::counter("resynth.edits", edits.len() as u64);
+            ccs_obs::counter("resynth.dirty_arcs", dirty_count as u64);
+            ccs_obs::counter("resynth.region_arcs", region_count as u64);
+            ccs_obs::counter("resynth.invalidated", invalidated);
+        }
+        Ok(())
     }
 }
 
@@ -900,6 +1404,195 @@ mod tests {
             };
             assert_eq!(arcs(r), arcs(&private));
         }
+    }
+
+    /// Structural equality of everything the topology report derives
+    /// from: selection, candidate pool, and exact total cost bits.
+    fn assert_same_result(warm: &SynthesisResult, cold: &SynthesisResult) {
+        assert_eq!(warm.selected, cold.selected);
+        assert_eq!(warm.candidates, cold.candidates);
+        assert_eq!(warm.total_cost().to_bits(), cold.total_cost().to_bits());
+        assert_eq!(warm.stats.p2p_cost.to_bits(), cold.stats.p2p_cost.to_bits());
+    }
+
+    #[test]
+    fn session_warm_rerun_reuses_everything_and_matches_cold() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let cold = Synthesizer::new(&g, &lib).run().unwrap();
+        let mut session =
+            SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
+        let first = session.resynthesize(&[]).unwrap();
+        let second = session.resynthesize(&[]).unwrap();
+        assert_same_result(&first, &cold);
+        assert_same_result(&second, &cold);
+        // The second run recomputed nothing.
+        assert_eq!(second.stats.counters["resynth.p2p_reused"], 4);
+        let total_verdicts = (second.stats.lb_gated
+            + second.stats.infeasible_merges
+            + second.stats.dominated_dropped) as u64
+            + (second.stats.ucp_cols - second.stats.arc_count) as u64;
+        assert_eq!(
+            second.stats.counters["resynth.verdicts_reused"],
+            total_verdicts
+        );
+        assert!(total_verdicts > 0, "instance should have merge subsets");
+    }
+
+    #[test]
+    fn session_arc_edits_match_cold_run_on_edited_instance() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let mut session =
+            SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
+        session.resynthesize(&[]).unwrap();
+        let warm = session
+            .resynthesize(&[
+                Edit::ArcRate {
+                    arc: 3,
+                    bandwidth: mbps(20.0),
+                },
+                Edit::ArcBound {
+                    arc: 0,
+                    max_hops: Some(4),
+                },
+            ])
+            .unwrap();
+        // Cold reference: the edited instance built from scratch.
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", Point2::new(64.8, 76.4));
+        let x = b.add_port("X", Point2::new(200.0, 0.0));
+        let y = b.add_port("Y", Point2::new(203.0, 0.0));
+        b.add_channel_limited(a, d, mbps(10.0), Some(4)).unwrap();
+        b.add_channel(c, d, mbps(10.0)).unwrap();
+        b.add_channel(e, d, mbps(10.0)).unwrap();
+        b.add_channel(x, y, mbps(20.0)).unwrap();
+        let edited = b.build().unwrap();
+        let cold = Synthesizer::new(&edited, &lib).run().unwrap();
+        assert_same_result(&warm, &cold);
+        // Arcs 1 and 2 stayed clean, so their p2p solves were reused.
+        assert!(warm.stats.counters["resynth.p2p_reused"] >= 2);
+        assert!(verify(session.graph(), &lib, &warm.implementation).is_empty());
+    }
+
+    #[test]
+    fn session_port_move_matches_cold_run() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let mut session =
+            SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
+        session.resynthesize(&[]).unwrap();
+        let new_pos = Point2::new(70.0, 70.0);
+        let warm = session
+            .resynthesize(&[Edit::MovePort {
+                port: "D".to_string(),
+                position: new_pos,
+            }])
+            .unwrap();
+        let mut b = ConstraintGraph::builder(Norm::Euclidean);
+        let a = b.add_port("A", Point2::new(0.0, 0.0));
+        let c = b.add_port("B", Point2::new(5.0, 0.0));
+        let e = b.add_port("C", Point2::new(-2.8, 4.6));
+        let d = b.add_port("D", new_pos);
+        let x = b.add_port("X", Point2::new(200.0, 0.0));
+        let y = b.add_port("Y", Point2::new(203.0, 0.0));
+        b.add_channel(a, d, mbps(10.0)).unwrap();
+        b.add_channel(c, d, mbps(10.0)).unwrap();
+        b.add_channel(e, d, mbps(10.0)).unwrap();
+        b.add_channel(x, y, mbps(10.0)).unwrap();
+        let edited = b.build().unwrap();
+        let cold = Synthesizer::new(&edited, &lib).run().unwrap();
+        assert_same_result(&warm, &cold);
+        // D touches arcs 0..3; only the X→Y arc's p2p solve survives.
+        assert_eq!(warm.stats.counters["resynth.p2p_reused"], 1);
+    }
+
+    #[test]
+    fn session_library_swap_invalidates_everything() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let mut session =
+            SynthesisSession::new(g.clone(), lib, SynthesisConfig::default());
+        session.resynthesize(&[]).unwrap();
+        // A different library: one long cheap link plus free nodes.
+        let lib2 = Library::builder()
+            .link(Link::per_length("fiber", mbps(200.0), 1.0))
+            .node(NodeKind::Repeater, 10.0)
+            .node(NodeKind::Mux, 5.0)
+            .node(NodeKind::Demux, 5.0)
+            .build()
+            .unwrap();
+        let warm = session
+            .resynthesize(&[Edit::SetLibrary(lib2.clone())])
+            .unwrap();
+        let cold = Synthesizer::new(&g, &lib2).run().unwrap();
+        assert_same_result(&warm, &cold);
+        assert_eq!(warm.stats.counters["resynth.p2p_reused"], 0);
+        assert_eq!(warm.stats.counters["resynth.verdicts_reused"], 0);
+        assert!(verify(&g, &lib2, &warm.implementation).is_empty());
+    }
+
+    #[test]
+    fn session_invalid_edit_leaves_session_intact() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let cold = Synthesizer::new(&g, &lib).run().unwrap();
+        let mut session = SynthesisSession::new(g, lib, SynthesisConfig::default());
+        session.resynthesize(&[]).unwrap();
+        for bad in [
+            Edit::ArcRate {
+                arc: 99,
+                bandwidth: mbps(1.0),
+            },
+            Edit::MovePort {
+                port: "nope".to_string(),
+                position: Point2::new(0.0, 0.0),
+            },
+            // Moving X onto Y makes arc 3 zero-length: rejected by
+            // graph validation, not applied.
+            Edit::MovePort {
+                port: "X".to_string(),
+                position: Point2::new(203.0, 0.0),
+            },
+        ] {
+            let err = session.resynthesize(std::slice::from_ref(&bad)).unwrap_err();
+            assert!(matches!(err, SynthesisError::InvalidEdit(_)), "{err}");
+        }
+        // The session still answers, unchanged, fully warm.
+        let after = session.resynthesize(&[]).unwrap();
+        assert_same_result(&after, &cold);
+        assert_eq!(after.stats.counters["resynth.p2p_reused"], 4);
+    }
+
+    #[test]
+    fn session_results_are_thread_count_invariant() {
+        let g = cluster_instance();
+        let lib = wan_paper_library();
+        let run_at = |threads: usize| {
+            let cfg = SynthesisConfig {
+                threads,
+                ..SynthesisConfig::default()
+            };
+            let mut session = SynthesisSession::new(g.clone(), lib.clone(), cfg);
+            session.resynthesize(&[]).unwrap();
+            session
+                .resynthesize(&[Edit::ArcRate {
+                    arc: 1,
+                    bandwidth: mbps(25.0),
+                }])
+                .unwrap()
+        };
+        let t1 = run_at(1);
+        let t4 = run_at(4);
+        assert_same_result(&t1, &t4);
+        assert_eq!(t1.stats.counters["resynth.p2p_reused"], 3);
+        assert_eq!(
+            t1.stats.counters["resynth.verdicts_reused"],
+            t4.stats.counters["resynth.verdicts_reused"]
+        );
     }
 
     #[test]

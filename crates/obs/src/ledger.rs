@@ -54,6 +54,13 @@ pub enum Cause {
     MergingDeactivated,
     /// Level enumeration stopped early at the candidate cap.
     MergingTruncated,
+    /// Incremental re-synthesis dropped a cached subset verdict because
+    /// the edit's dirty region reached one of its member arcs (or the
+    /// library changed, which invalidates every verdict).
+    ResynthInvalidated,
+    /// Incremental re-synthesis reused a cached subset verdict untouched
+    /// by the edit's dirty region.
+    ResynthReused,
     /// A hub-placement solve was skipped: the cost lower bound already
     /// proved the merge dominated.
     PlacementLbGated,
@@ -73,11 +80,13 @@ pub enum Cause {
 
 /// Every cause, in pipeline order (the order `ccs explain` walks when
 /// reconstructing a candidate's fate).
-pub const CAUSES: [Cause; 11] = [
+pub const CAUSES: [Cause; 13] = [
     Cause::MergingGeometryPruned,
     Cause::MergingBandwidthPruned,
     Cause::MergingDeactivated,
     Cause::MergingTruncated,
+    Cause::ResynthInvalidated,
+    Cause::ResynthReused,
     Cause::PlacementLbGated,
     Cause::PlacementInfeasible,
     Cause::PlacementDominated,
@@ -95,6 +104,8 @@ impl Cause {
             Cause::MergingBandwidthPruned => "merging.bandwidth_pruned",
             Cause::MergingDeactivated => "merging.deactivated",
             Cause::MergingTruncated => "merging.truncated",
+            Cause::ResynthInvalidated => "resynth.invalidated",
+            Cause::ResynthReused => "resynth.reused",
             Cause::PlacementLbGated => "placement.lb_gated",
             Cause::PlacementInfeasible => "placement.infeasible",
             Cause::PlacementDominated => "placement.dominated",
@@ -526,16 +537,22 @@ mod tests {
 
     #[test]
     fn counts_are_exact_and_samples_bounded() {
+        let per_cause = 100;
+        let total = per_cause * CAUSES.len() as u64;
         let mut ledger = Ledger::new(8);
-        for e in synthetic_stream(1100) {
+        for e in synthetic_stream(total as u32) {
             ledger.insert(e);
         }
-        assert_eq!(ledger.total(), 1100);
+        assert_eq!(ledger.total(), total);
         for c in CAUSES {
             let rec = ledger.cause(c);
-            assert_eq!(rec.count, 100);
+            assert_eq!(rec.count, per_cause);
             if c == Cause::CoveringSelected {
-                assert_eq!(rec.sampled(), 100, "selected events retained exactly");
+                assert_eq!(
+                    rec.sampled(),
+                    per_cause as usize,
+                    "selected events retained exactly"
+                );
             } else {
                 assert_eq!(rec.sampled(), 8);
             }

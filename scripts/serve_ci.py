@@ -16,6 +16,10 @@ Checks, in order:
    request to a real response and is acknowledged last; the daemon
    exits 0.
 5. **Stdin mode** — ping/shutdown over stdin/stdout JSON lines.
+6. **Incremental re-synthesis sessions** — a named `resynth` session
+   driven through an edit sequence over TCP; every step's warm
+   topology must be byte-identical (canonical JSON) to a one-shot
+   `ccs resynth --cold-check` run of the same edit prefix.
 
 Usage: scripts/serve_ci.py path/to/ccs
 """
@@ -169,7 +173,7 @@ def main():
     total = CONNECTIONS * REQUESTS_PER_CONNECTION
     assert ack["kind"] == "shutdown" and ack["served"] == total, ack
     daemon.wait()
-    print(f"[1/5] {total} concurrent requests byte-identical to one-shot runs")
+    print(f"[1/6] {total} concurrent requests byte-identical to one-shot runs")
 
     # --- 2. queued-request cancellation ----------------------------------
     slow = run([ccs, "gen", "wan", "--seed", str(SLOW_SEED),
@@ -187,7 +191,7 @@ def main():
     assert victim["id"] == "victim" and victim["status"] == "cancelled", victim
     for key in ("metrics", "ledger", "topology", "error"):
         assert key not in victim, f"cancelled response leaked {key!r}"
-    print("[2/5] queued request cancelled before starting, no body")
+    print("[2/6] queued request cancelled before starting, no body")
 
     # --- 3. in-flight cancellation ---------------------------------------
     side = daemon.connect()
@@ -209,7 +213,7 @@ def main():
     assert cancelled_mid_run, "cancel never landed mid-run in 5 attempts"
     conn.send(request("bye", "shutdown"))
     daemon.wait()
-    print("[3/5] in-flight request aborted cooperatively")
+    print("[3/6] in-flight request aborted cooperatively")
 
     # --- 4. graceful shutdown drains queued work -------------------------
     daemon = Daemon(ccs, workers=2)
@@ -224,7 +228,7 @@ def main():
     ack = conn.recv()
     assert ack["kind"] == "shutdown" and ack["served"] == len(ids), ack
     daemon.wait()
-    print("[4/5] shutdown drained 6 queued requests, acknowledged last")
+    print("[4/6] shutdown drained 6 queued requests, acknowledged last")
 
     # --- 5. stdin mode ----------------------------------------------------
     lines = "\n".join(json.dumps(r) for r in [
@@ -238,7 +242,58 @@ def main():
     assert [d["id"] for d in docs] == ["p1", "s1", "bye"], docs
     assert docs[0]["kind"] == "ping" and docs[1]["status"] == "ok", docs
     assert docs[2]["kind"] == "shutdown" and docs[2]["served"] == 1, docs
-    print("[5/5] stdin mode: pure JSON-lines stdout, summary on stderr")
+    print("[5/6] stdin mode: pure JSON-lines stdout, summary on stderr")
+
+    # --- 6. incremental re-synthesis sessions ----------------------------
+    # A named session driven through an edit sequence over TCP; every
+    # step must match a one-shot `ccs resynth --cold-check` run of the
+    # same edit prefix (which itself proves warm == cold in-process).
+    seed = seeds[0]
+    inst = instances[seed]
+    inst_file = tmp / f"i{seed}.ccs"
+    port_name = next(l.split()[1] for l in inst.splitlines() if l.startswith("port "))
+    cli_specs = [
+        ["--edit", "arc_rate:0:9.5"],
+        ["--edit", "arc_bound:1:none"],
+        ["--edit", f"move:{port_name}:3.5,-2.25"],
+    ]
+    wire_edits = [
+        [{"op": "arc_rate", "arc": 0, "mbps": 9.5}],
+        [{"op": "arc_bound", "arc": 1, "hops": None}],
+        [{"op": "move", "port": port_name, "x": 3.5, "y": -2.25}],
+    ]
+    step_refs = []
+    for k in range(len(cli_specs)):
+        metrics = tmp / f"resynth{k}.json"
+        argv = [ccs, "resynth", "--instance", str(inst_file), "--library", str(lib_file),
+                "--threads", "1", "--cold-check", "--metrics-json", str(metrics)]
+        for spec in cli_specs[:k + 1]:
+            argv += spec
+        out = run(argv)
+        assert "cold check: warm topology byte-identical" in out, out
+        step_refs.append(canonical(json.loads(metrics.read_text())["topology"]))
+
+    daemon = Daemon(ccs, workers=2)
+    conn = daemon.connect()
+    conn.send(request("r0", "resynth", inst, library, session="edit-loop"))
+    resp = conn.recv()
+    assert resp["status"] == "ok" and resp["kind"] == "resynth", resp
+    assert resp["session"] == "edit-loop", resp
+    for k, edits in enumerate(wire_edits):
+        conn.send(request(f"r{k + 1}", "resynth", session="edit-loop", edits=edits))
+        resp = conn.recv()
+        assert resp["status"] == "ok", resp
+        assert canonical(resp["metrics"]["topology"]) == step_refs[k], \
+            f"resynth step {k}: warm session topology diverges from cold CLI run"
+    # A resynth against an unknown session (no instance attached) errors.
+    conn.send(request("ghost", "resynth", session="no-such-session"))
+    resp = conn.recv()
+    assert resp["status"] == "error" and "session" in resp["error"], resp
+    conn.send(request("bye", "shutdown"))
+    ack = conn.recv()
+    assert ack["kind"] == "shutdown", ack
+    daemon.wait()
+    print("[6/6] resynth session over TCP matches cold CLI runs at every edit step")
     print("serve CI: all checks passed")
 
 

@@ -4,6 +4,8 @@
 //! ```text
 //! ccs synth    --instance net.ccs --library lib.ccs [--greedy] [--max-k N] [--dot]
 //!              [--threads N] [--trace] [--metrics-json FILE] [--profile-folded FILE]
+//! ccs resynth  --instance net.ccs --library lib.ccs [--edit SPEC ...] [--cold-check]
+//!              [--greedy] [--max-k N] [--threads N] [--metrics-json FILE]
 //! ccs verify   --instance net.ccs --library lib.ccs
 //! ccs simulate --instance net.ccs --library lib.ccs [--fail-group N] [--packets]
 //!              [--threads N] [--trace] [--metrics-json FILE]
@@ -51,6 +53,16 @@
 //! (default: available parallelism, or the `CCS_THREADS` environment
 //! variable). Synthesis output is bit-identical for every `N`.
 //!
+//! `ccs resynth` exercises the incremental re-synthesis engine
+//! ([`ccs_core::synthesis::SynthesisSession`]): it synthesizes the
+//! instance cold, applies each `--edit SPEC` (in order:
+//! `arc_rate:IDX:MBPS`, `arc_bound:IDX:HOPS|none`, `move:PORT:X,Y`,
+//! `library:FILE`), and re-synthesizes warm — reusing every cached
+//! point-to-point candidate and placement verdict whose inputs the
+//! edits did not touch. `--cold-check` additionally runs a cold
+//! synthesis of the edited instance in-process and fails unless the
+//! warm `ccs-topology-v1` document is byte-identical to it.
+//!
 //! `ccs serve` runs the long-lived synthesis daemon ([`crate::serve`]):
 //! JSON-lines requests over stdin or TCP, answered with responses that
 //! embed the same `ccs-topology-v1` / `ccs-resilience-v1` /
@@ -62,8 +74,10 @@ use ccs_core::cover::CoverStrategy;
 use ccs_core::library::Library;
 use ccs_core::matrices::DistanceMatrices;
 use ccs_core::report;
-use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_core::synthesis::{Edit, SynthesisConfig, SynthesisSession, Synthesizer};
+use ccs_core::units::Bandwidth;
 use ccs_gen::io;
+use ccs_geom::Point2;
 use std::fmt::Write as _;
 
 /// Usage text printed on `help` or argument errors.
@@ -71,6 +85,9 @@ pub const USAGE: &str = "\
 usage:
   ccs synth    --instance FILE --library FILE [--greedy] [--max-k N] [--dot]
                [--no-lb-gate] [--threads N] [--trace] [--metrics-json FILE]
+  ccs resynth  --instance FILE --library FILE [--edit SPEC ...] [--cold-check]
+               [--greedy] [--max-k N] [--no-lb-gate] [--threads N] [--trace]
+               [--metrics-json FILE] [--ledger FILE]
   ccs verify   --instance FILE --library FILE
   ccs simulate --instance FILE --library FILE [--fail-group N] [--packets]
                [--threads N] [--trace] [--metrics-json FILE]
@@ -98,6 +115,17 @@ performance:
                        solves for provably dominated merge subsets (results
                        are identical either way; the flag exists to measure
                        the gate and to debug it)
+
+incremental re-synthesis (ccs resynth):
+  --edit SPEC          an edit to apply before the warm re-synthesis
+                       (repeatable, applied in order):
+                         arc_rate:IDX:MBPS      change arc IDX's bandwidth
+                         arc_bound:IDX:HOPS     change arc IDX's hop bound
+                         arc_bound:IDX:none     drop arc IDX's hop bound
+                         move:PORT:X,Y          move the named port
+                         library:FILE           swap in a new library file
+  --cold-check         also synthesize the edited instance cold and fail
+                       unless the warm topology is byte-identical to it
 
 resilience (ccs analyze):
   --fail-k K           largest simultaneous lane-group failure order swept
@@ -165,6 +193,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("synth") => synth(&parse_flags(it)?),
+        Some("resynth") => resynth_cmd(&parse_flags(it)?),
         Some("verify") => verify_cmd(&parse_flags(it)?),
         Some("simulate") => simulate_cmd(&parse_flags(it)?),
         Some("analyze") => analyze_cmd(&parse_flags(it)?),
@@ -197,6 +226,8 @@ struct Flags {
     ledger: Option<String>,
     threads: Option<usize>,
     no_lb_gate: bool,
+    edits: Vec<String>,
+    cold_check: bool,
     hub: Option<usize>,
     candidate: Option<Vec<u32>>,
     arc: Option<u32>,
@@ -212,6 +243,8 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
             "--dot" => f.dot = true,
             "--packets" => f.packets = true,
             "--no-lb-gate" => f.no_lb_gate = true,
+            "--edit" => f.edits.push(required(&mut it, tok)?.to_string()),
+            "--cold-check" => f.cold_check = true,
             "--trace" => f.trace = true,
             "--metrics-json" => f.metrics_json = Some(required(&mut it, tok)?.to_string()),
             "--profile-folded" => f.profile_folded = Some(required(&mut it, tok)?.to_string()),
@@ -491,6 +524,142 @@ fn synth(f: &Flags) -> Result<String, String> {
     if f.dot {
         let _ = writeln!(out, "{}", r.implementation.to_dot("ccs"));
     }
+    Ok(out)
+}
+
+/// Parses one `--edit SPEC` (see [`USAGE`]) into a session [`Edit`].
+fn parse_edit_spec(spec: &str) -> Result<Edit, String> {
+    let bad = |why: String| format!("bad --edit {spec:?}: {why}");
+    let (op, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| bad("expected OP:ARGS".to_string()))?;
+    match op {
+        "arc_rate" => {
+            let (arc, mbps) = rest
+                .split_once(':')
+                .ok_or_else(|| bad("expected arc_rate:IDX:MBPS".to_string()))?;
+            let arc: usize = arc
+                .parse()
+                .map_err(|_| bad("IDX must be an integer".to_string()))?;
+            let mbps: f64 = mbps
+                .parse()
+                .map_err(|_| bad("MBPS must be a number".to_string()))?;
+            if !mbps.is_finite() || mbps <= 0.0 {
+                return Err(bad("MBPS must be finite and positive".to_string()));
+            }
+            Ok(Edit::ArcRate {
+                arc,
+                bandwidth: Bandwidth::from_mbps(mbps),
+            })
+        }
+        "arc_bound" => {
+            let (arc, hops) = rest
+                .split_once(':')
+                .ok_or_else(|| bad("expected arc_bound:IDX:HOPS|none".to_string()))?;
+            let arc: usize = arc
+                .parse()
+                .map_err(|_| bad("IDX must be an integer".to_string()))?;
+            let max_hops = if hops == "none" {
+                None
+            } else {
+                Some(
+                    hops.parse()
+                        .map_err(|_| bad("HOPS must be an integer or `none`".to_string()))?,
+                )
+            };
+            Ok(Edit::ArcBound { arc, max_hops })
+        }
+        "move" => {
+            // Port names may contain dots but never colons, so the last
+            // colon always separates the name from the coordinates.
+            let (port, xy) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| bad("expected move:PORT:X,Y".to_string()))?;
+            if port.is_empty() {
+                return Err(bad("PORT must be non-empty".to_string()));
+            }
+            let (x, y) = xy
+                .split_once(',')
+                .ok_or_else(|| bad("expected X,Y coordinates".to_string()))?;
+            let x: f64 = x
+                .parse()
+                .map_err(|_| bad("X must be a number".to_string()))?;
+            let y: f64 = y
+                .parse()
+                .map_err(|_| bad("Y must be a number".to_string()))?;
+            if !x.is_finite() || !y.is_finite() {
+                return Err(bad("coordinates must be finite".to_string()));
+            }
+            Ok(Edit::MovePort {
+                port: port.to_string(),
+                position: Point2::new(x, y),
+            })
+        }
+        "library" => {
+            let text = std::fs::read_to_string(rest)
+                .map_err(|e| bad(format!("cannot read {rest}: {e}")))?;
+            let lib = io::library_from_str(&text).map_err(|e| bad(format!("{rest}: {e}")))?;
+            Ok(Edit::SetLibrary(lib))
+        }
+        other => Err(bad(format!("unknown edit op {other:?}"))),
+    }
+}
+
+fn resynth_cmd(f: &Flags) -> Result<String, String> {
+    let g = load_instance(f)?;
+    let lib = load_library(f)?;
+    let edits: Vec<Edit> = f
+        .edits
+        .iter()
+        .map(|s| parse_edit_spec(s))
+        .collect::<Result<_, _>>()?;
+    let obs = ObsSession::start(f);
+    let mut session = SynthesisSession::new(g, lib, configured(f));
+    // The cold run on the unedited instance fills the session's caches;
+    // the edited run then exercises the dirty-region warm path.
+    session.resynthesize(&[]).map_err(|e| e.to_string())?;
+    let r = session.resynthesize(&edits).map_err(|e| e.to_string())?;
+    let topology = report::topology_json(&r, session.graph(), session.library());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report::candidate_counts(&r));
+    let _ = writeln!(out, "{}", report::selection_summary(&r, session.graph(), session.library()));
+    let _ = writeln!(out, "{}", report::phase_table(&r.stats));
+    let reused_p2p = r.stats.counters.get("resynth.p2p_reused").copied().unwrap_or(0);
+    let reused_verdicts = r
+        .stats
+        .counters
+        .get("resynth.verdicts_reused")
+        .copied()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "resynth: {} edit(s); reused {reused_p2p} p2p candidate(s) \
+         and {reused_verdicts} placement verdict(s)",
+        edits.len()
+    );
+
+    if f.cold_check {
+        let cold = Synthesizer::new(session.graph(), session.library())
+            .with_config(configured(f))
+            .run()
+            .map_err(|e| e.to_string())?;
+        let cold_topology = report::topology_json(&cold, session.graph(), session.library());
+        let render = |v: &ccs_obs::json::Value| {
+            let mut s = String::new();
+            v.write_pretty(&mut s, 0);
+            s
+        };
+        if render(&topology) != render(&cold_topology) {
+            return Err(
+                "cold check FAILED: warm topology differs from a cold run \
+                 on the edited instance"
+                    .to_string(),
+            );
+        }
+        let _ = writeln!(out, "cold check: warm topology byte-identical to cold run");
+    }
+    obs.finish_with(vec![("topology", topology)])?;
     Ok(out)
 }
 
@@ -1210,6 +1379,87 @@ mod tests {
         assert!(run(&args(&format!("analyze {base} --max-cost-overhead -5"))).is_err());
         assert!(run(&args(&format!("analyze {base} --fail-k x"))).is_err());
         assert!(run(&args(&format!("analyze {base} --scenario-budget"))).is_err());
+    }
+
+    #[test]
+    fn resynth_applies_edits_and_passes_cold_check() {
+        let dir = std::env::temp_dir().join("ccs-cli-resynth");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        let inst_text = run(&args("gen wan --seed 11 --channels 10")).unwrap();
+        std::fs::write(&inst, &inst_text).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+
+        // Arc edits re-synthesize warm and match an in-process cold run.
+        let out = run(&args(&format!(
+            "resynth {base} --edit arc_rate:0:25 --edit arc_bound:1:none --cold-check"
+        )))
+        .unwrap();
+        assert!(out.contains("resynth: 2 edit(s)"), "{out}");
+        assert!(out.contains("cold check: warm topology byte-identical"), "{out}");
+        assert!(!out.contains("reused 0 p2p"), "warm run must reuse candidates: {out}");
+
+        // A port move (name taken from the generated instance) as well.
+        let port = inst_text
+            .lines()
+            .find_map(|l| l.strip_prefix("port "))
+            .and_then(|l| l.split_whitespace().next())
+            .expect("instance has ports");
+        let out = run(&args(&format!(
+            "resynth {base} --edit move:{port}:3.5,-2.25 --cold-check"
+        )))
+        .unwrap();
+        assert!(out.contains("resynth: 1 edit(s)"), "{out}");
+        assert!(out.contains("byte-identical"), "{out}");
+
+        // A library swap invalidates everything but still cold-checks.
+        let lib2 = dir.join("wan-lib2.ccs");
+        std::fs::write(&lib2, run(&args("example library soc")).unwrap()).unwrap();
+        let out = run(&args(&format!(
+            "resynth {base} --edit library:{} --cold-check",
+            lib2.display()
+        )))
+        .unwrap();
+        assert!(out.contains("reused 0 p2p candidate(s)"), "{out}");
+
+        // No edits at all is the pure warm-rerun identity check.
+        let out = run(&args(&format!("resynth {base} --cold-check"))).unwrap();
+        assert!(out.contains("resynth: 0 edit(s)"), "{out}");
+    }
+
+    #[test]
+    fn resynth_edit_specs_are_validated() {
+        let dir = std::env::temp_dir().join("ccs-cli-resynth2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("wan.ccs");
+        let lib = dir.join("wan-lib.ccs");
+        std::fs::write(&inst, run(&args("example instance wan")).unwrap()).unwrap();
+        std::fs::write(&lib, run(&args("example library wan")).unwrap()).unwrap();
+        let base = format!("--instance {} --library {}", inst.display(), lib.display());
+
+        for spec in [
+            "bogus:1:2",
+            "arc_rate",
+            "arc_rate:x:5",
+            "arc_rate:0:-3",
+            "arc_rate:0:inf",
+            "arc_bound:0:x",
+            "move:A:1",
+            "move::1,2",
+            "move:A:1,nan-ish",
+            "library:/nonexistent.ccs",
+        ] {
+            let e = run(&args(&format!("resynth {base} --edit {spec}"))).unwrap_err();
+            assert!(e.contains("--edit") || e.contains("bad --edit"), "{spec}: {e}");
+        }
+        // Structurally valid spec referencing a missing arc fails at
+        // application time with the session's own error.
+        let e = run(&args(&format!("resynth {base} --edit arc_rate:999:5"))).unwrap_err();
+        assert!(e.contains("invalid edit"), "{e}");
+        // --edit without a value is rejected by the flag parser.
+        assert!(run(&args(&format!("resynth {base} --edit"))).is_err());
     }
 
     #[test]

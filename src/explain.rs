@@ -209,6 +209,17 @@ fn describe(e: &DecisionEvent) -> String {
             "netsim.blackout: flow blacked out in simulation ({})",
             e.detail
         ),
+        Cause::ResynthInvalidated => format!(
+            "resynth.invalidated: cached result dropped by an edit ({})",
+            e.detail
+        ),
+        Cause::ResynthReused => format!(
+            "resynth.reused{k}: cached placement verdict reused untouched ({})",
+            e.detail
+                .split(',')
+                .find(|t| !t.contains('='))
+                .unwrap_or("verdict")
+        ),
     }
 }
 

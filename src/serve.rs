@@ -35,13 +35,15 @@ use ccs_core::cover::CoverStrategy;
 use ccs_core::error::SynthesisError;
 use ccs_core::placement::PlacementCache;
 use ccs_core::report;
-use ccs_core::synthesis::{SynthesisConfig, Synthesizer};
+use ccs_core::synthesis::{Edit, SynthesisConfig, SynthesisSession, Synthesizer};
+use ccs_core::units::Bandwidth;
 use ccs_exec::{CancelToken, Executor, JobQueue};
 use ccs_gen::io;
+use ccs_geom::Point2;
 use ccs_obs::json::{self, Value};
 use ccs_obs::scope::RequestObs;
 use ccs_obs::{Collector, Record};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -62,6 +64,16 @@ pub const DEFAULT_CACHE_PER_SHARD: usize = 512;
 /// content-determined rule, like the placement cache's own eviction.
 pub const MAX_LIBRARIES: usize = 16;
 
+/// Most live incremental re-synthesis sessions. Beyond this the
+/// session with the largest id is dropped (same content-determined
+/// rule as the library caches).
+pub const MAX_SESSIONS: usize = 16;
+
+/// Recently completed request ids remembered for late-duplicate
+/// rejection. A bounded ring: beyond this the oldest completed id may
+/// be reused again without an error.
+const COMPLETED_IDS_CAP: usize = 4096;
+
 /// What a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestKind {
@@ -70,6 +82,10 @@ pub enum RequestKind {
     /// Synthesis plus a resilience sweep; the response embeds both
     /// `ccs-topology-v1` and `ccs-resilience-v1`.
     Analyze,
+    /// Incremental re-synthesis against a named server-side
+    /// [`SynthesisSession`]: applies `edits`, reuses everything the
+    /// edits did not touch, answers with the same body as `synth`.
+    Resynth,
     /// Liveness probe; answered immediately, never queued.
     Ping,
     /// Cancels the in-flight or queued request named by `target`.
@@ -83,11 +99,47 @@ impl RequestKind {
         match self {
             RequestKind::Synth => "synth",
             RequestKind::Analyze => "analyze",
+            RequestKind::Resynth => "resynth",
             RequestKind::Ping => "ping",
             RequestKind::Cancel => "cancel",
             RequestKind::Shutdown => "shutdown",
         }
     }
+}
+
+/// One edit of a `resynth` request, as parsed off the wire (converted
+/// to a [`ccs_core::synthesis::Edit`] when the job runs — the library
+/// text, in particular, is only parsed then).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditSpec {
+    /// `{"op":"arc_rate","arc":N,"mbps":X}`
+    ArcRate {
+        /// Arc index.
+        arc: usize,
+        /// New bandwidth in Mb/s (finite, positive).
+        mbps: f64,
+    },
+    /// `{"op":"arc_bound","arc":N,"hops":H}` (`hops` null/absent clears)
+    ArcBound {
+        /// Arc index.
+        arc: usize,
+        /// New hop bound; `None` removes the bound.
+        hops: Option<u32>,
+    },
+    /// `{"op":"move","port":"NAME","x":X,"y":Y}`
+    MovePort {
+        /// Port name.
+        port: String,
+        /// New x position.
+        x: f64,
+        /// New y position.
+        y: f64,
+    },
+    /// `{"op":"library","text":"..."}` — replace the library.
+    Library {
+        /// Library file text ([`ccs_gen::io`] format).
+        text: String,
+    },
 }
 
 /// One parsed `ccs-request-v1` line.
@@ -123,6 +175,11 @@ pub struct Request {
     pub max_cost_overhead: Option<f64>,
     /// cancel: the id of the request to cancel.
     pub target: Option<String>,
+    /// resynth: the server-side session name. The first request for a
+    /// session must also carry `instance` and `library`.
+    pub session: Option<String>,
+    /// resynth: edits to apply before re-synthesizing (may be empty).
+    pub edits: Vec<EditSpec>,
 }
 
 /// A parse/validation failure, with the request id when one was
@@ -166,6 +223,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let kind = match doc.get("kind").and_then(Value::as_str) {
         Some("synth") => RequestKind::Synth,
         Some("analyze") => RequestKind::Analyze,
+        Some("resynth") => RequestKind::Resynth,
         Some("ping") => RequestKind::Ping,
         Some("cancel") => RequestKind::Cancel,
         Some("shutdown") => RequestKind::Shutdown,
@@ -213,6 +271,8 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         scenario_budget: usize_field("scenario_budget")?,
         max_cost_overhead: num_field("max_cost_overhead")?,
         target: str_field("target"),
+        session: str_field("session"),
+        edits: Vec::new(),
     };
     if let Some(pct) = req.max_cost_overhead {
         if !pct.is_finite() || pct < 0.0 {
@@ -229,6 +289,16 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             req.library = str_field("library")
                 .ok_or_else(|| fail(Some(&id), "missing \"library\" (library file text)"))?;
         }
+        RequestKind::Resynth => {
+            if req.session.is_none() {
+                return Err(fail(Some(&id), "resynth needs \"session\" (a session name)"));
+            }
+            // instance/library are optional here: required only on the
+            // request that creates the session (checked at run time).
+            req.instance = str_field("instance").unwrap_or_default();
+            req.library = str_field("library").unwrap_or_default();
+            req.edits = parse_edits(&doc, &id)?;
+        }
         RequestKind::Cancel => {
             if req.target.is_none() {
                 return Err(fail(Some(&id), "cancel needs \"target\" (a request id)"));
@@ -237,6 +307,81 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         RequestKind::Ping | RequestKind::Shutdown => {}
     }
     Ok(req)
+}
+
+/// Parses the `edits` array of a resynth request (absent/null = empty).
+fn parse_edits(doc: &Value, id: &str) -> Result<Vec<EditSpec>, RequestError> {
+    let items = match doc.get("edits") {
+        None | Some(Value::Null) => return Ok(Vec::new()),
+        Some(Value::Arr(items)) => items,
+        Some(_) => return Err(fail(Some(id), "\"edits\" must be an array")),
+    };
+    let mut edits = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let bad = |why: String| fail(Some(id), format!("edits[{i}]: {why}"));
+        let num = |key: &str| -> Result<f64, RequestError> {
+            match item.get(key) {
+                Some(Value::Num(n)) => Ok(*n),
+                _ => Err(bad(format!("missing numeric {key:?}"))),
+            }
+        };
+        let arc = |key: &str| -> Result<usize, RequestError> {
+            let n = num(key)?;
+            if n >= 0.0 && n.fract() == 0.0 {
+                Ok(n as usize)
+            } else {
+                Err(bad(format!("{key:?} must be a non-negative integer")))
+            }
+        };
+        let text = |key: &str| -> Result<String, RequestError> {
+            item.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("missing string {key:?}")))
+        };
+        match item.get("op").and_then(Value::as_str) {
+            Some("arc_rate") => {
+                let mbps = num("mbps")?;
+                if !mbps.is_finite() || mbps <= 0.0 {
+                    return Err(bad("\"mbps\" must be finite and positive".to_string()));
+                }
+                edits.push(EditSpec::ArcRate {
+                    arc: arc("arc")?,
+                    mbps,
+                });
+            }
+            Some("arc_bound") => {
+                let hops = match item.get("hops") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u32),
+                    Some(_) => {
+                        return Err(bad(
+                            "\"hops\" must be a non-negative integer or null".to_string()
+                        ))
+                    }
+                };
+                edits.push(EditSpec::ArcBound {
+                    arc: arc("arc")?,
+                    hops,
+                });
+            }
+            Some("move") => {
+                let (x, y) = (num("x")?, num("y")?);
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(bad("positions must be finite".to_string()));
+                }
+                edits.push(EditSpec::MovePort {
+                    port: text("port")?,
+                    x,
+                    y,
+                });
+            }
+            Some("library") => edits.push(EditSpec::Library { text: text("text")? }),
+            Some(other) => return Err(bad(format!("unknown op {other:?}"))),
+            None => return Err(bad("missing \"op\"".to_string())),
+        }
+    }
+    Ok(edits)
 }
 
 /// A line-atomic sink for response lines (one complete JSON line per
@@ -381,13 +526,49 @@ pub enum Submit {
 pub struct Engine {
     queue: JobQueue<Job>,
     inflight: Mutex<HashMap<String, CancelToken>>,
-    caches: Mutex<BTreeMap<u64, Arc<PlacementCache>>>,
+    /// Per-library shared placement caches, keyed by the FNV-1a
+    /// fingerprint of the library text. The full text is stored
+    /// alongside and verified on every hit: a 64-bit fingerprint can
+    /// collide, and serving another library's placement solves would
+    /// silently corrupt results.
+    caches: Mutex<BTreeMap<u64, (String, Arc<PlacementCache>)>>,
+    /// Named incremental re-synthesis sessions (`resynth` requests).
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<SynthesisSession>>>>,
+    /// Recently completed request ids: a late duplicate (an id reused
+    /// after its request already answered) is rejected like an
+    /// in-flight duplicate, instead of interleaving two responses
+    /// under one id.
+    completed: Mutex<CompletedIds>,
     request_threads: usize,
     cache_per_shard: usize,
     ledger_cap: usize,
     served: AtomicU64,
     cancelled: AtomicU64,
     errors: AtomicU64,
+}
+
+/// A bounded insertion-ordered set of recently completed request ids.
+#[derive(Default)]
+struct CompletedIds {
+    set: HashSet<String>,
+    order: VecDeque<String>,
+}
+
+impl CompletedIds {
+    fn insert(&mut self, id: String) {
+        if self.set.insert(id.clone()) {
+            self.order.push_back(id);
+            while self.order.len() > COMPLETED_IDS_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, id: &str) -> bool {
+        self.set.contains(id)
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -415,6 +596,8 @@ impl Engine {
             queue: JobQueue::new(),
             inflight: Mutex::new(HashMap::new()),
             caches: Mutex::new(BTreeMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+            completed: Mutex::new(CompletedIds::default()),
             request_threads: cfg.request_threads,
             cache_per_shard: cfg.cache_per_shard.max(1),
             ledger_cap: cfg.ledger_cap.max(1),
@@ -439,14 +622,23 @@ impl Engine {
     }
 
     /// The shared placement cache for this library text, creating (and
-    /// bounding the library set) as needed.
+    /// bounding the library set) as needed. On a fingerprint collision
+    /// (the stored text differs from `library_text`) the entry is NOT
+    /// served: the caller gets a fresh private cache instead, so a
+    /// colliding library can never observe another library's solves.
     fn cache_for(&self, library_text: &str) -> Arc<PlacementCache> {
         let key = fingerprint(library_text);
         let mut caches = self.caches.lock().unwrap_or_else(|e| e.into_inner());
-        let cache = caches
-            .entry(key)
-            .or_insert_with(|| Arc::new(PlacementCache::bounded(self.cache_per_shard)))
-            .clone();
+        if let Some((text, cache)) = caches.get(&key) {
+            if text == library_text {
+                return cache.clone();
+            }
+            // Collision: the slot belongs to a different library. Hand
+            // out an unshared cache — correctness over reuse.
+            return Arc::new(PlacementCache::bounded(self.cache_per_shard));
+        }
+        let cache = Arc::new(PlacementCache::bounded(self.cache_per_shard));
+        caches.insert(key, (library_text.to_string(), cache.clone()));
         while caches.len() > MAX_LIBRARIES {
             // Deterministic bound: drop the largest fingerprint (the
             // BTreeMap's last key), independent of arrival order.
@@ -497,8 +689,20 @@ impl Engine {
                 Submit::Handled
             }
             RequestKind::Shutdown => Submit::Shutdown(req.id),
-            RequestKind::Synth | RequestKind::Analyze => {
+            RequestKind::Synth | RequestKind::Analyze | RequestKind::Resynth => {
                 let cancel = CancelToken::new();
+                {
+                    let completed = self.completed.lock().unwrap_or_else(|e| e.into_inner());
+                    if completed.contains(&req.id) {
+                        drop(completed);
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        send_value(
+                            sink.as_ref(),
+                            &error_response(Some(&req.id), "duplicate id (already completed)"),
+                        );
+                        return Submit::Handled;
+                    }
+                }
                 {
                     let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
                     if inflight.contains_key(&req.id) {
@@ -577,6 +781,11 @@ impl Engine {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&job.req.id);
+        // Remember the id: a late reuse is rejected, not interleaved.
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job.req.id.clone());
         send_value(job.sink.as_ref(), &response);
     }
 
@@ -585,6 +794,9 @@ impl Engine {
     /// metrics and ledger are exactly what a one-shot run of the same
     /// request records.
     fn execute(&self, job: &Job) -> Value {
+        if job.req.kind == RequestKind::Resynth {
+            return self.execute_resynth(job);
+        }
         let req = &job.req;
         let fail = |msg: &str| {
             self.errors.fetch_add(1, Ordering::Relaxed);
@@ -681,6 +893,131 @@ impl Engine {
         }
         let mut obj = response_base(&req.id, "ok");
         obj.insert("kind".to_string(), Value::Str(req.kind.id().to_string()));
+        obj.insert("metrics".to_string(), metrics);
+        if req.ledger {
+            if let Some(ledger) = obs.take_ledger() {
+                obj.insert("ledger".to_string(), ledger.to_json());
+            }
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Value::Obj(obj)
+    }
+
+    /// Looks up (or creates) the named session for a resynth request.
+    fn session_for(
+        &self,
+        req: &Request,
+        cancel: &CancelToken,
+    ) -> Result<Arc<Mutex<SynthesisSession>>, String> {
+        let name = req.session.as_deref().unwrap_or("");
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = sessions.get(name) {
+            return Ok(slot.clone());
+        }
+        if req.instance.is_empty() || req.library.is_empty() {
+            return Err(format!(
+                "unknown session {name:?}: the first resynth for a session needs \
+                 \"instance\" and \"library\""
+            ));
+        }
+        let graph = io::instance_from_str(&req.instance).map_err(|e| format!("instance: {e}"))?;
+        let library = io::library_from_str(&req.library).map_err(|e| format!("library: {e}"))?;
+        // The session pins its configuration (pruning and covering
+        // knobs fix which verdicts are cacheable); later requests only
+        // swap the cancel token.
+        let mut cfg = SynthesisConfig::default();
+        if req.greedy {
+            cfg.cover = CoverStrategy::Greedy;
+        }
+        cfg.merge.max_k = req.max_k;
+        cfg.merge.lb_gate = req.lb_gate;
+        cfg.threads = req.threads.unwrap_or(self.request_threads);
+        cfg.cancel = cancel.clone();
+        cfg.shared_cache = Some(self.cache_for(&req.library));
+        let slot = Arc::new(Mutex::new(SynthesisSession::new(graph, library, cfg)));
+        sessions.insert(name.to_string(), slot.clone());
+        while sessions.len() > MAX_SESSIONS {
+            let last = sessions
+                .keys()
+                .next_back()
+                .expect("non-empty")
+                .clone();
+            sessions.remove(&last);
+        }
+        Ok(slot)
+    }
+
+    /// Runs one resynth job: find/create the session, apply the edits,
+    /// re-synthesize warm, answer with the same body as `synth` (the
+    /// topology document is byte-identical to a cold run of the edited
+    /// instance). Concurrent resynths on one session serialize on the
+    /// session lock.
+    fn execute_resynth(&self, job: &Job) -> Value {
+        let req = &job.req;
+        let fail = |msg: &str| {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(Some(&req.id), msg)
+        };
+        let slot = match self.session_for(req, &job.cancel) {
+            Ok(slot) => slot,
+            Err(e) => return fail(&e),
+        };
+        // Library edits parse outside the obs scope, like synth inputs.
+        let mut edits = Vec::with_capacity(req.edits.len());
+        for spec in &req.edits {
+            edits.push(match spec {
+                EditSpec::ArcRate { arc, mbps } => Edit::ArcRate {
+                    arc: *arc,
+                    bandwidth: Bandwidth::from_mbps(*mbps),
+                },
+                EditSpec::ArcBound { arc, hops } => Edit::ArcBound {
+                    arc: *arc,
+                    max_hops: *hops,
+                },
+                EditSpec::MovePort { port, x, y } => Edit::MovePort {
+                    port: port.clone(),
+                    position: Point2::new(*x, *y),
+                },
+                EditSpec::Library { text } => match io::library_from_str(text) {
+                    Ok(lib) => Edit::SetLibrary(lib),
+                    Err(e) => return fail(&format!("library edit: {e}")),
+                },
+            });
+        }
+
+        let collector = Collector::new();
+        let obs = RequestObs::new(
+            Some(collector.clone() as Arc<dyn Record>),
+            req.ledger.then_some(self.ledger_cap),
+        );
+        let guard = ccs_obs::scope::enter(obs.clone());
+        let mut session = slot.lock().unwrap_or_else(|e| e.into_inner());
+        session.set_cancel(job.cancel.clone());
+        let r = match session.resynthesize(&edits) {
+            Ok(r) => r,
+            Err(SynthesisError::Cancelled) => {
+                drop(guard);
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                return cancelled_response(req);
+            }
+            Err(e) => {
+                drop(guard);
+                return fail(&e.to_string());
+            }
+        };
+        let topology = report::topology_json(&r, session.graph(), session.library());
+        drop(session);
+        drop(guard);
+
+        let mut metrics = collector.snapshot().to_json();
+        if let Value::Obj(map) = &mut metrics {
+            map.insert("topology".to_string(), topology);
+        }
+        let mut obj = response_base(&req.id, "ok");
+        obj.insert("kind".to_string(), Value::Str("resynth".to_string()));
+        if let Some(name) = &req.session {
+            obj.insert("session".to_string(), Value::Str(name.clone()));
+        }
         obj.insert("metrics".to_string(), metrics);
         if req.ledger {
             if let Some(ledger) = obs.take_ledger() {
@@ -913,6 +1250,33 @@ mod tests {
         line
     }
 
+    fn resynth_line(id: &str, session: &str, seed: Option<u64>, edits: Value) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema".to_string(), Value::Str(REQUEST_SCHEMA.to_string()));
+        obj.insert("id".to_string(), Value::Str(id.to_string()));
+        obj.insert("kind".to_string(), Value::Str("resynth".to_string()));
+        obj.insert("session".to_string(), Value::Str(session.to_string()));
+        if let Some(seed) = seed {
+            obj.insert("instance".to_string(), Value::Str(wan_instance(seed)));
+            obj.insert("library".to_string(), Value::Str(wan_library()));
+        }
+        obj.insert("edits".to_string(), edits);
+        obj.insert("ledger".to_string(), Value::Bool(true));
+        let mut line = String::new();
+        Value::Obj(obj).write_compact(&mut line);
+        line
+    }
+
+    fn topology_text(doc: &Value) -> String {
+        let mut s = String::new();
+        doc.get("metrics")
+            .expect("metrics embedded")
+            .get("topology")
+            .expect("topology embedded")
+            .write_compact(&mut s);
+        s
+    }
+
     #[test]
     fn parse_request_validates() {
         assert!(parse_request("not json").is_err());
@@ -1124,6 +1488,189 @@ mod tests {
             engine.cache_for(&format!("library {i}"));
         }
         assert!(engine.caches.lock().unwrap().len() <= MAX_LIBRARIES);
+    }
+
+    #[test]
+    fn colliding_library_fingerprint_never_shares_a_cache() {
+        let engine = Engine::new(&ServeConfig::default());
+        let real = "library real";
+        // Force a collision: seed real's fingerprint slot with another
+        // library's text and cache.
+        let impostor = Arc::new(PlacementCache::new());
+        engine.caches.lock().unwrap().insert(
+            fingerprint(real),
+            ("library impostor".to_string(), impostor.clone()),
+        );
+        let served = engine.cache_for(real);
+        assert!(
+            !Arc::ptr_eq(&served, &impostor),
+            "a collision must not serve another library's solves"
+        );
+        // The incumbent keeps its slot; the collider gets a private
+        // cache on every call (correct, just unshared).
+        let again = engine.cache_for(real);
+        assert!(!Arc::ptr_eq(&again, &impostor));
+        assert!(!Arc::ptr_eq(&again, &served));
+        let (text, incumbent) = engine.caches.lock().unwrap()[&fingerprint(real)].clone();
+        assert_eq!(text, "library impostor");
+        assert!(Arc::ptr_eq(&incumbent, &impostor));
+    }
+
+    #[test]
+    fn late_duplicate_id_is_rejected() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 1), &dyn_sink),
+            Submit::Queued
+        );
+        let job = engine.queue.pop().expect("queued job");
+        engine.run_job(job);
+        assert_eq!(engine.summary().served, 1);
+        // The id completed; reusing it must error, not run again.
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 2), &dyn_sink),
+            Submit::Handled
+        );
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1].get("status").unwrap().as_str(), Some("error"));
+        assert!(docs[1]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("completed"));
+        assert_eq!(engine.summary().served, 1);
+    }
+
+    #[test]
+    fn resynth_session_round_trip_matches_synth() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        // r0 creates the session (cold), r1 re-runs it warm; cold is
+        // the one-shot reference for the same instance.
+        engine.submit_line(&resynth_line("r0", "s1", Some(7), Value::Arr(vec![])), &dyn_sink);
+        engine.submit_line(&resynth_line("r1", "s1", None, Value::Arr(vec![])), &dyn_sink);
+        engine.submit_line(&synth_line("cold", 7), &dyn_sink);
+        engine.close();
+        engine.worker_loop();
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 3);
+        for d in &docs[..2] {
+            assert_eq!(d.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(d.get("kind").unwrap().as_str(), Some("resynth"));
+            assert_eq!(d.get("session").unwrap().as_str(), Some("s1"));
+        }
+        let cold = topology_text(&docs[2]);
+        assert_eq!(topology_text(&docs[0]), cold);
+        assert_eq!(topology_text(&docs[1]), cold, "warm must be byte-identical");
+        assert_eq!(engine.summary().served, 3);
+    }
+
+    #[test]
+    fn warm_resynth_edit_matches_a_fresh_session_cold_run() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        let edits = json::parse(
+            "[{\"op\":\"arc_rate\",\"arc\":0,\"mbps\":42.5},\
+              {\"op\":\"arc_bound\",\"arc\":1,\"hops\":6}]",
+        )
+        .unwrap();
+        // Session "warm": cold create, then the edit applies warm.
+        engine.submit_line(&resynth_line("a0", "warm", Some(7), Value::Arr(vec![])), &dyn_sink);
+        engine.submit_line(&resynth_line("a1", "warm", None, edits.clone()), &dyn_sink);
+        // Session "cold": created with the edit in its first request,
+        // so the whole pipeline runs cold on the edited instance.
+        engine.submit_line(&resynth_line("b0", "cold", Some(7), edits), &dyn_sink);
+        engine.close();
+        engine.worker_loop();
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 3);
+        for d in &docs {
+            assert_eq!(d.get("status").unwrap().as_str(), Some("ok"));
+        }
+        assert_eq!(
+            topology_text(&docs[1]),
+            topology_text(&docs[2]),
+            "warm edit must match the cold run of the edited instance"
+        );
+    }
+
+    #[test]
+    fn resynth_unknown_session_and_bad_edits_error() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        engine.submit_line(&resynth_line("x", "ghost", None, Value::Arr(vec![])), &dyn_sink);
+        // An edit against an arc the instance does not have.
+        let bad = json::parse("[{\"op\":\"arc_rate\",\"arc\":999,\"mbps\":1.0}]").unwrap();
+        engine.submit_line(&resynth_line("y", "s", Some(3), bad), &dyn_sink);
+        engine.close();
+        engine.worker_loop();
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("status").unwrap().as_str(), Some("error"));
+        assert!(docs[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown session"));
+        assert_eq!(docs[1].get("status").unwrap().as_str(), Some("error"));
+        assert!(docs[1]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("invalid edit"));
+        assert_eq!(engine.summary().errors, 2);
+    }
+
+    #[test]
+    fn parse_resynth_validates() {
+        // session is mandatory.
+        let err = parse_request(
+            "{\"schema\":\"ccs-request-v1\",\"id\":\"r\",\"kind\":\"resynth\"}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("session"));
+        // A well-formed request with every edit op.
+        let req = parse_request(
+            "{\"schema\":\"ccs-request-v1\",\"id\":\"r\",\"kind\":\"resynth\",\
+              \"session\":\"s\",\"edits\":[\
+              {\"op\":\"arc_rate\",\"arc\":1,\"mbps\":2.5},\
+              {\"op\":\"arc_bound\",\"arc\":0,\"hops\":null},\
+              {\"op\":\"move\",\"port\":\"p\",\"x\":1.0,\"y\":-2.0},\
+              {\"op\":\"library\",\"text\":\"lib\"}]}",
+        )
+        .unwrap();
+        assert_eq!(req.kind, RequestKind::Resynth);
+        assert_eq!(req.session.as_deref(), Some("s"));
+        assert_eq!(req.edits.len(), 4);
+        assert_eq!(
+            req.edits[0],
+            EditSpec::ArcRate { arc: 1, mbps: 2.5 }
+        );
+        assert_eq!(req.edits[1], EditSpec::ArcBound { arc: 0, hops: None });
+        // Malformed edits are rejected with the item index.
+        for bad in [
+            "[{\"op\":\"arc_rate\",\"arc\":1,\"mbps\":-3.0}]",
+            "[{\"op\":\"arc_rate\",\"arc\":1.5,\"mbps\":3.0}]",
+            "[{\"op\":\"warp\"}]",
+            "[{\"arc\":1}]",
+            "[{\"op\":\"move\",\"port\":\"p\",\"x\":1.0}]",
+        ] {
+            let line = format!(
+                "{{\"schema\":\"ccs-request-v1\",\"id\":\"r\",\"kind\":\"resynth\",\
+                  \"session\":\"s\",\"edits\":{bad}}}"
+            );
+            let err = parse_request(&line).unwrap_err();
+            assert!(err.message.contains("edits[0]"), "{}", err.message);
+        }
     }
 
     #[test]

@@ -65,6 +65,8 @@ fn synth_request(id: &str, seed: u64, threads: usize) -> Request {
         scenario_budget: None,
         max_cost_overhead: None,
         target: None,
+        session: None,
+        edits: Vec::new(),
     }
 }
 
