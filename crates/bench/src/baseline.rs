@@ -236,6 +236,17 @@ fn run_case(case: &Case, threads: usize) -> Result<CaseRun, String> {
 /// latency (p99, submission to response, queueing included) and
 /// throughput. This is the wire-format-free core of the daemon — the
 /// TCP transport adds only the syscalls.
+///
+/// Three interleaved batches run per call: a telemetry-off control, a
+/// second telemetry-off batch (an A/A pair whose wall times feed the
+/// `compare` overhead gate: the disabled telemetry path must stay
+/// within [`TELEMETRY_OFF_MAX_OVERHEAD`]), and the telemetry-on
+/// primary batch the latency/throughput figures come from. The primary
+/// batch also scrapes the server-side p99 from the same
+/// `ccs-serve-stats-v1` document the wire `stats` op serves and
+/// cross-checks it against the client-side measurement within the
+/// histogram's bucket resolution — a drifting estimator fails the
+/// bench run itself.
 fn serve_load(workers: usize) -> Result<CaseRun, String> {
     use ccs::serve::{Engine, Request, RequestKind, ResponseSink, ServeConfig};
     use std::sync::{Arc, Mutex};
@@ -253,67 +264,117 @@ fn serve_load(workers: usize) -> Result<CaseRun, String> {
 
     const REQUESTS: usize = 24;
     let library = ccs_gen::io::library_to_string(&ccs_gen::wan::paper_library());
-    let reqs: Vec<Request> = (0..REQUESTS)
-        .map(|i| {
-            let cfg = ccs_gen::random::ClusteredWanConfig {
-                seed: 900 + i as u64,
-                channels: 5,
-                ..Default::default()
-            };
-            Request {
-                id: format!("b{i}"),
-                kind: RequestKind::Synth,
-                instance: ccs_gen::io::instance_to_string(&ccs_gen::random::clustered_wan(&cfg)),
-                library: library.clone(),
-                priority: (i % 3) as i64,
-                threads: Some(1),
-                greedy: false,
-                max_k: None,
-                lb_gate: true,
-                ledger: i % 2 == 0,
-                fail_k: None,
-                scenario_budget: None,
-                max_cost_overhead: None,
-                target: None,
-                session: None,
-                edits: Vec::new(),
-            }
-        })
-        .collect();
+    let build_reqs = || -> Vec<Request> {
+        (0..REQUESTS)
+            .map(|i| {
+                let cfg = ccs_gen::random::ClusteredWanConfig {
+                    seed: 900 + i as u64,
+                    channels: 5,
+                    ..Default::default()
+                };
+                Request {
+                    id: format!("b{i}"),
+                    kind: RequestKind::Synth,
+                    instance: ccs_gen::io::instance_to_string(&ccs_gen::random::clustered_wan(
+                        &cfg,
+                    )),
+                    library: library.clone(),
+                    priority: (i % 3) as i64,
+                    threads: Some(1),
+                    greedy: false,
+                    max_k: None,
+                    lb_gate: true,
+                    ledger: i % 2 == 0,
+                    fail_k: None,
+                    scenario_budget: None,
+                    max_cost_overhead: None,
+                    target: None,
+                    session: None,
+                    edits: Vec::new(),
+                }
+            })
+            .collect()
+    };
 
-    let engine = Engine::new(&ServeConfig::default());
-    let sink = Arc::new(LatencySink {
-        start: Instant::now(),
-        done_ns: Mutex::new(Vec::with_capacity(REQUESTS)),
-    });
-    let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
-    for req in reqs {
-        engine.submit(req, &dyn_sink);
-    }
-    engine.close();
-    let mut handles = Vec::with_capacity(workers.max(1));
-    for _ in 0..workers.max(1) {
-        let engine = engine.clone();
-        handles.push(std::thread::spawn(move || engine.worker_loop()));
-    }
-    for h in handles {
-        h.join().map_err(|_| "serve worker panicked".to_string())?;
-    }
-    let total_ns = u64::try_from(sink.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // One full batch on a fresh engine; returns the batch wall time,
+    // the sorted client-side completion times, and the drained engine
+    // (for the stats scrape and the summary checks).
+    let run_batch = |telemetry: bool| -> Result<(u64, Vec<u64>, Arc<Engine>), String> {
+        let engine = Engine::new(&ServeConfig {
+            telemetry,
+            ..ServeConfig::default()
+        });
+        let sink = Arc::new(LatencySink {
+            start: Instant::now(),
+            done_ns: Mutex::new(Vec::with_capacity(REQUESTS)),
+        });
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        for req in build_reqs() {
+            engine.submit(req, &dyn_sink);
+        }
+        engine.close();
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let engine = engine.clone();
+            handles.push(std::thread::spawn(move || engine.worker_loop()));
+        }
+        for h in handles {
+            h.join().map_err(|_| "serve worker panicked".to_string())?;
+        }
+        let total_ns = u64::try_from(sink.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let summary = engine.summary();
+        if summary.served != REQUESTS as u64 || summary.errors != 0 {
+            return Err(format!(
+                "serve_engine: expected {REQUESTS} served responses, got {summary:?}"
+            ));
+        }
+        let mut done = sink.done_ns.lock().unwrap().clone();
+        done.sort_unstable();
+        Ok((total_ns, done, engine))
+    };
 
-    let summary = engine.summary();
-    if summary.served != REQUESTS as u64 || summary.errors != 0 {
+    let (ctl_ns, _, _) = run_batch(false)?;
+    let (off_ns, _, _) = run_batch(false)?;
+    let (on_ns, done, engine) = run_batch(true)?;
+
+    let p99 = done[((done.len() - 1) * 99) / 100];
+    let req_per_sec = (REQUESTS as f64 / (on_ns.max(1) as f64 / 1e9)) as u64;
+
+    // Server-side p99 from the telemetry-on engine, read through the
+    // same document the wire `{"op":"stats"}` request serves.
+    let stats = engine.stats_json();
+    let stats_p99 = stats
+        .get("ops")
+        .and_then(|o| o.get("synth"))
+        .and_then(|o| o.get("total"))
+        .and_then(|o| o.get("lifetime"))
+        .and_then(|o| o.get("p99_ns"))
+        .and_then(ccs_obs::json::Value::as_num)
+        .ok_or("serve_engine: stats document has no synth total p99")? as u64;
+    // Cross-check against the client-side order statistic of the SAME
+    // rank the histogram estimates (ceil(q*n), not the floor-indexed
+    // p99 reported above). All requests enqueue at ~t=0, so client
+    // completion times and server total latencies measure the same
+    // thing up to submission skew: the bound is the histogram's
+    // relative bucket error plus a small absolute slack.
+    let rank = ((0.99 * REQUESTS as f64).ceil() as usize).clamp(1, REQUESTS);
+    let client_p99 = done[rank - 1];
+    let tolerance = (2.0 * ccs::obs::hist::RELATIVE_ERROR * client_p99 as f64) as u64 + 2_000_000;
+    if stats_p99.abs_diff(client_p99) > tolerance {
         return Err(format!(
-            "serve_engine: expected {REQUESTS} served responses, got {summary:?}"
+            "serve_engine: server-side p99 {stats_p99}ns disagrees with the \
+             client-side measurement {client_p99}ns beyond bucket resolution \
+             (+-{tolerance}ns)"
         ));
     }
-    let mut done = sink.done_ns.lock().unwrap().clone();
-    done.sort_unstable();
-    let p99 = done[((done.len() - 1) * 99) / 100];
-    let req_per_sec = (REQUESTS as f64 / (total_ns.max(1) as f64 / 1e9)) as u64;
+
     let mut extras = BTreeMap::new();
     extras.insert("p99_ns".to_string(), p99);
     extras.insert("req_per_sec".to_string(), req_per_sec);
+    extras.insert("stats_p99_ns".to_string(), stats_p99);
+    extras.insert("telemetry_ctl_ns".to_string(), ctl_ns);
+    extras.insert("telemetry_off_ns".to_string(), off_ns);
+    extras.insert("telemetry_on_ns".to_string(), on_ns);
     Ok(CaseRun {
         counters: BTreeMap::new(),
         extras,
@@ -492,6 +553,19 @@ fn lookup<'v>(doc: &'v Value, path: &[&str]) -> Option<&'v Value> {
 /// baseline drift.
 pub const RESYNTH_WARM_MAX_FRACTION: f64 = 0.10;
 
+/// Budget for the serve engine's telemetry-disabled path, as a
+/// fraction of the telemetry-off control batch: the A/A pair the serve
+/// case reports (`telemetry_ctl_ns` / `telemetry_off_ns`) must agree
+/// within 1%, the same budget the ledger experiment holds its disabled
+/// path to. Enforced together with an absolute floor
+/// ([`TELEMETRY_OFF_MIN_DELTA_NS`]) so scheduler noise on a fast batch
+/// cannot trip the gate.
+pub const TELEMETRY_OFF_MAX_OVERHEAD: f64 = 0.01;
+
+/// Absolute slack under which a telemetry A/A delta is never a
+/// regression (see [`TELEMETRY_OFF_MAX_OVERHEAD`]).
+pub const TELEMETRY_OFF_MIN_DELTA_NS: f64 = 10_000_000.0;
+
 /// Compares `current` against `baseline` (both `ccs-bench-v1`).
 /// Returns every metric of the baseline whose current value exceeds it
 /// by more than the applicable tolerance (`wall_tol_pct` for wall
@@ -505,6 +579,10 @@ pub const RESYNTH_WARM_MAX_FRACTION: f64 = 0.10;
 /// the warm time must stay under [`RESYNTH_WARM_MAX_FRACTION`] of the
 /// cold time — a warm-started re-synthesis that costs as much as a
 /// cold run is a regression even if the baseline had the same defect.
+/// Likewise for the serve engine's telemetry A/A pair: a reported
+/// `telemetry_off_ns_median` exceeding `telemetry_ctl_ns_median` by
+/// more than [`TELEMETRY_OFF_MAX_OVERHEAD`] (and the absolute floor)
+/// fails on the current run alone.
 ///
 /// # Errors
 ///
@@ -542,9 +620,10 @@ pub fn compare(
     // baseline metric missing from `current` is an error like any
     // other. `higher_is_better` flips the regression direction
     // (throughput figures regress by shrinking).
-    let optional: [(&[&str], bool); 4] = [
+    let optional: [(&[&str], bool); 5] = [
         (&["serve", "p99_ns_median"], false),
         (&["serve", "req_per_sec_median"], true),
+        (&["serve", "stats_p99_ns_median"], false),
         (&["resynth", "cold_ns_median"], false),
         (&["resynth", "warm_ns_median"], false),
     ];
@@ -662,6 +741,49 @@ pub fn compare(
                         baseline: cap_pct,
                         current: pct,
                         change_pct: (pct / cap_pct - 1.0) * 100.0,
+                    });
+                }
+            }
+        }
+    }
+
+    // Property gate on the current run: the serve engine's disabled
+    // telemetry path must cost nothing. Wherever a thread entry reports
+    // the A/A pair (`telemetry_ctl_ns_median` / `telemetry_off_ns_median`,
+    // both with telemetry off), their delta must stay within
+    // TELEMETRY_OFF_MAX_OVERHEAD — like the resynth gate, checked on
+    // `current` alone so a costly disabled path fails on the run that
+    // introduces it.
+    if let Some(cur_cases) = current.get("cases").and_then(Value::as_obj) {
+        for (case, cur_case) in cur_cases {
+            let Some(cur_threads) = cur_case.get("threads").and_then(Value::as_obj) else {
+                continue;
+            };
+            for (tkey, entry) in cur_threads {
+                let ctl =
+                    lookup(entry, &["serve", "telemetry_ctl_ns_median"]).and_then(Value::as_num);
+                let off =
+                    lookup(entry, &["serve", "telemetry_off_ns_median"]).and_then(Value::as_num);
+                let (Some(ctl), Some(off)) = (ctl, off) else {
+                    continue;
+                };
+                if ctl <= 0.0 {
+                    return Err(format!(
+                        "current {case}/{tkey}: serve.telemetry_ctl_ns_median is {ctl}; \
+                         cannot gate the telemetry-off overhead"
+                    ));
+                }
+                let overhead = (off - ctl) / ctl;
+                let delta = off - ctl;
+                if overhead > TELEMETRY_OFF_MAX_OVERHEAD && delta > TELEMETRY_OFF_MIN_DELTA_NS {
+                    let cap_pct = TELEMETRY_OFF_MAX_OVERHEAD * 100.0;
+                    regressions.push(Regression {
+                        case: case.clone(),
+                        threads: tkey.clone(),
+                        metric: "serve.telemetry_off_overhead_pct".to_string(),
+                        baseline: cap_pct,
+                        current: overhead * 100.0,
+                        change_pct: (overhead * 100.0 / cap_pct - 1.0) * 100.0,
                     });
                 }
             }
@@ -788,6 +910,45 @@ mod tests {
         // The other direction stays a skip: a zero *baseline* has no
         // meaningful ratio, and the current positive value is progress.
         assert!(compare(&zeroed, &base, 10.0, 10.0).unwrap().is_empty());
+    }
+
+    fn telemetry_doc(ctl: u64, off: u64) -> Value {
+        let text = format!(
+            r#"{{"schema":"ccs-bench-v1","preset":"quick","reps":3,
+                "cases":{{"serve_engine":{{"threads":{{"t1":{{
+                    "wall_ns":{{"median":1000000,"iqr":0,"min":1000000,"max":1000000}},
+                    "alloc":{{"allocs_median":10,"alloc_bytes_median":640}},
+                    "serve":{{"telemetry_ctl_ns_median":{ctl},"telemetry_off_ns_median":{off}}}
+                }}}}}}}}}}"#
+        );
+        ccs_obs::json::parse(&text).expect("valid test doc")
+    }
+
+    #[test]
+    fn telemetry_off_overhead_gates_the_current_document() {
+        // A/A pair agreeing within the budget passes.
+        let good = telemetry_doc(2_000_000_000, 2_010_000_000);
+        assert!(compare(&good, &good, 10.0, 10.0).unwrap().is_empty());
+        // 5% overhead (100ms on a 2s batch) fails, baseline or not.
+        let bad = telemetry_doc(2_000_000_000, 2_100_000_000);
+        let regs = compare(&bad, &bad, 1000.0, 1000.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "serve.telemetry_off_overhead_pct");
+        assert_eq!(regs[0].case, "serve_engine");
+        assert!((regs[0].current - 5.0).abs() < 1e-9);
+        // Over 1% relative but under the absolute floor: scheduler
+        // noise on a fast batch, never a regression.
+        let fast = telemetry_doc(100_000_000, 105_000_000);
+        assert!(compare(&fast, &fast, 1000.0, 1000.0).unwrap().is_empty());
+        // The disabled path getting FASTER than control is obviously
+        // fine (A/A noise can land either way).
+        let inverted = telemetry_doc(2_000_000_000, 1_900_000_000);
+        assert!(compare(&inverted, &inverted, 1000.0, 1000.0)
+            .unwrap()
+            .is_empty());
+        // A zero control median cannot be gated: error.
+        let degenerate = telemetry_doc(0, 0);
+        assert!(compare(&good, &degenerate, 10.0, 10.0).is_err());
     }
 
     fn resynth_doc(cold: u64, warm: u64) -> Value {

@@ -637,7 +637,7 @@ impl<'a> Synthesizer<'a> {
         // first `arc_count` candidates are exactly the per-arc p2p
         // columns; the k = 2 survivors are the merge-neighborhood
         // adjacency used for the dirty-region counter.
-        if let Some(state) = session.as_deref_mut() {
+        if let Some(state) = session {
             state.p2p = candidates[..graph.arc_count()]
                 .iter()
                 .cloned()
@@ -925,10 +925,9 @@ impl SynthesisSession {
                         dirty[*arc] = true;
                     }
                     Edit::MovePort { port, position } => {
-                        let idx =
-                            ports.iter().position(|p| p.name == *port).ok_or_else(|| {
-                                SynthesisError::InvalidEdit(format!("unknown port {port:?}"))
-                            })?;
+                        let idx = ports.iter().position(|p| p.name == *port).ok_or_else(|| {
+                            SynthesisError::InvalidEdit(format!("unknown port {port:?}"))
+                        })?;
                         ports[idx].position = *position;
                         let pid = PortId(idx as u32);
                         for (i, a) in arcs.iter().enumerate() {
@@ -953,8 +952,13 @@ impl SynthesisSession {
                 .map(|p| b.add_port(p.name.clone(), p.position))
                 .collect();
             for a in &arcs {
-                b.add_channel_limited(pids[a.src.index()], pids[a.dst.index()], a.bandwidth, a.max_hops)
-                    .map_err(|e| SynthesisError::InvalidEdit(e.to_string()))?;
+                b.add_channel_limited(
+                    pids[a.src.index()],
+                    pids[a.dst.index()],
+                    a.bandwidth,
+                    a.max_hops,
+                )
+                .map_err(|e| SynthesisError::InvalidEdit(e.to_string()))?;
             }
             self.graph = b
                 .build()
@@ -1420,8 +1424,7 @@ mod tests {
         let g = cluster_instance();
         let lib = wan_paper_library();
         let cold = Synthesizer::new(&g, &lib).run().unwrap();
-        let mut session =
-            SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
+        let mut session = SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
         let first = session.resynthesize(&[]).unwrap();
         let second = session.resynthesize(&[]).unwrap();
         assert_same_result(&first, &cold);
@@ -1443,8 +1446,7 @@ mod tests {
     fn session_arc_edits_match_cold_run_on_edited_instance() {
         let g = cluster_instance();
         let lib = wan_paper_library();
-        let mut session =
-            SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
+        let mut session = SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
         session.resynthesize(&[]).unwrap();
         let warm = session
             .resynthesize(&[
@@ -1482,8 +1484,7 @@ mod tests {
     fn session_port_move_matches_cold_run() {
         let g = cluster_instance();
         let lib = wan_paper_library();
-        let mut session =
-            SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
+        let mut session = SynthesisSession::new(g.clone(), lib.clone(), SynthesisConfig::default());
         session.resynthesize(&[]).unwrap();
         let new_pos = Point2::new(70.0, 70.0);
         let warm = session
@@ -1514,8 +1515,7 @@ mod tests {
     fn session_library_swap_invalidates_everything() {
         let g = cluster_instance();
         let lib = wan_paper_library();
-        let mut session =
-            SynthesisSession::new(g.clone(), lib, SynthesisConfig::default());
+        let mut session = SynthesisSession::new(g.clone(), lib, SynthesisConfig::default());
         session.resynthesize(&[]).unwrap();
         // A different library: one long cheap link plus free nodes.
         let lib2 = Library::builder()
@@ -1558,7 +1558,9 @@ mod tests {
                 position: Point2::new(203.0, 0.0),
             },
         ] {
-            let err = session.resynthesize(std::slice::from_ref(&bad)).unwrap_err();
+            let err = session
+                .resynthesize(std::slice::from_ref(&bad))
+                .unwrap_err();
             assert!(matches!(err, SynthesisError::InvalidEdit(_)), "{err}");
         }
         // The session still answers, unchanged, fully warm.

@@ -610,8 +610,9 @@ impl CoverMatrix {
             return;
         }
         let mut lb_cache = None;
-        let mut lb_for =
-            |rows: &BitSet, cols: &BitSet| *lb_cache.get_or_insert_with(|| self.dual_ascent_bound(rows, cols));
+        let mut lb_for = |rows: &BitSet, cols: &BitSet| {
+            *lb_cache.get_or_insert_with(|| self.dual_ascent_bound(rows, cols))
+        };
         if let Some((bc, _)) = best {
             let lb = lb_for(&rows, &cols);
             if cost + lb >= *bc - 1e-12 {

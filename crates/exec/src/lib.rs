@@ -432,7 +432,7 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     }
 
     /// An empty cache holding at most `per_shard` entries in each of
-    /// its [`SHARDS`] shards (total capacity `per_shard * 16`).
+    /// its 16 shards (total capacity `per_shard * 16`).
     pub fn bounded(per_shard: usize) -> ShardedCache<K, V> {
         ShardedCache {
             shards: (0..SHARDS)

@@ -25,7 +25,9 @@
 //! Three deeper instruments build on the same philosophy (zero cost
 //! when off): the hierarchical call-tree profiler in [`profile`], the
 //! counting global allocator in [`alloc`], and the decision-provenance
-//! ledger in [`ledger`].
+//! ledger in [`ledger`]. Service-level telemetry (latency
+//! distributions for `ccs serve`) records into the mergeable
+//! log-bucketed histograms in [`hist`].
 
 // `alloc` needs `unsafe` for the `GlobalAlloc` impl; everything else
 // stays forbidden via the crate-level deny (the module opts in).
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod hist;
 pub mod json;
 pub mod ledger;
 pub mod profile;

@@ -20,6 +20,11 @@ Checks, in order:
    driven through an edit sequence over TCP; every step's warm
    topology must be byte-identical (canonical JSON) to a one-shot
    `ccs resynth --cold-check` run of the same edit prefix.
+7. **Fleet telemetry** — `{"op":"stats"}` answered inline under the
+   32-way load (served counts match, per-op p99 >= p50, windowed
+   counts <= lifetime), a `ccs top --once --json` smoke test against
+   a live daemon, and `--slow-ms 0 --slow-log` capturing every
+   request to a valid `ccs-serve-slow-v1` JSONL.
 
 Usage: scripts/serve_ci.py path/to/ccs
 """
@@ -47,9 +52,9 @@ def canonical(doc):
 
 
 class Daemon:
-    def __init__(self, ccs, workers):
+    def __init__(self, ccs, workers, extra=()):
         self.proc = subprocess.Popen(
-            [ccs, "serve", "--listen", "127.0.0.1:0", "--workers", str(workers)],
+            [ccs, "serve", "--listen", "127.0.0.1:0", "--workers", str(workers), *extra],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
@@ -167,13 +172,43 @@ def main():
         t.join()
     assert not failures, "\n".join(failures)
 
+    total = CONNECTIONS * REQUESTS_PER_CONNECTION
+
+    # Fleet telemetry under load: a bare {"op":"stats"} line (no schema,
+    # no id) is answered inline with per-op latency histograms covering
+    # all 32 served requests.
+    mon = daemon.connect()
+    mon.send({"op": "stats"})
+    stats_resp = mon.recv()
+    assert stats_resp["status"] == "ok" and stats_resp["kind"] == "stats", stats_resp
+    stats = stats_resp["stats"]
+    assert stats["schema"] == "ccs-serve-stats-v1", stats
+    assert stats["deterministic"] is False, stats
+    assert stats["served"] == total, stats
+    op_total = 0
+    for op in ("synth", "analyze"):
+        for metric in ("queue_wait", "run", "total"):
+            lifetime = stats["ops"][op][metric]["lifetime"]
+            for window in ("last_10s", "last_60s", "lifetime"):
+                w = stats["ops"][op][metric][window]
+                assert w["p50_ns"] <= w["p90_ns"] <= w["p99_ns"] <= w["max_ns"], (op, metric, w)
+                assert w["count"] <= lifetime["count"], (op, metric, w)
+        run_lifetime = stats["ops"][op]["run"]["lifetime"]
+        assert run_lifetime["p99_ns"] >= run_lifetime["p50_ns"] > 0, (op, run_lifetime)
+        op_total += stats["ops"][op]["total"]["lifetime"]["count"]
+    assert op_total == total, op_total
+    assert stats["cache"]["hits"] + stats["cache"]["misses"] == total, stats["cache"]
+    assert stats["queue"]["inflight_hwm"] >= 1, stats["queue"]
+
     bye = daemon.connect()
     bye.send(request("bye", "shutdown"))
     ack = bye.recv()
-    total = CONNECTIONS * REQUESTS_PER_CONNECTION
     assert ack["kind"] == "shutdown" and ack["served"] == total, ack
+    assert ack["uptime_ns"] > 0 and ack["inflight_hwm"] >= 1, ack
+    assert ack["cache_hits"] + ack["cache_misses"] == total, ack
     daemon.wait()
-    print(f"[1/6] {total} concurrent requests byte-identical to one-shot runs")
+    print(f"[1/7] {total} concurrent requests byte-identical to one-shot runs; "
+          "stats answered inline under load")
 
     # --- 2. queued-request cancellation ----------------------------------
     slow = run([ccs, "gen", "wan", "--seed", str(SLOW_SEED),
@@ -191,7 +226,7 @@ def main():
     assert victim["id"] == "victim" and victim["status"] == "cancelled", victim
     for key in ("metrics", "ledger", "topology", "error"):
         assert key not in victim, f"cancelled response leaked {key!r}"
-    print("[2/6] queued request cancelled before starting, no body")
+    print("[2/7] queued request cancelled before starting, no body")
 
     # --- 3. in-flight cancellation ---------------------------------------
     side = daemon.connect()
@@ -213,7 +248,7 @@ def main():
     assert cancelled_mid_run, "cancel never landed mid-run in 5 attempts"
     conn.send(request("bye", "shutdown"))
     daemon.wait()
-    print("[3/6] in-flight request aborted cooperatively")
+    print("[3/7] in-flight request aborted cooperatively")
 
     # --- 4. graceful shutdown drains queued work -------------------------
     daemon = Daemon(ccs, workers=2)
@@ -228,7 +263,7 @@ def main():
     ack = conn.recv()
     assert ack["kind"] == "shutdown" and ack["served"] == len(ids), ack
     daemon.wait()
-    print("[4/6] shutdown drained 6 queued requests, acknowledged last")
+    print("[4/7] shutdown drained 6 queued requests, acknowledged last")
 
     # --- 5. stdin mode ----------------------------------------------------
     lines = "\n".join(json.dumps(r) for r in [
@@ -242,7 +277,7 @@ def main():
     assert [d["id"] for d in docs] == ["p1", "s1", "bye"], docs
     assert docs[0]["kind"] == "ping" and docs[1]["status"] == "ok", docs
     assert docs[2]["kind"] == "shutdown" and docs[2]["served"] == 1, docs
-    print("[5/6] stdin mode: pure JSON-lines stdout, summary on stderr")
+    print("[5/7] stdin mode: pure JSON-lines stdout, summary on stderr")
 
     # --- 6. incremental re-synthesis sessions ----------------------------
     # A named session driven through an edit sequence over TCP; every
@@ -293,7 +328,45 @@ def main():
     ack = conn.recv()
     assert ack["kind"] == "shutdown", ack
     daemon.wait()
-    print("[6/6] resynth session over TCP matches cold CLI runs at every edit step")
+    print("[6/7] resynth session over TCP matches cold CLI runs at every edit step")
+
+    # --- 7. fleet telemetry: ccs top + slow-request capture ---------------
+    slow_log = tmp / "slow.jsonl"
+    daemon = Daemon(ccs, workers=2,
+                    extra=["--slow-ms", "0", "--slow-log", str(slow_log)])
+    conn = daemon.connect()
+    top_ids = [f"top{i}" for i in range(3)]
+    for i, rid in enumerate(top_ids):
+        conn.send(request(rid, "synth", instances[seeds[i]], library))
+    for _ in top_ids:
+        resp = conn.recv()
+        assert resp["status"] == "ok", resp
+
+    addr = f"{daemon.addr[0]}:{daemon.addr[1]}"
+    top_json = json.loads(run([ccs, "top", addr, "--once", "--json"]))
+    assert top_json["schema"] == "ccs-serve-stats-v1", top_json
+    assert top_json["served"] == len(top_ids), top_json
+    top_table = run([ccs, "top", addr, "--once"])
+    assert "synth" in top_table and "served" in top_table, top_table
+
+    conn.send(request("bye", "shutdown"))
+    ack = conn.recv()
+    assert ack["kind"] == "shutdown" and ack["served"] == len(top_ids), ack
+    daemon.wait()
+
+    # --slow-ms 0 means every request is "slow": one JSONL entry each,
+    # with consistent timings and the response metrics embedded.
+    entries = [json.loads(l) for l in slow_log.read_text().splitlines() if l.strip()]
+    assert len(entries) == len(top_ids), entries
+    assert sorted(e["id"] for e in entries) == sorted(top_ids), entries
+    for e in entries:
+        assert e["schema"] == "ccs-serve-slow-v1", e
+        assert e["op"] == "synth" and e["status"] == "ok", e
+        assert e["total_ns"] >= e["run_ns"] > 0, e
+        assert e["total_ns"] >= e["queue_wait_ns"], e
+        assert "metrics" in e, e
+    print(f"[7/7] ccs top reads live stats; --slow-ms 0 captured "
+          f"{len(entries)} slow-request entries")
     print("serve CI: all checks passed")
 
 

@@ -18,7 +18,9 @@
 //! ccs example  library  wan|soc     # print a built-in library file
 //! ccs gen      wan|soc [--seed N] [--channels N] ...   # seeded random instance
 //! ccs serve    [--listen ADDR] [--workers N] [--request-threads N]
-//!              [--cache-capacity N] [--ledger-cap N]
+//!              [--cache-capacity N] [--ledger-cap N] [--no-telemetry]
+//!              [--stats-interval SECS] [--stats-log FILE] [--slow-ms N] [--slow-log FILE]
+//! ccs top      ADDR [--interval SECS] [--once] [--json]
 //! ```
 //!
 //! Instance and library files use the plain-text format of
@@ -67,7 +69,10 @@
 //! JSON-lines requests over stdin or TCP, answered with responses that
 //! embed the same `ccs-topology-v1` / `ccs-resilience-v1` /
 //! `ccs-ledger-v1` documents the one-shot commands produce,
-//! byte-identical in canonical form.
+//! byte-identical in canonical form. A running server also answers
+//! `{"op":"stats"}` with its `ccs-serve-stats-v1` fleet-telemetry
+//! document, and `ccs top ADDR` renders that as a live terminal table
+//! ([`crate::top`]).
 
 use ccs_core::constraint::ConstraintGraph;
 use ccs_core::cover::CoverStrategy;
@@ -102,7 +107,10 @@ usage:
   ccs gen      wan [--seed N] [--channels N] [--clusters N] [--nodes-per-cluster N]
   ccs gen      soc [--seed N] [--channels N] [--modules N]
   ccs serve    [--listen ADDR] [--workers N] [--request-threads N]
-               [--cache-capacity N] [--ledger-cap N]
+               [--cache-capacity N] [--ledger-cap N] [--no-telemetry]
+               [--stats-interval SECS] [--stats-log FILE]
+               [--slow-ms N] [--slow-log FILE]
+  ccs top      ADDR [--interval SECS] [--once] [--json]
   ccs help
 
 parallelism:
@@ -173,6 +181,28 @@ service (ccs serve):
                        256, the one-shot cap; lower caps trade provenance
                        detail for response size)
 
+service telemetry (ccs serve / ccs top):
+  a running server answers {\"op\":\"stats\"} inline (never queued behind
+  synthesis work) with a ccs-serve-stats-v1 document: per-op queue-wait /
+  run / total latency histograms over last-10s, last-60s and lifetime
+  windows, queue and in-flight gauges with high-watermarks, placement-
+  cache hit/miss/eviction tallies; wall-clock and self-declared
+  non-deterministic, never part of the byte-identity contracts
+  --no-telemetry       disable histogram and gauge collection (cheap
+                       always-on tallies remain; stats still answers)
+  --stats-interval SECS
+                       append one compact stats line per interval to
+                       --stats-log (stderr without one)
+  --slow-ms N          capture requests slower than N ms end-to-end
+                       (default 1000 once --slow-log is set)
+  --slow-log FILE      bounded JSONL of slow-request captures (id, op,
+                       timings, the response's embedded ccs-metrics-v1)
+  ccs top ADDR         poll a server's stats op and render a live
+                       refreshing table (req/s, p50/p90/p99 per op, queue
+                       depth, cache hit rate, uptime); --interval SECS
+                       sets the refresh period, --once prints one frame
+                       and exits, --json prints raw stats documents
+
 provenance (ccs explain / ccs diff):
   ccs explain answers queries against a recorded ledger:
   --hub N              why does the N-th selected candidate exist?
@@ -203,6 +233,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("example") => example(&it.collect::<Vec<_>>()),
         Some("gen") => gen(&it.collect::<Vec<_>>()),
         Some("serve") => serve_cmd(&it.collect::<Vec<_>>()),
+        Some("top") => crate::top::top_cmd(&it.collect::<Vec<_>>()),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -623,9 +654,18 @@ fn resynth_cmd(f: &Flags) -> Result<String, String> {
 
     let mut out = String::new();
     let _ = writeln!(out, "{}", report::candidate_counts(&r));
-    let _ = writeln!(out, "{}", report::selection_summary(&r, session.graph(), session.library()));
+    let _ = writeln!(
+        out,
+        "{}",
+        report::selection_summary(&r, session.graph(), session.library())
+    );
     let _ = writeln!(out, "{}", report::phase_table(&r.stats));
-    let reused_p2p = r.stats.counters.get("resynth.p2p_reused").copied().unwrap_or(0);
+    let reused_p2p = r
+        .stats
+        .counters
+        .get("resynth.p2p_reused")
+        .copied()
+        .unwrap_or(0);
     let reused_verdicts = r
         .stats
         .counters
@@ -651,11 +691,9 @@ fn resynth_cmd(f: &Flags) -> Result<String, String> {
             s
         };
         if render(&topology) != render(&cold_topology) {
-            return Err(
-                "cold check FAILED: warm topology differs from a cold run \
+            return Err("cold check FAILED: warm topology differs from a cold run \
                  on the edited instance"
-                    .to_string(),
-            );
+                .to_string());
         }
         let _ = writeln!(out, "cold check: warm topology byte-identical to cold run");
     }
@@ -1010,6 +1048,23 @@ fn serve_cmd(rest: &[&str]) -> Result<String, String> {
                     .parse()
                     .map_err(|_| "--ledger-cap needs an integer".to_string())?;
             }
+            "--no-telemetry" => cfg.telemetry = false,
+            "--stats-interval" => {
+                cfg.stats_interval = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--stats-interval needs seconds".to_string())?,
+                );
+            }
+            "--stats-log" => cfg.stats_log = Some(value()?.into()),
+            "--slow-ms" => {
+                cfg.slow_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--slow-ms needs milliseconds".to_string())?,
+                );
+            }
+            "--slow-log" => cfg.slow_log = Some(value()?.into()),
             other => return Err(format!("unknown ccs serve flag {other:?}\n{USAGE}")),
         }
     }
@@ -1398,8 +1453,14 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("resynth: 2 edit(s)"), "{out}");
-        assert!(out.contains("cold check: warm topology byte-identical"), "{out}");
-        assert!(!out.contains("reused 0 p2p"), "warm run must reuse candidates: {out}");
+        assert!(
+            out.contains("cold check: warm topology byte-identical"),
+            "{out}"
+        );
+        assert!(
+            !out.contains("reused 0 p2p"),
+            "warm run must reuse candidates: {out}"
+        );
 
         // A port move (name taken from the generated instance) as well.
         let port = inst_text
@@ -1452,7 +1513,10 @@ mod tests {
             "library:/nonexistent.ccs",
         ] {
             let e = run(&args(&format!("resynth {base} --edit {spec}"))).unwrap_err();
-            assert!(e.contains("--edit") || e.contains("bad --edit"), "{spec}: {e}");
+            assert!(
+                e.contains("--edit") || e.contains("bad --edit"),
+                "{spec}: {e}"
+            );
         }
         // Structurally valid spec referencing a missing arc fails at
         // application time with the session's own error.

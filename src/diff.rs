@@ -48,8 +48,11 @@ const PHASE_ORDER: [&str; 9] = [
 ];
 
 /// Counter/gauge prefixes that measure the machine, not the decisions:
-/// differences here are reported but are not divergence.
-const INFORMATIONAL: [&str; 3] = ["exec", "alloc", "trace"];
+/// differences here are reported but are not divergence. `serve` covers
+/// the fleet-telemetry counters a daemon can attach (queue pressure,
+/// cache traffic, latency tallies) — wall-clock measurements that two
+/// byte-identical runs will legitimately disagree on.
+const INFORMATIONAL: [&str; 4] = ["exec", "alloc", "trace", "serve"];
 
 fn phase_of(name: &str) -> &str {
     name.split('.').next().unwrap_or(name)
@@ -412,6 +415,29 @@ mod tests {
             out.report
         );
         assert!(out.report.contains("(+100.0%)"), "{}", out.report);
+    }
+
+    #[test]
+    fn serve_telemetry_counters_are_never_divergence() {
+        // Fleet-telemetry tallies a daemon attaches (queue pressure,
+        // cache traffic) are wall-clock: two byte-identical runs will
+        // disagree on them, and that must never read as divergence.
+        let a = metrics(
+            &[("serve.cache.hits", 19.0), ("serve.queue.depth_hwm", 7.0)],
+            42.0,
+        );
+        let b = metrics(
+            &[("serve.cache.hits", 3.0), ("serve.queue.depth_hwm", 31.0)],
+            42.0,
+        );
+        let out = diff_texts("a", &a, "b", &b).unwrap();
+        assert!(!out.diverged, "{}", out.report);
+        assert!(
+            out.report.contains("info: counters.serve.cache.hits"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("no divergence"), "{}", out.report);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod cli;
 pub mod diff;
 pub mod explain;
 pub mod serve;
+pub mod top;
 
 pub use ccs_baselines as baselines;
 pub use ccs_core as core;

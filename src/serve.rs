@@ -30,6 +30,26 @@
 //! Graceful shutdown (`kind":"shutdown"`) stops intake, drains every
 //! queued and in-flight request to a real response, then answers the
 //! shutdown request itself last with serve counters.
+//!
+//! # Fleet telemetry
+//!
+//! The daemon keeps a [`Telemetry`] registry: per-op queue-wait /
+//! run-time / total-latency histograms ([`ccs_obs::hist`]) with
+//! "last 10 s / last 60 s / lifetime" rolling windows, queue-depth and
+//! in-flight gauges with high-watermarks, placement-cache hit/miss/
+//! eviction counts, and error/cancel/rejection tallies. A live server
+//! answers a `{"op":"stats"}` line (handled inline by the reader
+//! thread, like ping — never queued behind synthesis work) with a
+//! [`STATS_SCHEMA`] document; `--stats-interval`/`--stats-log` emit
+//! the same document periodically as JSON lines, and `--slow-ms N`
+//! with `--slow-log FILE` captures requests slower than N ms to a
+//! bounded on-disk JSONL. Telemetry is wall-clock and **explicitly
+//! outside every byte-identity contract**: it never enters response
+//! bodies, metrics, topology or ledger documents, and the stats
+//! document declares itself non-deterministic (`"deterministic":
+//! false`). With `telemetry: false` the daemon skips all clock reads
+//! and histogram work — the disabled path holds the same ≤1% overhead
+//! budget as the decision ledger (gated by `ccs-bench compare`).
 
 use ccs_core::cover::CoverStrategy;
 use ccs_core::error::SynthesisError;
@@ -40,20 +60,32 @@ use ccs_core::units::Bandwidth;
 use ccs_exec::{CancelToken, Executor, JobQueue};
 use ccs_gen::io;
 use ccs_geom::Point2;
+use ccs_obs::hist::{Snapshot, Windowed};
 use ccs_obs::json::{self, Value};
 use ccs_obs::scope::RequestObs;
 use ccs_obs::{Collector, Record};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Schema identifier of request lines.
 pub const REQUEST_SCHEMA: &str = "ccs-request-v1";
 /// Schema identifier of response lines.
 pub const RESPONSE_SCHEMA: &str = "ccs-response-v1";
+/// Schema identifier of the telemetry snapshot document.
+pub const STATS_SCHEMA: &str = "ccs-serve-stats-v1";
+/// Schema identifier of slow-request capture lines.
+pub const SLOW_SCHEMA: &str = "ccs-serve-slow-v1";
+
+/// Most recent slow-request entries retained in memory; the on-disk
+/// JSONL is compacted back to this many lines whenever it reaches
+/// four times the cap, so the file is bounded at `4 * SLOW_LOG_CAP`
+/// entries.
+pub const SLOW_LOG_CAP: usize = 256;
 
 /// Default per-shard capacity of each shared placement cache (16
 /// shards per table; see [`PlacementCache::bounded`]).
@@ -88,6 +120,10 @@ pub enum RequestKind {
     Resynth,
     /// Liveness probe; answered immediately, never queued.
     Ping,
+    /// Telemetry snapshot ([`STATS_SCHEMA`]); answered immediately by
+    /// the reader thread, never queued behind synthesis work. Also
+    /// accepted in the minimal `{"op":"stats"}` form (no schema/id).
+    Stats,
     /// Cancels the in-flight or queued request named by `target`.
     Cancel,
     /// Graceful shutdown: drain everything, answer this last.
@@ -101,11 +137,26 @@ impl RequestKind {
             RequestKind::Analyze => "analyze",
             RequestKind::Resynth => "resynth",
             RequestKind::Ping => "ping",
+            RequestKind::Stats => "stats",
             RequestKind::Cancel => "cancel",
             RequestKind::Shutdown => "shutdown",
         }
     }
+
+    /// Histogram slot for ops whose latency is tracked.
+    fn op_index(self) -> Option<usize> {
+        match self {
+            RequestKind::Synth => Some(0),
+            RequestKind::Analyze => Some(1),
+            RequestKind::Resynth => Some(2),
+            _ => None,
+        }
+    }
 }
+
+/// Names of the per-op telemetry slots, in [`RequestKind::op_index`]
+/// order.
+const OP_NAMES: [&str; 3] = ["synth", "analyze", "resynth"];
 
 /// One edit of a `resynth` request, as parsed off the wire (converted
 /// to a [`ccs_core::synthesis::Edit`] when the job runs — the library
@@ -207,6 +258,17 @@ fn fail(id: Option<&str>, message: impl Into<String>) -> RequestError {
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let doc = json::parse(line).map_err(|e| fail(None, format!("invalid JSON: {e}")))?;
     let id = doc.get("id").and_then(Value::as_str).map(str::to_string);
+    // The minimal telemetry probe: `{"op":"stats"}` (or the regular
+    // `"kind":"stats"`), with schema and id optional. A stats read
+    // must stay answerable by the dumbest possible client — a
+    // monitoring script with netcat.
+    let op_or_kind = doc
+        .get("kind")
+        .and_then(Value::as_str)
+        .or_else(|| doc.get("op").and_then(Value::as_str));
+    if op_or_kind == Some("stats") {
+        return Ok(stats_request(id.unwrap_or_default()));
+    }
     match doc.get("schema").and_then(Value::as_str) {
         Some(REQUEST_SCHEMA) => {}
         Some(other) => {
@@ -291,7 +353,10 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         }
         RequestKind::Resynth => {
             if req.session.is_none() {
-                return Err(fail(Some(&id), "resynth needs \"session\" (a session name)"));
+                return Err(fail(
+                    Some(&id),
+                    "resynth needs \"session\" (a session name)",
+                ));
             }
             // instance/library are optional here: required only on the
             // request that creates the session (checked at run time).
@@ -304,9 +369,32 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 return Err(fail(Some(&id), "cancel needs \"target\" (a request id)"));
             }
         }
-        RequestKind::Ping | RequestKind::Shutdown => {}
+        RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => {}
     }
     Ok(req)
+}
+
+/// The parsed form of a stats probe with correlation id `id` (may be
+/// empty: the minimal `{"op":"stats"}` probe has none).
+fn stats_request(id: String) -> Request {
+    Request {
+        id,
+        kind: RequestKind::Stats,
+        instance: String::new(),
+        library: String::new(),
+        priority: 0,
+        threads: None,
+        greedy: false,
+        max_k: None,
+        lb_gate: true,
+        ledger: false,
+        fail_k: None,
+        scenario_budget: None,
+        max_cost_overhead: None,
+        target: None,
+        session: None,
+        edits: Vec::new(),
+    }
 }
 
 /// Parses the `edits` array of a resynth request (absent/null = empty).
@@ -376,7 +464,9 @@ fn parse_edits(doc: &Value, id: &str) -> Result<Vec<EditSpec>, RequestError> {
                     y,
                 });
             }
-            Some("library") => edits.push(EditSpec::Library { text: text("text")? }),
+            Some("library") => edits.push(EditSpec::Library {
+                text: text("text")?,
+            }),
             Some(other) => return Err(bad(format!("unknown op {other:?}"))),
             None => return Err(bad("missing \"op\"".to_string())),
         }
@@ -448,6 +538,30 @@ fn cancelled_response(req: &Request) -> Value {
     Value::Obj(obj)
 }
 
+/// One [`SLOW_SCHEMA`] JSONL entry: id, op, outcome, the three
+/// telemetry timings, and the response's embedded `ccs-metrics-v1`
+/// (when the request produced one).
+fn slow_entry(req: &Request, response: &Value, queue_wait: u64, run: u64, total: u64) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("schema".to_string(), Value::Str(SLOW_SCHEMA.to_string()));
+    obj.insert("id".to_string(), Value::Str(req.id.clone()));
+    obj.insert("op".to_string(), Value::Str(req.kind.id().to_string()));
+    if let Value::Obj(map) = response {
+        if let Some(status) = map.get("status") {
+            obj.insert("status".to_string(), status.clone());
+        }
+        if let Some(metrics) = map.get("metrics") {
+            obj.insert("metrics".to_string(), metrics.clone());
+        }
+    }
+    obj.insert("queue_wait_ns".to_string(), Value::Num(queue_wait as f64));
+    obj.insert("run_ns".to_string(), Value::Num(run as f64));
+    obj.insert("total_ns".to_string(), Value::Num(total as f64));
+    let mut line = String::new();
+    Value::Obj(obj).write_compact(&mut line);
+    line
+}
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -466,6 +580,23 @@ pub struct ServeConfig {
     /// Per-cause sample cap of returned ledgers (must match the
     /// one-shot CLI's cap for byte-identical documents).
     pub ledger_cap: usize,
+    /// Collect service telemetry (histograms, gauges, windows).
+    /// Disabling skips every clock read and histogram record; counters
+    /// that feed the shutdown ack (cache hits/misses, rejections) stay
+    /// live either way.
+    pub telemetry: bool,
+    /// Emit one [`STATS_SCHEMA`] JSON line to [`ServeConfig::stats_log`]
+    /// every this many seconds (`None` = no periodic emission).
+    pub stats_interval: Option<u64>,
+    /// Destination of the periodic stats lines.
+    pub stats_log: Option<PathBuf>,
+    /// Capture requests with total latency at or above this many
+    /// milliseconds to [`ServeConfig::slow_log`] (`None` = default
+    /// threshold of 1000 ms when a slow log is configured).
+    pub slow_ms: Option<u64>,
+    /// Destination JSONL of slow-request captures (`None` = capture
+    /// disabled). Bounded on disk at `4 *` [`SLOW_LOG_CAP`] entries.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -476,6 +607,11 @@ impl Default for ServeConfig {
             request_threads: 1,
             cache_per_shard: DEFAULT_CACHE_PER_SHARD,
             ledger_cap: ccs_obs::ledger::DEFAULT_CAP,
+            telemetry: true,
+            stats_interval: None,
+            stats_log: None,
+            slow_ms: None,
+            slow_log: None,
         }
     }
 }
@@ -499,12 +635,226 @@ pub struct ServeSummary {
     pub cancelled: u64,
     /// Lines answered `"error"`.
     pub errors: u64,
+    /// Requests refused before queueing (duplicate ids, submissions
+    /// after shutdown began). A subset of `errors`.
+    pub rejected: u64,
+    /// Wall-clock nanoseconds since the engine started.
+    pub uptime_ns: u64,
+    /// Most jobs ever waiting in the queue at once (0 with telemetry
+    /// disabled).
+    pub queue_depth_hwm: u64,
+    /// Most jobs ever executing at once (0 with telemetry disabled).
+    pub inflight_hwm: u64,
+    /// Shared placement-cache table hits (request-level: a synth whose
+    /// library already has a shared cache).
+    pub cache_hits: u64,
+    /// Shared placement-cache table misses (a fresh cache was built).
+    pub cache_misses: u64,
 }
 
 struct Job {
     req: Request,
     cancel: CancelToken,
     sink: Arc<dyn ResponseSink>,
+    /// Telemetry-clock enqueue time; `None` with telemetry disabled.
+    enqueued_ns: Option<u64>,
+}
+
+/// Per-op latency histograms: how long jobs waited in the queue, how
+/// long they ran, and the end-to-end total, each with rolling windows.
+#[derive(Debug, Default)]
+struct OpTelemetry {
+    queue_wait: Windowed,
+    run: Windowed,
+    total: Windowed,
+}
+
+/// The service-telemetry registry: everything behind the
+/// [`STATS_SCHEMA`] document. Wall-clock, outside all byte-identity
+/// contracts; see the module docs.
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: bool,
+    start: Instant,
+    ops: [OpTelemetry; 3],
+    queue_depth: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    inflight: AtomicU64,
+    inflight_hwm: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Telemetry {
+    fn new(enabled: bool) -> Telemetry {
+        Telemetry {
+            enabled,
+            start: Instant::now(),
+            ops: Default::default(),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            inflight_hwm: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether histogram/gauge collection is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since the engine started (the telemetry clock).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn started(&self) {
+        // A job popped by a worker: off the queue, onto the in-flight
+        // gauge. Saturating: a queued-then-cancelled job still pops.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+        let inflight = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight_hwm.fetch_max(inflight, Ordering::Relaxed);
+    }
+
+    fn finished(&self) {
+        let _ = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    fn record_op(&self, op: usize, queue_wait: u64, run: u64, total: u64, now_ns: u64) {
+        let slot = &self.ops[op];
+        slot.queue_wait.record(queue_wait, now_ns);
+        slot.run.record(run, now_ns);
+        slot.total.record(total, now_ns);
+    }
+
+    fn window_json(snap: &Snapshot, span_secs: f64) -> Value {
+        let mut obj = BTreeMap::new();
+        let count = snap.count();
+        obj.insert("count".to_string(), Value::Num(count as f64));
+        obj.insert(
+            "rate_per_sec".to_string(),
+            Value::Num(if span_secs > 0.0 {
+                count as f64 / span_secs
+            } else {
+                0.0
+            }),
+        );
+        obj.insert("mean_ns".to_string(), Value::Num(snap.mean() as f64));
+        obj.insert("min_ns".to_string(), Value::Num(snap.min() as f64));
+        obj.insert("max_ns".to_string(), Value::Num(snap.max() as f64));
+        for (name, q) in [("p50_ns", 0.50), ("p90_ns", 0.90), ("p99_ns", 0.99)] {
+            obj.insert(name.to_string(), Value::Num(snap.quantile(q) as f64));
+        }
+        Value::Obj(obj)
+    }
+
+    fn metric_json(w: &Windowed, now_ns: u64) -> Value {
+        let uptime_secs = now_ns as f64 / 1e9;
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "last_10s".to_string(),
+            Self::window_json(&w.window(now_ns, 10_000_000_000), uptime_secs.min(10.0)),
+        );
+        obj.insert(
+            "last_60s".to_string(),
+            Self::window_json(&w.window(now_ns, 60_000_000_000), uptime_secs.min(60.0)),
+        );
+        obj.insert(
+            "lifetime".to_string(),
+            Self::window_json(&w.lifetime(), uptime_secs),
+        );
+        Value::Obj(obj)
+    }
+
+    fn ops_json(&self, now_ns: u64) -> Value {
+        let mut ops = BTreeMap::new();
+        for (name, slot) in OP_NAMES.iter().zip(&self.ops) {
+            let mut op = BTreeMap::new();
+            op.insert(
+                "queue_wait".to_string(),
+                Self::metric_json(&slot.queue_wait, now_ns),
+            );
+            op.insert("run".to_string(), Self::metric_json(&slot.run, now_ns));
+            op.insert("total".to_string(), Self::metric_json(&slot.total, now_ns));
+            ops.insert((*name).to_string(), Value::Obj(op));
+        }
+        Value::Obj(ops)
+    }
+}
+
+/// Bounded on-disk capture of slow requests. The in-memory ring keeps
+/// the last [`SLOW_LOG_CAP`] entry lines; appends go straight to the
+/// file until it holds `4 * SLOW_LOG_CAP` lines, at which point it is
+/// compacted back to the ring's contents — so disk stays bounded and
+/// the most recent slow requests always survive.
+struct SlowLog {
+    path: PathBuf,
+    threshold_ns: u64,
+    state: Mutex<SlowState>,
+}
+
+#[derive(Default)]
+struct SlowState {
+    recent: VecDeque<String>,
+    on_disk: u64,
+}
+
+impl SlowLog {
+    fn new(path: PathBuf, threshold_ns: u64) -> SlowLog {
+        SlowLog {
+            path,
+            threshold_ns,
+            state: Mutex::new(SlowState::default()),
+        }
+    }
+
+    fn capture(&self, line: String) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.recent.push_back(line.clone());
+        while state.recent.len() > SLOW_LOG_CAP {
+            state.recent.pop_front();
+        }
+        // A full disk or unwritable path must never take a worker
+        // down; the capture is best-effort by design.
+        if state.on_disk as usize >= 4 * SLOW_LOG_CAP {
+            let mut all = String::new();
+            for l in &state.recent {
+                all.push_str(l);
+                all.push('\n');
+            }
+            if std::fs::write(&self.path, all).is_ok() {
+                state.on_disk = state.recent.len() as u64;
+            }
+        } else {
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if appended.is_ok() {
+                state.on_disk += 1;
+            }
+        }
+    }
 }
 
 /// What [`Engine::submit_line`] did with a line.
@@ -545,6 +895,8 @@ pub struct Engine {
     served: AtomicU64,
     cancelled: AtomicU64,
     errors: AtomicU64,
+    telemetry: Telemetry,
+    slow: Option<SlowLog>,
 }
 
 /// A bounded insertion-ordered set of recently completed request ids.
@@ -604,16 +956,108 @@ impl Engine {
             served: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            telemetry: Telemetry::new(cfg.telemetry),
+            slow: cfg.slow_log.as_ref().map(|path| {
+                SlowLog::new(
+                    path.clone(),
+                    cfg.slow_ms.unwrap_or(1000).saturating_mul(1_000_000),
+                )
+            }),
         })
     }
 
     /// The counters so far.
     pub fn summary(&self) -> ServeSummary {
+        let t = &self.telemetry;
         ServeSummary {
             served: self.served.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            rejected: t.rejected.load(Ordering::Relaxed),
+            uptime_ns: t.now_ns(),
+            queue_depth_hwm: t.queue_depth_hwm.load(Ordering::Relaxed),
+            inflight_hwm: t.inflight_hwm.load(Ordering::Relaxed),
+            cache_hits: t.cache_hits.load(Ordering::Relaxed),
+            cache_misses: t.cache_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// The service telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The full [`STATS_SCHEMA`] document: lifetime counters, queue and
+    /// in-flight gauges (live values, plus high-watermarks when
+    /// telemetry is on), placement-cache tallies, and per-op latency
+    /// histograms over last-10s / last-60s / lifetime windows. The
+    /// document is wall-clock and self-declared non-deterministic —
+    /// never diff it for byte identity.
+    pub fn stats_json(&self) -> Value {
+        let t = &self.telemetry;
+        let now = t.now_ns();
+        let mut obj = BTreeMap::new();
+        obj.insert("schema".to_string(), Value::Str(STATS_SCHEMA.to_string()));
+        obj.insert("deterministic".to_string(), Value::Bool(false));
+        obj.insert("telemetry".to_string(), Value::Bool(t.enabled));
+        obj.insert("uptime_ns".to_string(), Value::Num(now as f64));
+        obj.insert(
+            "served".to_string(),
+            Value::Num(self.served.load(Ordering::Relaxed) as f64),
+        );
+        obj.insert(
+            "cancelled".to_string(),
+            Value::Num(self.cancelled.load(Ordering::Relaxed) as f64),
+        );
+        obj.insert(
+            "errors".to_string(),
+            Value::Num(self.errors.load(Ordering::Relaxed) as f64),
+        );
+        obj.insert(
+            "rejected".to_string(),
+            Value::Num(t.rejected.load(Ordering::Relaxed) as f64),
+        );
+        let mut queue = BTreeMap::new();
+        queue.insert("depth".to_string(), Value::Num(self.queue.len() as f64));
+        queue.insert(
+            "depth_hwm".to_string(),
+            Value::Num(t.queue_depth_hwm.load(Ordering::Relaxed) as f64),
+        );
+        let inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
+        queue.insert("inflight".to_string(), Value::Num(inflight as f64));
+        queue.insert(
+            "inflight_hwm".to_string(),
+            Value::Num(t.inflight_hwm.load(Ordering::Relaxed) as f64),
+        );
+        obj.insert("queue".to_string(), Value::Obj(queue));
+        let mut cache = BTreeMap::new();
+        cache.insert(
+            "hits".to_string(),
+            Value::Num(t.cache_hits.load(Ordering::Relaxed) as f64),
+        );
+        cache.insert(
+            "misses".to_string(),
+            Value::Num(t.cache_misses.load(Ordering::Relaxed) as f64),
+        );
+        cache.insert(
+            "evictions".to_string(),
+            Value::Num(t.cache_evictions.load(Ordering::Relaxed) as f64),
+        );
+        let libraries = self.caches.lock().unwrap_or_else(|e| e.into_inner()).len();
+        cache.insert("libraries".to_string(), Value::Num(libraries as f64));
+        obj.insert("cache".to_string(), Value::Obj(cache));
+        let sessions = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
+        obj.insert("sessions".to_string(), Value::Num(sessions as f64));
+        obj.insert("ops".to_string(), t.ops_json(now));
+        Value::Obj(obj)
     }
 
     /// Jobs queued but not yet picked up.
@@ -631,12 +1075,15 @@ impl Engine {
         let mut caches = self.caches.lock().unwrap_or_else(|e| e.into_inner());
         if let Some((text, cache)) = caches.get(&key) {
             if text == library_text {
+                self.telemetry.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return cache.clone();
             }
             // Collision: the slot belongs to a different library. Hand
             // out an unshared cache — correctness over reuse.
+            self.telemetry.cache_misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(PlacementCache::bounded(self.cache_per_shard));
         }
+        self.telemetry.cache_misses.fetch_add(1, Ordering::Relaxed);
         let cache = Arc::new(PlacementCache::bounded(self.cache_per_shard));
         caches.insert(key, (library_text.to_string(), cache.clone()));
         while caches.len() > MAX_LIBRARIES {
@@ -644,6 +1091,9 @@ impl Engine {
             // BTreeMap's last key), independent of arrival order.
             let last = *caches.keys().next_back().expect("non-empty");
             caches.remove(&last);
+            self.telemetry
+                .cache_evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
         cache
     }
@@ -668,6 +1118,15 @@ impl Engine {
             RequestKind::Ping => {
                 let mut obj = response_base(&req.id, "ok");
                 obj.insert("kind".to_string(), Value::Str("ping".to_string()));
+                send_value(sink.as_ref(), &Value::Obj(obj));
+                Submit::Handled
+            }
+            RequestKind::Stats => {
+                // Answered inline by the reader thread, like ping: a
+                // stats read must never queue behind synthesis work.
+                let mut obj = response_base(&req.id, "ok");
+                obj.insert("kind".to_string(), Value::Str("stats".to_string()));
+                obj.insert("stats".to_string(), self.stats_json());
                 send_value(sink.as_ref(), &Value::Obj(obj));
                 Submit::Handled
             }
@@ -696,6 +1155,7 @@ impl Engine {
                     if completed.contains(&req.id) {
                         drop(completed);
                         self.errors.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
                         send_value(
                             sink.as_ref(),
                             &error_response(Some(&req.id), "duplicate id (already completed)"),
@@ -708,6 +1168,7 @@ impl Engine {
                     if inflight.contains_key(&req.id) {
                         drop(inflight);
                         self.errors.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
                         send_value(
                             sink.as_ref(),
                             &error_response(Some(&req.id), "duplicate in-flight id"),
@@ -718,19 +1179,27 @@ impl Engine {
                 }
                 let priority = req.priority;
                 let id = req.id.clone();
+                let enqueued_ns = self.telemetry.enabled.then(|| self.telemetry.now_ns());
                 let job = Job {
                     req,
                     cancel,
                     sink: sink.clone(),
+                    enqueued_ns,
                 };
                 match self.queue.push(priority, job) {
-                    Ok(()) => Submit::Queued,
+                    Ok(()) => {
+                        if self.telemetry.enabled {
+                            self.telemetry.enqueued();
+                        }
+                        Submit::Queued
+                    }
                     Err(_job) => {
                         self.inflight
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
                             .remove(&id);
                         self.errors.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
                         send_value(
                             sink.as_ref(),
                             &error_response(Some(&id), "server is shutting down"),
@@ -764,10 +1233,30 @@ impl Engine {
         obj.insert("served".to_string(), Value::Num(s.served as f64));
         obj.insert("cancelled".to_string(), Value::Num(s.cancelled as f64));
         obj.insert("errors".to_string(), Value::Num(s.errors as f64));
+        obj.insert("rejected".to_string(), Value::Num(s.rejected as f64));
+        obj.insert("uptime_ns".to_string(), Value::Num(s.uptime_ns as f64));
+        obj.insert(
+            "queue_depth_hwm".to_string(),
+            Value::Num(s.queue_depth_hwm as f64),
+        );
+        obj.insert(
+            "inflight_hwm".to_string(),
+            Value::Num(s.inflight_hwm as f64),
+        );
+        obj.insert("cache_hits".to_string(), Value::Num(s.cache_hits as f64));
+        obj.insert(
+            "cache_misses".to_string(),
+            Value::Num(s.cache_misses as f64),
+        );
         send_value(sink.as_ref(), &Value::Obj(obj));
     }
 
     fn run_job(&self, job: Job) {
+        let t = &self.telemetry;
+        let started_ns = job.enqueued_ns.map(|_| t.now_ns());
+        if t.enabled {
+            t.started();
+        }
         let response = if job.cancel.is_cancelled() {
             // Cancelled while still queued: never started, no body.
             self.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -775,6 +1264,9 @@ impl Engine {
         } else {
             self.execute(&job)
         };
+        if t.enabled {
+            t.finished();
+        }
         // Unregister before responding: a cancel that loses the race
         // reports found=false rather than cancelling a finished id.
         self.inflight
@@ -787,6 +1279,23 @@ impl Engine {
             .unwrap_or_else(|e| e.into_inner())
             .insert(job.req.id.clone());
         send_value(job.sink.as_ref(), &response);
+        // Record latencies after responding: telemetry never delays the
+        // answer. `enqueued_ns` is `None` with telemetry disabled, so
+        // the whole block (including the slow capture) is skipped.
+        if let (Some(enqueued), Some(started), Some(op)) =
+            (job.enqueued_ns, started_ns, job.req.kind.op_index())
+        {
+            let done = t.now_ns();
+            let queue_wait = started.saturating_sub(enqueued);
+            let run = done.saturating_sub(started);
+            let total = done.saturating_sub(enqueued);
+            t.record_op(op, queue_wait, run, total, done);
+            if let Some(slow) = &self.slow {
+                if total >= slow.threshold_ns {
+                    slow.capture(slow_entry(&job.req, &response, queue_wait, run, total));
+                }
+            }
+        }
     }
 
     /// Runs one synth/analyze job to a response value. The whole run
@@ -937,11 +1446,7 @@ impl Engine {
         let slot = Arc::new(Mutex::new(SynthesisSession::new(graph, library, cfg)));
         sessions.insert(name.to_string(), slot.clone());
         while sessions.len() > MAX_SESSIONS {
-            let last = sessions
-                .keys()
-                .next_back()
-                .expect("non-empty")
-                .clone();
+            let last = sessions.keys().next_back().expect("non-empty").clone();
             sessions.remove(&last);
         }
         Ok(slot)
@@ -1088,6 +1593,43 @@ impl Server {
             handles.push(std::thread::spawn(move || engine.worker_loop()));
         }
 
+        // Periodic stats emission: one compact ccs-serve-stats-v1 line
+        // per interval, appended to --stats-log (stderr without one).
+        let stats_stop = Arc::new(AtomicBool::new(false));
+        let stats_emitter = self.cfg.stats_interval.map(|secs| {
+            let engine = engine.clone();
+            let stop = stats_stop.clone();
+            let path = self.cfg.stats_log.clone();
+            std::thread::spawn(move || {
+                let interval = Duration::from_secs(secs.max(1));
+                let mut next = Instant::now() + interval;
+                while !stop.load(Ordering::Acquire) {
+                    // Sleep in short slices so shutdown never waits a
+                    // full interval for this thread.
+                    std::thread::sleep(Duration::from_millis(50));
+                    if Instant::now() < next {
+                        continue;
+                    }
+                    next = Instant::now() + interval;
+                    let mut line = String::new();
+                    engine.stats_json().write_compact(&mut line);
+                    line.push('\n');
+                    match &path {
+                        Some(path) => {
+                            let _ = std::fs::OpenOptions::new()
+                                .create(true)
+                                .append(true)
+                                .open(path)
+                                .and_then(|mut f| f.write_all(line.as_bytes()));
+                        }
+                        None => {
+                            let _ = std::io::stderr().write_all(line.as_bytes());
+                        }
+                    }
+                }
+            })
+        });
+
         // (shutdown id, sink to answer on) once a shutdown arrives.
         let pending_shutdown: PendingShutdown = match self.listener {
             None => {
@@ -1150,6 +1692,10 @@ impl Server {
         // Drain: no new jobs, queued ones finish, workers exit.
         engine.close();
         for h in handles {
+            let _ = h.join();
+        }
+        stats_stop.store(true, Ordering::Release);
+        if let Some(h) = stats_emitter {
             let _ = h.join();
         }
         if let Some((id, sink)) = pending_shutdown {
@@ -1552,8 +2098,14 @@ mod tests {
         let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
         // r0 creates the session (cold), r1 re-runs it warm; cold is
         // the one-shot reference for the same instance.
-        engine.submit_line(&resynth_line("r0", "s1", Some(7), Value::Arr(vec![])), &dyn_sink);
-        engine.submit_line(&resynth_line("r1", "s1", None, Value::Arr(vec![])), &dyn_sink);
+        engine.submit_line(
+            &resynth_line("r0", "s1", Some(7), Value::Arr(vec![])),
+            &dyn_sink,
+        );
+        engine.submit_line(
+            &resynth_line("r1", "s1", None, Value::Arr(vec![])),
+            &dyn_sink,
+        );
         engine.submit_line(&synth_line("cold", 7), &dyn_sink);
         engine.close();
         engine.worker_loop();
@@ -1581,7 +2133,10 @@ mod tests {
         )
         .unwrap();
         // Session "warm": cold create, then the edit applies warm.
-        engine.submit_line(&resynth_line("a0", "warm", Some(7), Value::Arr(vec![])), &dyn_sink);
+        engine.submit_line(
+            &resynth_line("a0", "warm", Some(7), Value::Arr(vec![])),
+            &dyn_sink,
+        );
         engine.submit_line(&resynth_line("a1", "warm", None, edits.clone()), &dyn_sink);
         // Session "cold": created with the edit in its first request,
         // so the whole pipeline runs cold on the edited instance.
@@ -1605,7 +2160,10 @@ mod tests {
         let engine = Engine::new(&ServeConfig::default());
         let sink = VecSink::new();
         let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
-        engine.submit_line(&resynth_line("x", "ghost", None, Value::Arr(vec![])), &dyn_sink);
+        engine.submit_line(
+            &resynth_line("x", "ghost", None, Value::Arr(vec![])),
+            &dyn_sink,
+        );
         // An edit against an arc the instance does not have.
         let bad = json::parse("[{\"op\":\"arc_rate\",\"arc\":999,\"mbps\":1.0}]").unwrap();
         engine.submit_line(&resynth_line("y", "s", Some(3), bad), &dyn_sink);
@@ -1633,10 +2191,9 @@ mod tests {
     #[test]
     fn parse_resynth_validates() {
         // session is mandatory.
-        let err = parse_request(
-            "{\"schema\":\"ccs-request-v1\",\"id\":\"r\",\"kind\":\"resynth\"}",
-        )
-        .unwrap_err();
+        let err =
+            parse_request("{\"schema\":\"ccs-request-v1\",\"id\":\"r\",\"kind\":\"resynth\"}")
+                .unwrap_err();
         assert!(err.message.contains("session"));
         // A well-formed request with every edit op.
         let req = parse_request(
@@ -1651,10 +2208,7 @@ mod tests {
         assert_eq!(req.kind, RequestKind::Resynth);
         assert_eq!(req.session.as_deref(), Some("s"));
         assert_eq!(req.edits.len(), 4);
-        assert_eq!(
-            req.edits[0],
-            EditSpec::ArcRate { arc: 1, mbps: 2.5 }
-        );
+        assert_eq!(req.edits[0], EditSpec::ArcRate { arc: 1, mbps: 2.5 });
         assert_eq!(req.edits[1], EditSpec::ArcBound { arc: 0, hops: None });
         // Malformed edits are rejected with the item index.
         for bad in [
@@ -1710,5 +2264,197 @@ mod tests {
         let summary = handle.join().unwrap();
         assert_eq!(summary.served, 3);
         assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn stats_request_is_inline_and_optional_schema() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        // The dumbest possible client: no schema, no id, "op" spelling.
+        assert_eq!(
+            engine.submit_line("{\"op\":\"stats\"}", &dyn_sink),
+            Submit::Handled
+        );
+        // And the fully-dressed wire spelling.
+        assert_eq!(
+            engine.submit_line(
+                "{\"schema\":\"ccs-request-v1\",\"id\":\"s1\",\"kind\":\"stats\"}",
+                &dyn_sink
+            ),
+            Submit::Handled
+        );
+        let docs = sink.parsed();
+        assert_eq!(docs.len(), 2);
+        for doc in &docs {
+            assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(doc.get("kind").unwrap().as_str(), Some("stats"));
+            let stats = doc.get("stats").expect("stats embedded");
+            assert_eq!(stats.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
+            assert_eq!(stats.get("deterministic").unwrap().as_bool(), Some(false));
+            assert_eq!(stats.get("telemetry").unwrap().as_bool(), Some(true));
+            let ops = stats.get("ops").expect("ops section");
+            for op in OP_NAMES {
+                let lifetime = ops
+                    .get(op)
+                    .and_then(|o| o.get("total"))
+                    .and_then(|m| m.get("lifetime"))
+                    .expect("per-op lifetime window");
+                assert_eq!(lifetime.get("count").unwrap().as_num(), Some(0.0));
+            }
+        }
+        assert_eq!(docs[1].get("id").unwrap().as_str(), Some("s1"));
+        assert_eq!(engine.summary().errors, 0, "stats reads are not errors");
+    }
+
+    #[test]
+    fn telemetry_records_served_requests() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        for (id, seed) in [("t1", 11u64), ("t2", 12)] {
+            assert_eq!(
+                engine.submit_line(&synth_line(id, seed), &dyn_sink),
+                Submit::Queued
+            );
+        }
+        engine.close();
+        engine.worker_loop();
+        let stats = engine.stats_json();
+        assert_eq!(stats.get("served").unwrap().as_num(), Some(2.0));
+        let synth = stats.get("ops").unwrap().get("synth").unwrap();
+        for metric in ["queue_wait", "run", "total"] {
+            let lifetime = synth.get(metric).unwrap().get("lifetime").unwrap();
+            assert_eq!(lifetime.get("count").unwrap().as_num(), Some(2.0));
+            let p50 = lifetime.get("p50_ns").unwrap().as_num().unwrap();
+            let p99 = lifetime.get("p99_ns").unwrap().as_num().unwrap();
+            let max = lifetime.get("max_ns").unwrap().as_num().unwrap();
+            assert!(p50 <= p99 && p99 <= max, "{metric}: {p50} {p99} {max}");
+        }
+        // Two synths both ran; the run-time histogram saw real work.
+        let run = synth.get("run").unwrap().get("lifetime").unwrap();
+        assert!(run.get("max_ns").unwrap().as_num().unwrap() > 0.0);
+        // Windowed counts can never exceed lifetime.
+        let w10 = synth.get("total").unwrap().get("last_10s").unwrap();
+        assert!(w10.get("count").unwrap().as_num().unwrap() <= 2.0);
+        let s = engine.summary();
+        assert!(s.inflight_hwm >= 1);
+        assert_eq!(s.cache_hits + s.cache_misses, 2);
+        assert_eq!(s.cache_misses, 1, "one library, shared after first use");
+        assert!(s.uptime_ns > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_keeps_stats_answering() {
+        let engine = Engine::new(&ServeConfig {
+            telemetry: false,
+            ..ServeConfig::default()
+        });
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(&synth_line("d1", 5), &dyn_sink),
+            Submit::Queued
+        );
+        engine.close();
+        engine.worker_loop();
+        let stats = engine.stats_json();
+        assert_eq!(stats.get("telemetry").unwrap().as_bool(), Some(false));
+        assert_eq!(stats.get("served").unwrap().as_num(), Some(1.0));
+        // Histograms and gauges stay empty; always-on tallies survive.
+        let total = stats
+            .get("ops")
+            .unwrap()
+            .get("synth")
+            .unwrap()
+            .get("total")
+            .unwrap()
+            .get("lifetime")
+            .unwrap();
+        assert_eq!(total.get("count").unwrap().as_num(), Some(0.0));
+        let s = engine.summary();
+        assert_eq!(s.inflight_hwm, 0);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn rejected_requests_are_tallied() {
+        let engine = Engine::new(&ServeConfig::default());
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 3), &dyn_sink),
+            Submit::Queued
+        );
+        // Same id while the first is still queued: rejected inline.
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 3), &dyn_sink),
+            Submit::Handled
+        );
+        engine.close();
+        engine.worker_loop();
+        // And again after completion: the CompletedIds ring rejects it.
+        assert_eq!(
+            engine.submit_line(&synth_line("dup", 3), &dyn_sink),
+            Submit::Handled
+        );
+        let s = engine.summary();
+        assert_eq!(s.served, 1);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.errors, 2, "rejections are a subset of errors");
+    }
+
+    #[test]
+    fn slow_log_captures_and_stays_bounded() {
+        let dir = std::env::temp_dir().join(format!("ccs-slow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let engine = Engine::new(&ServeConfig {
+            slow_ms: Some(0),
+            slow_log: Some(path.clone()),
+            ..ServeConfig::default()
+        });
+        let sink = VecSink::new();
+        let dyn_sink: Arc<dyn ResponseSink> = sink.clone();
+        assert_eq!(
+            engine.submit_line(&synth_line("slow1", 9), &dyn_sink),
+            Submit::Queued
+        );
+        engine.close();
+        engine.worker_loop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "--slow-ms 0 captures every request");
+        let entry = json::parse(lines[0]).unwrap();
+        assert_eq!(entry.get("schema").unwrap().as_str(), Some(SLOW_SCHEMA));
+        assert_eq!(entry.get("id").unwrap().as_str(), Some("slow1"));
+        assert_eq!(entry.get("op").unwrap().as_str(), Some("synth"));
+        assert_eq!(entry.get("status").unwrap().as_str(), Some("ok"));
+        assert!(entry.get("metrics").is_some(), "embedded ccs-metrics-v1");
+        let total = entry.get("total_ns").unwrap().as_num().unwrap();
+        let run = entry.get("run_ns").unwrap().as_num().unwrap();
+        assert!(total >= run && run > 0.0);
+
+        // The disk bound: pushing far past 4×cap compacts the file
+        // back to the in-memory ring.
+        let slow = SlowLog::new(path.clone(), 0);
+        for i in 0..(4 * SLOW_LOG_CAP + 10) {
+            slow.capture(format!("{{\"n\":{i}}}"));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().count() <= 4 * SLOW_LOG_CAP + 1,
+            "file stays bounded"
+        );
+        let last = text.lines().last().unwrap();
+        let n = json::parse(last)
+            .unwrap()
+            .get("n")
+            .unwrap()
+            .as_num()
+            .unwrap();
+        assert_eq!(n as usize, 4 * SLOW_LOG_CAP + 9, "newest entries survive");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

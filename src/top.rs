@@ -1,0 +1,249 @@
+//! `ccs top` — a live terminal view of a running `ccs serve`.
+//!
+//! Polls the server's inline `{"op":"stats"}` request (answered by the
+//! reader thread, never queued behind synthesis work) and renders the
+//! returned `ccs-serve-stats-v1` document as a refreshing table:
+//! throughput, per-op p50/p90/p99 latency over the last-60s window,
+//! queue and in-flight gauges with high-watermarks, placement-cache
+//! hit rate, and uptime. `--once` prints a single frame and exits;
+//! `--json` prints the raw stats documents instead of the table (one
+//! compact line per poll), for scripting.
+//!
+//! The rendering is a pure function of the stats document
+//! ([`render`]), so the table layout is unit-tested without a server.
+
+use ccs_obs::json::{self, Value};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Runs `ccs top ADDR [--interval SECS] [--once] [--json]`.
+///
+/// # Errors
+///
+/// A human-readable message on bad flags or transport failure (the
+/// refresh loop ends when the server goes away).
+pub fn top_cmd(rest: &[&str]) -> Result<String, String> {
+    let mut addr: Option<String> = None;
+    let mut interval = 2u64;
+    let mut once = false;
+    let mut json_out = false;
+    let mut it = rest.iter();
+    while let Some(&tok) = it.next() {
+        match tok {
+            "--once" => once = true,
+            "--json" => json_out = true,
+            "--interval" => {
+                interval = it
+                    .next()
+                    .ok_or("--interval needs a value")?
+                    .parse()
+                    .map_err(|_| "--interval needs seconds".to_string())?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown ccs top flag {flag:?}"));
+            }
+            a if addr.is_none() => addr = Some(a.to_string()),
+            extra => return Err(format!("unexpected ccs top argument {extra:?}")),
+        }
+    }
+    let addr = addr.ok_or("ccs top needs a server address (HOST:PORT)")?;
+
+    if once {
+        let stats = fetch_stats(&addr)?;
+        return Ok(if json_out {
+            compact(&stats)
+        } else {
+            render(&addr, &stats)
+        });
+    }
+    loop {
+        let stats = fetch_stats(&addr)?;
+        let mut out = std::io::stdout();
+        if json_out {
+            let _ = writeln!(out, "{}", compact(&stats));
+        } else {
+            // Clear the screen and home the cursor between frames.
+            let _ = write!(out, "\x1b[2J\x1b[H{}", render(&addr, &stats));
+        }
+        let _ = out.flush();
+        std::thread::sleep(Duration::from_secs(interval.max(1)));
+    }
+}
+
+/// One stats poll: connect, ask, parse. A fresh connection per poll
+/// keeps the loop robust against server restarts and idle timeouts.
+fn fetch_stats(addr: &str) -> Result<Value, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut write_half = stream
+        .try_clone()
+        .map_err(|e| format!("connection to {addr}: {e}"))?;
+    writeln!(write_half, "{{\"op\":\"stats\",\"id\":\"top\"}}")
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let doc =
+        json::parse(line.trim_end()).map_err(|e| format!("bad stats response from {addr}: {e}"))?;
+    if doc.get("status").and_then(Value::as_str) != Some("ok") {
+        return Err(format!("stats request failed: {}", line.trim_end()));
+    }
+    doc.get("stats")
+        .cloned()
+        .ok_or_else(|| format!("stats response from {addr} has no \"stats\" section"))
+}
+
+fn compact(v: &Value) -> String {
+    let mut s = String::new();
+    v.write_compact(&mut s);
+    s
+}
+
+fn num(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_num().unwrap_or(0.0)
+}
+
+/// `1234567` ns → `"1.23ms"`: three significant digits, ASCII units.
+fn fmt_ns(ns: f64) -> String {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    };
+    if value >= 100.0 {
+        format!("{value:.0}{unit}")
+    } else if value >= 10.0 {
+        format!("{value:.1}{unit}")
+    } else {
+        format!("{value:.2}{unit}")
+    }
+}
+
+/// Renders one table frame from a `ccs-serve-stats-v1` document. Pure:
+/// no I/O, no clock — everything shown comes from the document.
+pub fn render(addr: &str, stats: &Value) -> String {
+    let uptime = num(stats, &["uptime_ns"]) / 1e9;
+    let served = num(stats, &["served"]);
+    let telemetry = stats
+        .get("telemetry")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ccs top - {addr}   uptime {uptime:.1}s   telemetry {}",
+        if telemetry { "on" } else { "off" }
+    );
+    let _ = writeln!(
+        out,
+        "served {served:.0}   cancelled {:.0}   errors {:.0}   rejected {:.0}   req/s {:.2}",
+        num(stats, &["cancelled"]),
+        num(stats, &["errors"]),
+        num(stats, &["rejected"]),
+        if uptime > 0.0 { served / uptime } else { 0.0 },
+    );
+    let hits = num(stats, &["cache", "hits"]);
+    let misses = num(stats, &["cache", "misses"]);
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0.0 {
+        100.0 * hits / lookups
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "queue {:.0} (hwm {:.0})   in-flight {:.0} (hwm {:.0})   \
+         cache {hit_rate:.1}% hit ({hits:.0}/{lookups:.0})   sessions {:.0}",
+        num(stats, &["queue", "depth"]),
+        num(stats, &["queue", "depth_hwm"]),
+        num(stats, &["queue", "inflight"]),
+        num(stats, &["queue", "inflight_hwm"]),
+        num(stats, &["sessions"]),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<9} {:>7} {:>8} {:>9} {:>9} {:>9}   (total latency, last 60s)",
+        "op", "count", "req/s", "p50", "p90", "p99"
+    );
+    for op in ["synth", "analyze", "resynth"] {
+        let w = &["ops", op, "total", "last_60s"];
+        let path = |leaf: &'static str| -> Vec<&str> {
+            let mut p = w.to_vec();
+            p.push(leaf);
+            p
+        };
+        let _ = writeln!(
+            out,
+            "{op:<9} {:>7.0} {:>8.2} {:>9} {:>9} {:>9}",
+            num(stats, &path("count")),
+            num(stats, &path("rate_per_sec")),
+            fmt_ns(num(stats, &path("p50_ns"))),
+            fmt_ns(num(stats, &path("p90_ns"))),
+            fmt_ns(num(stats, &path("p99_ns"))),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{Engine, ServeConfig};
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(0.0), "0.00ns");
+        assert_eq!(fmt_ns(850.0), "850ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50us");
+        assert_eq!(fmt_ns(23_400_000.0), "23.4ms");
+        assert_eq!(fmt_ns(1_234_567_890.0), "1.23s");
+    }
+
+    #[test]
+    fn render_covers_every_op_and_the_gauges() {
+        let engine = Engine::new(&ServeConfig::default());
+        let frame = render("127.0.0.1:7477", &engine.stats_json());
+        assert!(frame.contains("ccs top - 127.0.0.1:7477"));
+        assert!(frame.contains("telemetry on"));
+        for op in ["synth", "analyze", "resynth"] {
+            assert!(frame.contains(op), "missing op row: {op}");
+        }
+        assert!(frame.contains("cache 0.0% hit"));
+        assert!(frame.contains("queue 0 (hwm 0)"));
+    }
+
+    #[test]
+    fn render_is_total_on_an_empty_document() {
+        // A degenerate document (wrong shapes everywhere) still
+        // renders: every missing number reads as zero.
+        let frame = render("x", &ccs_obs::json::Value::Null);
+        assert!(frame.contains("telemetry off"));
+        assert!(frame.contains("synth"));
+    }
+
+    #[test]
+    fn top_cmd_flag_errors() {
+        assert!(top_cmd(&[]).unwrap_err().contains("address"));
+        assert!(top_cmd(&["--bogus"]).unwrap_err().contains("--bogus"));
+        assert!(top_cmd(&["a:1", "--interval"])
+            .unwrap_err()
+            .contains("--interval"));
+        assert!(top_cmd(&["a:1", "b:2", "--once"])
+            .unwrap_err()
+            .contains("unexpected"));
+    }
+}

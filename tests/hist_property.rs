@@ -1,0 +1,143 @@
+//! Property tests for the telemetry histogram (`ccs_obs::hist`): the
+//! documented quantile error bound holds against exact sorted-sample
+//! quantiles for arbitrary inputs, and snapshot merging is a true
+//! commutative monoid — so concurrent recording (any thread count, any
+//! interleaving) can never change what a quantile reads.
+
+use ccs::obs::hist::{bucket_index, Hist, Snapshot, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// The exact quantile the estimator documents itself against: the
+/// rank-`ceil(q*n)` order statistic of the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn snapshot_of(values: &[u64]) -> Snapshot {
+    let h = Hist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Mixed magnitudes: telemetry sees sub-microsecond queue waits next to
+/// multi-second synthesis runs, so the sample pool spans 0..2^40 ns
+/// with a bias toward small values (shifted uniform).
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..=40, 0u64..=u64::MAX).prop_map(|(shift, raw)| raw >> (63 - shift.min(63))),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The contract DESIGN.md states: every estimated quantile lands
+    /// within `RELATIVE_ERROR` of the exact same-rank order statistic
+    /// (exactly on it below the linear-range cutoff).
+    #[test]
+    fn quantiles_respect_the_documented_error_bound(
+        values in values_strategy(),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = snap.quantile(q);
+        // Same-bucket check is the sharp form of the bound: the
+        // estimate is the midpoint of the bucket holding the exact
+        // order statistic (clamped to the observed min/max).
+        prop_assert_eq!(
+            bucket_index(est.clamp(sorted[0], *sorted.last().unwrap())),
+            bucket_index(exact),
+            "estimate {} vs exact {}", est, exact
+        );
+        let tolerance = RELATIVE_ERROR * exact as f64 + 1.0;
+        prop_assert!(
+            (est as f64 - exact as f64).abs() <= tolerance,
+            "estimate {} strays more than {} from exact {}",
+            est, tolerance, exact
+        );
+    }
+
+    /// Merging snapshots is commutative and associative, and merging
+    /// per-thread shards reproduces the single-histogram snapshot —
+    /// the property that makes per-worker recording safe.
+    #[test]
+    fn merge_is_a_commutative_monoid_and_shard_invariant(
+        values in values_strategy(),
+        shards in 1usize..6,
+    ) {
+        let whole = snapshot_of(&values);
+
+        // Shard round-robin (an arbitrary interleaving), then merge.
+        let parts: Vec<Snapshot> = (0..shards)
+            .map(|s| {
+                let shard: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(s)
+                    .step_by(shards)
+                    .collect();
+                snapshot_of(&shard)
+            })
+            .collect();
+
+        // Left-fold and right-fold, with the identity thrown in.
+        let mut forward = Snapshot::empty();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Snapshot::empty();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        prop_assert_eq!(&forward, &whole, "shard merge == direct recording");
+        prop_assert_eq!(&backward, &whole, "merge order is irrelevant");
+
+        // Associativity: (a+b)+c == a+(b+c) on the first three parts.
+        if parts.len() >= 3 {
+            let mut left = parts[0].clone();
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            let mut bc = parts[1].clone();
+            bc.merge(&parts[2]);
+            let mut right = parts[0].clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+    }
+
+    /// Recording from many real threads agrees with serial recording:
+    /// the atomics lose nothing and order never matters.
+    #[test]
+    fn concurrent_recording_is_thread_count_invariant(
+        values in values_strategy(),
+        threads in 1usize..5,
+    ) {
+        let serial = snapshot_of(&values);
+        let h = Hist::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let chunk: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                let h = &h;
+                scope.spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(h.snapshot(), serial);
+    }
+}

@@ -81,8 +81,10 @@ fn decode(graph: &ConstraintGraph, &(op, i, j, dx, dy): &RawEdit) -> Edit {
 }
 
 fn session_config(threads: usize) -> SynthesisConfig {
-    let mut cfg = SynthesisConfig::default();
-    cfg.threads = threads;
+    let mut cfg = SynthesisConfig {
+        threads,
+        ..Default::default()
+    };
     cfg.merge.max_k = Some(3);
     cfg
 }

@@ -115,14 +115,53 @@ fn concurrent_connections_each_get_their_own_responses() {
     for c in clients {
         c.join().unwrap();
     }
+    // A live stats read before shutting down: inline, full document.
     let mut bye = Conn::open(addr);
+    bye.send("{\"op\":\"stats\"}");
+    let stats_resp = bye.recv();
+    assert_eq!(stats_resp.get("kind").unwrap().as_str(), Some("stats"));
+    let stats = stats_resp.get("stats").expect("stats section");
+    assert_eq!(
+        stats.get("schema").unwrap().as_str(),
+        Some(ccs::serve::STATS_SCHEMA)
+    );
+    assert_eq!(stats.get("served").unwrap().as_num(), Some(8.0));
+    let synth_total = stats
+        .get("ops")
+        .unwrap()
+        .get("synth")
+        .unwrap()
+        .get("total")
+        .unwrap()
+        .get("lifetime")
+        .unwrap();
+    assert_eq!(synth_total.get("count").unwrap().as_num(), Some(8.0));
+    let p50 = synth_total.get("p50_ns").unwrap().as_num().unwrap();
+    let p99 = synth_total.get("p99_ns").unwrap().as_num().unwrap();
+    assert!(0.0 < p50 && p50 <= p99, "p50 {p50} p99 {p99}");
+
     bye.send(&request_line("bye", "shutdown", &[]));
     let ack = bye.recv();
     assert_eq!(ack.get("kind").unwrap().as_str(), Some("shutdown"));
     assert_eq!(ack.get("served").unwrap().as_num(), Some(8.0));
+    // The telemetry fields of the ack: uptime, high-watermarks, and
+    // cache traffic (one library shared across all eight requests).
+    assert!(ack.get("uptime_ns").unwrap().as_num().unwrap() > 0.0);
+    assert!(ack.get("inflight_hwm").unwrap().as_num().unwrap() >= 1.0);
+    assert!(ack.get("queue_depth_hwm").unwrap().as_num().is_some());
+    let hits = ack.get("cache_hits").unwrap().as_num().unwrap();
+    let misses = ack.get("cache_misses").unwrap().as_num().unwrap();
+    assert_eq!(misses, 1.0, "one shared library, first use builds it");
+    assert_eq!(hits, 7.0, "every later request shares the cache");
+    assert_eq!(ack.get("rejected").unwrap().as_num(), Some(0.0));
+
     let summary = handle.join().unwrap();
     assert_eq!(summary.served, 8);
     assert_eq!(summary.errors, 0);
+    assert_eq!(summary.cache_hits, 7);
+    assert_eq!(summary.cache_misses, 1);
+    assert!(summary.uptime_ns > 0);
+    assert!(summary.inflight_hwm >= 1);
 }
 
 #[test]
