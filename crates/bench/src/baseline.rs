@@ -54,6 +54,13 @@ enum Work {
     /// [`compare`] gates the ratio: the warm re-synthesis must stay
     /// under a tenth of the cold run.
     ResynthWarm,
+    /// An exact covering solve of a ≥1k-column unate-covering instance
+    /// whose odd-cycle integrality gap forces real branch-and-bound —
+    /// the workload the parallel subtree sweep exists for. The perf
+    /// gate reads `covering.subtrees` from the profiled counters (the
+    /// parallel path must actually fire) and checks the t4-vs-t1
+    /// wall-time ratio across the thread sweep.
+    CoveringPar,
 }
 
 impl Work {
@@ -137,6 +144,11 @@ fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
             build: seeded_wan,
             work: Work::ResynthWarm,
         },
+        Case {
+            name: "covering_par",
+            build: paper_wan, // unused; the workload builds its own matrix
+            work: Work::CoveringPar,
+        },
     ];
     match preset {
         "quick" => Ok(quick),
@@ -152,6 +164,23 @@ fn cases_for(preset: &str) -> Result<Vec<Case>, String> {
         other => Err(format!(
             "unknown preset {other:?} (expected one of {PRESETS:?})"
         )),
+    }
+}
+
+/// The parallel-covering workload's matrix: disjoint odd cycles (a real
+/// integrality gap, so the solver branches) padded with singleton rows
+/// past the 1k-column mark. Shared between the `covering_par` bench
+/// case and the `ccs-bench covering` determinism driver so both solve
+/// the same instance. Debug builds (the test suite) shrink it: the
+/// unoptimized bitset kernels take ~30s on the full matrix, which would
+/// dominate the schema test. Timing documents and the CI byte-diffs
+/// only come from the release binary, which always gets the full
+/// instance.
+pub fn covering_par_instance() -> ccs_covering::CoverMatrix {
+    if cfg!(debug_assertions) {
+        ccs_gen::ucp::odd_cycles_padded(6, 7, 100)
+    } else {
+        ccs_gen::ucp::odd_cycles_padded(13, 15, 860)
     }
 }
 
@@ -185,12 +214,31 @@ fn run_case(case: &Case, threads: usize) -> Result<CaseRun, String> {
             Ok(CaseRun::counters(BTreeMap::new()))
         }
         Work::Synth => {
-            let r = Synthesizer::new(&graph, &library)
-                .with_config(config)
-                .run()
-                .map_err(|e| format!("{}: {e}", case.name))?;
+            // A collector scrapes the covering phase's allocation
+            // delta off the obs stream: scratch reuse in the solver is
+            // gated on this number staying down, which the case-wide
+            // allocator totals (every phase summed) would wash out.
+            let collector = ccs_obs::Collector::new();
+            ccs_obs::set_recorder(collector.clone());
+            let r = Synthesizer::new(&graph, &library).with_config(config).run();
+            ccs_obs::clear_recorder();
+            let r = r.map_err(|e| format!("{}: {e}", case.name))?;
             std::hint::black_box(&r);
-            Ok(CaseRun::counters(r.stats.counters))
+            let metrics = collector.snapshot();
+            let mut extras = BTreeMap::new();
+            for (counter, extra) in [
+                ("alloc.covering.allocs", "alloc_covering_allocs"),
+                ("alloc.covering.bytes", "alloc_covering_bytes"),
+            ] {
+                extras.insert(
+                    extra.to_string(),
+                    metrics.counters.get(counter).copied().unwrap_or(0),
+                );
+            }
+            Ok(CaseRun {
+                counters: r.stats.counters,
+                extras,
+            })
         }
         Work::ResilienceN1 => {
             let r = Synthesizer::new(&graph, &library)
@@ -227,6 +275,27 @@ fn run_case(case: &Case, threads: usize) -> Result<CaseRun, String> {
                 counters: r.stats.counters,
                 extras,
             })
+        }
+        Work::CoveringPar => {
+            let m = covering_par_instance();
+            let exec = ccs_exec::Executor::new(threads);
+            let (cover, stats) = m
+                .solve_exact_with_stats_on(&exec)
+                .map_err(|e| format!("{}: {e}", case.name))?;
+            std::hint::black_box(&cover);
+            let mut counters = BTreeMap::new();
+            counters.insert("covering.bnb_nodes".to_string(), stats.nodes);
+            counters.insert("covering.subtrees".to_string(), stats.subtrees);
+            counters.insert(
+                "covering.shared_bound_tightenings".to_string(),
+                stats.shared_bound_tightenings,
+            );
+            counters.insert("covering.bound_prunes".to_string(), stats.bound_prunes);
+            counters.insert(
+                "covering.proven_optimal".to_string(),
+                u64::from(stats.proven_optimal),
+            );
+            Ok(CaseRun::counters(counters))
         }
     }
 }
@@ -615,17 +684,23 @@ pub fn compare(
         (&["alloc", "allocs_median"], true),
         (&["alloc", "alloc_bytes_median"], true),
     ];
-    // Optional metrics (wall tolerance): compared only when the baseline
-    // has them, so older baselines predating a metric still gate; a
-    // baseline metric missing from `current` is an error like any
-    // other. `higher_is_better` flips the regression direction
-    // (throughput figures regress by shrinking).
-    let optional: [(&[&str], bool); 5] = [
-        (&["serve", "p99_ns_median"], false),
-        (&["serve", "req_per_sec_median"], true),
-        (&["serve", "stats_p99_ns_median"], false),
-        (&["resynth", "cold_ns_median"], false),
-        (&["resynth", "warm_ns_median"], false),
+    // Optional metrics: compared only when the baseline has them, so
+    // older baselines predating a metric still gate; a baseline metric
+    // missing from `current` is an error like any other.
+    // `higher_is_better` flips the regression direction (throughput
+    // figures regress by shrinking); `is_alloc` selects the allocation
+    // tolerance instead of the wall-time one.
+    let optional: [(&[&str], bool, bool); 7] = [
+        (&["serve", "p99_ns_median"], false, false),
+        (&["serve", "req_per_sec_median"], true, false),
+        (&["serve", "stats_p99_ns_median"], false, false),
+        (&["resynth", "cold_ns_median"], false, false),
+        (&["resynth", "warm_ns_median"], false, false),
+        // Covering-phase allocation delta of the synthesis cases: the
+        // solver's scratch reuse must not silently regress into
+        // per-node allocation churn.
+        (&["extras", "alloc_covering_allocs_median"], false, true),
+        (&["extras", "alloc_covering_bytes_median"], false, true),
     ];
 
     let mut regressions = Vec::new();
@@ -666,7 +741,7 @@ pub fn compare(
                     });
                 }
             }
-            for (path, higher_is_better) in &optional {
+            for (path, higher_is_better, is_alloc) in &optional {
                 let metric = path.join(".");
                 let Some(base_v) = lookup(base_entry, path).and_then(Value::as_num) else {
                     continue; // baseline predates this metric
@@ -678,7 +753,17 @@ pub fn compare(
                     // No meaningful baseline ratio; nothing to gate.
                     continue;
                 }
+                let tol_pct = if *is_alloc {
+                    alloc_tol_pct
+                } else {
+                    wall_tol_pct
+                };
                 if cur_v <= 0.0 {
+                    if *is_alloc {
+                        // A zeroed allocation figure is a run without
+                        // the counting allocator, not a lost metric.
+                        continue;
+                    }
                     // A metric the baseline tracked has zeroed out —
                     // the workload silently stopped measuring it, which
                     // must fail loudly rather than slip past the gate.
@@ -687,9 +772,9 @@ pub fn compare(
                     ));
                 }
                 let worse = if *higher_is_better {
-                    cur_v < base_v / (1.0 + wall_tol_pct / 100.0)
+                    cur_v < base_v / (1.0 + tol_pct / 100.0)
                 } else {
-                    cur_v > base_v * (1.0 + wall_tol_pct / 100.0)
+                    cur_v > base_v * (1.0 + tol_pct / 100.0)
                 };
                 if worse {
                     let ratio = if *higher_is_better {
@@ -993,6 +1078,40 @@ mod tests {
         assert_eq!(regs[0].metric, "resynth.warm_ns_median");
     }
 
+    fn covering_alloc_doc(allocs: u64, bytes: u64) -> Value {
+        let text = format!(
+            r#"{{"schema":"ccs-bench-v1","preset":"quick","reps":3,
+                "cases":{{"synth_wan_seeded":{{"threads":{{"t1":{{
+                    "wall_ns":{{"median":1000000,"iqr":0,"min":1000000,"max":1000000}},
+                    "alloc":{{"allocs_median":10,"alloc_bytes_median":640}},
+                    "extras":{{"alloc_covering_allocs_median":{allocs},
+                               "alloc_covering_bytes_median":{bytes}}}
+                }}}}}}}}}}"#
+        );
+        ccs_obs::json::parse(&text).expect("valid test doc")
+    }
+
+    #[test]
+    fn covering_alloc_extras_gate_with_alloc_tolerance() {
+        let base = covering_alloc_doc(1_000, 64_000);
+        // Identity is clean.
+        assert!(compare(&base, &base, 10.0, 10.0).unwrap().is_empty());
+        // Covering-phase allocation churn doubling fails at the alloc
+        // tolerance even when the wall tolerance would forgive it.
+        let churny = covering_alloc_doc(2_000, 128_000);
+        let regs = compare(&base, &churny, 1000.0, 10.0).unwrap();
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs
+            .iter()
+            .all(|r| r.metric.starts_with("extras.alloc_covering_")));
+        // ...and passes once the alloc tolerance covers it.
+        assert!(compare(&base, &churny, 1000.0, 120.0).unwrap().is_empty());
+        // A zeroed current value is a run without the counting
+        // allocator, not a dropped metric: skipped, not an error.
+        let untracked = covering_alloc_doc(0, 0);
+        assert!(compare(&base, &untracked, 10.0, 10.0).unwrap().is_empty());
+    }
+
     #[test]
     fn zero_baseline_metrics_are_skipped() {
         let base = tiny_doc(1_000_000, 0); // untracked allocator
@@ -1031,6 +1150,7 @@ mod tests {
             "resilience_n1",
             "serve_engine",
             "resynth_warm",
+            "covering_par",
         ] {
             let case = cases.get(name).unwrap_or_else(|| panic!("case {name}"));
             let t1 = case.get("threads").and_then(|t| t.get("t1")).expect("t1");
@@ -1057,6 +1177,20 @@ mod tests {
                 );
             } else if name.starts_with("matrices") {
                 assert!(counters.is_empty());
+            } else if name == "covering_par" {
+                // The parallel branch-and-bound must actually fan out;
+                // a zero here means the subtree sweep stopped firing
+                // and the thread sweep is benchmarking serial code.
+                for counter in ["covering.subtrees", "covering.proven_optimal"] {
+                    assert!(
+                        counters
+                            .get(counter)
+                            .and_then(Value::as_num)
+                            .map(|n| n > 0.0)
+                            .unwrap_or(false),
+                        "{name} must report a positive {counter}"
+                    );
+                }
             }
             if name == "serve_engine" {
                 let serve = t1.get("serve").expect("serve metrics");
@@ -1098,7 +1232,7 @@ mod tests {
             }
         }
         // Identity comparison of a real document is clean.
-        assert!(compare(&doc, &doc, 0.0, 0.0).unwrap().is_empty());
+        assert_eq!(compare(&doc, &doc, 0.0, 0.0).unwrap(), Vec::new());
 
         assert!(run_preset("bogus", 1, &[1]).is_err());
         assert!(run_preset("quick", 1, &[]).is_err());

@@ -1,16 +1,20 @@
 //! `ccs-bench` — bench baselines and the perf-regression gate.
 //!
 //! ```text
-//! ccs-bench run     [--preset quick|full] [--reps N] [--threads 1,4]
-//!                   [--out FILE] [--profile-folded FILE]
-//! ccs-bench compare --baseline FILE --current FILE
-//!                   [--tolerance-pct P] [--alloc-tolerance-pct P]
+//! ccs-bench run      [--preset quick|full] [--reps N] [--threads 1,4]
+//!                    [--out FILE] [--profile-folded FILE]
+//! ccs-bench compare  --baseline FILE --current FILE
+//!                    [--tolerance-pct P] [--alloc-tolerance-pct P]
+//! ccs-bench covering [--threads N] [--seed-from FILE] [--out FILE]
 //! ```
 //!
 //! `run` writes a `ccs-bench-v1` document (default
 //! `BENCH_<preset>.json`; `-` for stdout). `compare` exits 0 when every
 //! baseline metric is within tolerance, 1 when something regressed
-//! (listing each offender), and 2 on usage or I/O errors.
+//! (listing each offender), and 2 on usage or I/O errors. `covering`
+//! solves the ≥1k-column parallel-covering instance once and writes a
+//! canonical `ccs-covering-run-v1` document — the CI determinism job
+//! byte-diffs these across thread counts, cold and warm-seeded.
 
 use ccs_bench::baseline;
 
@@ -20,10 +24,11 @@ static ALLOC: ccs_obs::alloc::CountingAlloc = ccs_obs::alloc::CountingAlloc::new
 
 const USAGE: &str = "\
 usage:
-  ccs-bench run     [--preset quick|full] [--reps N] [--threads 1,4]
-                    [--out FILE] [--profile-folded FILE]
-  ccs-bench compare --baseline FILE --current FILE
-                    [--tolerance-pct P] [--alloc-tolerance-pct P]
+  ccs-bench run      [--preset quick|full] [--reps N] [--threads 1,4]
+                     [--out FILE] [--profile-folded FILE]
+  ccs-bench compare  --baseline FILE --current FILE
+                     [--tolerance-pct P] [--alloc-tolerance-pct P]
+  ccs-bench covering [--threads N] [--seed-from FILE] [--out FILE]
 
 run writes a ccs-bench-v1 document (medians/IQR over N repetitions per
 thread count, per-run allocation deltas, one embedded ccs-profile-v1
@@ -35,6 +40,14 @@ compare exits 0 when every baseline metric is within tolerance, 1 when
 any wall-time metric regressed beyond --tolerance-pct (default 25) or
 any allocation metric beyond --alloc-tolerance-pct (default 10), and 2
 on usage or I/O errors.
+
+covering solves the large parallel-covering instance (the bench's
+covering_par case) exactly once on --threads workers and writes a
+canonical ccs-covering-run-v1 document: the selected columns, the cost
+as IEEE-754 bits, and the schedule-independent solver counters.
+--seed-from warm-starts the solve from the columns of a previous
+document. Documents are byte-identical at every thread count, seeded or
+not — CI diffs them.
 ";
 
 fn main() {
@@ -53,6 +66,7 @@ fn run(args: &[String]) -> Result<i32, String> {
     match it.next() {
         Some("run") => cmd_run(it),
         Some("compare") => cmd_compare(it),
+        Some("covering") => cmd_covering(it),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(0)
@@ -141,6 +155,110 @@ fn cmd_run<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<i32, String> {
             eprintln!("wrote {folded_path}");
         }
     }
+    Ok(0)
+}
+
+fn cmd_covering<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<i32, String> {
+    let mut threads = 1usize;
+    let mut seed_from: Option<String> = None;
+    let mut out: Option<String> = None;
+    while let Some(tok) = it.next() {
+        match tok {
+            "--threads" => {
+                threads = required(&mut it, tok)?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?
+            }
+            "--seed-from" => seed_from = Some(required(&mut it, tok)?.to_string()),
+            "--out" => out = Some(required(&mut it, tok)?.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let seed: Option<Vec<usize>> = match seed_from {
+        None => None,
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc = ccs_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let cols = match doc.get("cover").and_then(|c| c.get("columns")) {
+                Some(ccs_obs::json::Value::Arr(cols)) => cols,
+                _ => return Err(format!("{path}: missing cover.columns")),
+            };
+            Some(
+                cols.iter()
+                    .map(|v| {
+                        v.as_num()
+                            .map(|n| n as usize)
+                            .ok_or_else(|| format!("{path}: non-numeric column id"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        }
+    };
+
+    let m = baseline::covering_par_instance();
+    let exec = ccs_exec::Executor::new(threads);
+    let (cover, stats) = match &seed {
+        Some(cols) => m.solve_exact_seeded_on(cols, &exec),
+        None => m.solve_exact_with_stats_on(&exec),
+    }
+    .map_err(|e| format!("covering solve failed: {e}"))?;
+
+    use ccs_obs::json::Value;
+    use std::collections::BTreeMap;
+    let mut cover_obj = BTreeMap::new();
+    cover_obj.insert(
+        "columns".to_string(),
+        Value::Arr(
+            cover
+                .columns
+                .iter()
+                .map(|&c| Value::Num(c as f64))
+                .collect(),
+        ),
+    );
+    // The cost as exact IEEE-754 bits: a JSON number would round-trip
+    // through f64 formatting, and "byte-identical" means the bits.
+    cover_obj.insert(
+        "cost_bits".to_string(),
+        Value::Str(format!("{:016x}", cover.cost.to_bits())),
+    );
+    // Schedule-independent counters only — `steals` and `dominance_ns`
+    // legitimately vary run to run and would break the byte-diff.
+    let counters: [(&str, u64); 10] = [
+        ("covering.bnb_nodes", stats.nodes),
+        ("covering.essentials", stats.essentials),
+        ("covering.dominated_columns", stats.dominated_columns),
+        ("covering.dominated_rows", stats.dominated_rows),
+        ("covering.bound_prunes", stats.bound_prunes),
+        ("covering.seed_prunes", stats.seed_prunes),
+        ("covering.incumbent_updates", stats.incumbent_updates),
+        ("covering.subtrees", stats.subtrees),
+        (
+            "covering.shared_bound_tightenings",
+            stats.shared_bound_tightenings,
+        ),
+        ("covering.proven_optimal", u64::from(stats.proven_optimal)),
+    ];
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "schema".to_string(),
+        Value::Str("ccs-covering-run-v1".to_string()),
+    );
+    doc.insert("seeded".to_string(), Value::Bool(seed.is_some()));
+    doc.insert(
+        "counters".to_string(),
+        Value::Obj(
+            counters
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Value::Num(v as f64)))
+                .collect(),
+        ),
+    );
+    doc.insert("cover".to_string(), Value::Obj(cover_obj));
+    let mut text = Value::Obj(doc).to_string();
+    text.push('\n');
+    write_output(&out.unwrap_or_else(|| "-".to_string()), &text)?;
     Ok(0)
 }
 

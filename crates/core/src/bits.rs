@@ -126,11 +126,24 @@ impl NeighborMasks {
     /// Panics if `sub` is empty or `out`/`mask` have the wrong capacity.
     pub fn extension_mask(&self, sub: &[u32], mask: &BitSet, out: &mut BitSet) {
         let last = *sub.last().expect("non-empty clique") as usize;
-        out.copy_from(&self.rows[sub[0] as usize]);
-        for &m in &sub[1..] {
-            out.intersect(&self.rows[m as usize]);
+        // Fused multi-way AND: one pass over the words instead of a
+        // copy plus one intersect sweep per clique member. The operand
+        // list lives on the stack — merge cliques are small, and this
+        // runs once per sweep node.
+        const STACK: usize = 8;
+        if sub.len() < STACK {
+            let mut sets: [&BitSet; STACK] = [mask; STACK];
+            for (i, &m) in sub.iter().enumerate() {
+                sets[i] = &self.rows[m as usize];
+            }
+            out.assign_intersection(&sets[..=sub.len()]);
+        } else {
+            out.copy_from(&self.rows[sub[0] as usize]);
+            for &m in &sub[1..] {
+                out.intersect(&self.rows[m as usize]);
+            }
+            out.intersect(mask);
         }
-        out.intersect(mask);
         out.clear_below(last + 1);
     }
 }

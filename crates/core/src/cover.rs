@@ -8,6 +8,7 @@
 use crate::error::SynthesisError;
 use crate::placement::Candidate;
 use ccs_covering::{CoverMatrix, SolveStats};
+use ccs_exec::Executor;
 use ccs_obs::ledger::{self, Cause, DecisionEvent};
 
 /// Which UCP solver the pipeline uses.
@@ -69,7 +70,14 @@ pub fn select(
     n_arcs: usize,
     strategy: CoverStrategy,
 ) -> Result<CoverOutcome, SynthesisError> {
-    select_inner(candidates, n_arcs, strategy, |_, _| false, None)
+    select_inner(
+        candidates,
+        n_arcs,
+        strategy,
+        |_, _| false,
+        None,
+        &Executor::serial(),
+    )
 }
 
 /// Like [`select`], but warm-starts the exact solver from `seed` — the
@@ -90,7 +98,28 @@ pub fn select_seeded(
     strategy: CoverStrategy,
     seed: Option<&[usize]>,
 ) -> Result<CoverOutcome, SynthesisError> {
-    select_inner(candidates, n_arcs, strategy, |_, _| false, seed)
+    select_seeded_on(candidates, n_arcs, strategy, seed, &Executor::serial())
+}
+
+/// Like [`select_seeded`], but runs the branch-and-bound over `exec`:
+/// the root branch options expand into independent subtree tasks that
+/// the executor's workers race through under a shared incumbent bound.
+/// The returned selection, ledger events, and deterministic statistics
+/// are byte-identical at every worker count — only wall clock and the
+/// scheduling-dependent [`SolveStats::steals`]/
+/// [`SolveStats::dominance_ns`] fields vary.
+///
+/// # Errors
+///
+/// As [`select`].
+pub fn select_seeded_on(
+    candidates: &[Candidate],
+    n_arcs: usize,
+    strategy: CoverStrategy,
+    seed: Option<&[usize]>,
+    exec: &Executor,
+) -> Result<CoverOutcome, SynthesisError> {
+    select_inner(candidates, n_arcs, strategy, |_, _| false, seed, exec)
 }
 
 /// Like [`select`], but removes every candidate for which `excluded`
@@ -114,7 +143,14 @@ pub fn select_excluding<F>(
 where
     F: Fn(usize, &Candidate) -> bool,
 {
-    select_inner(candidates, n_arcs, strategy, excluded, None)
+    select_inner(
+        candidates,
+        n_arcs,
+        strategy,
+        excluded,
+        None,
+        &Executor::serial(),
+    )
 }
 
 fn select_inner<F>(
@@ -123,6 +159,7 @@ fn select_inner<F>(
     strategy: CoverStrategy,
     excluded: F,
     seed: Option<&[usize]>,
+    exec: &Executor,
 ) -> Result<CoverOutcome, SynthesisError>
 where
     F: Fn(usize, &Candidate) -> bool,
@@ -151,14 +188,14 @@ where
     let (cover, stats) = match strategy {
         CoverStrategy::Exact => {
             let (c, s) = match seed {
-                Some(seed_cols) => m.solve_exact_seeded(seed_cols)?,
-                None => m.solve_exact_with_stats()?,
+                Some(seed_cols) => m.solve_exact_seeded_on(seed_cols, exec)?,
+                None => m.solve_exact_with_stats_on(exec)?,
             };
             (c, Some(s))
         }
         CoverStrategy::Greedy => (m.solve_greedy()?, None),
         CoverStrategy::Anytime { node_limit } => {
-            let (c, s) = m.solve_anytime(node_limit)?;
+            let (c, s) = m.solve_anytime_on(node_limit, exec)?;
             (c, Some(s))
         }
     };
@@ -174,6 +211,15 @@ where
             ccs_obs::counter("covering.bound_prunes", s.bound_prunes);
             ccs_obs::counter("covering.seed_prunes", s.seed_prunes);
             ccs_obs::counter("covering.incumbent_updates", s.incumbent_updates);
+            ccs_obs::counter("covering.subtrees", s.subtrees);
+            ccs_obs::counter(
+                "covering.shared_bound_tightenings",
+                s.shared_bound_tightenings,
+            );
+            // Work-stealing count is scheduling-dependent (informational
+            // in metrics diffs); dominance time is a wall-clock gauge.
+            ccs_obs::counter("covering.steals", s.steals);
+            ccs_obs::gauge("covering.dominance_ns", s.dominance_ns as f64);
             // How far off the greedy heuristic would have been — the
             // exact search seeds from it, so this re-solve is cheap
             // relative to the branch-and-bound that just ran.

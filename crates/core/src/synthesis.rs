@@ -19,7 +19,7 @@
 //!    ([`crate::implementation`]).
 
 use crate::constraint::{Channel, ConstraintGraph, Port, PortId};
-use crate::cover::{select_seeded, CoverStrategy};
+use crate::cover::{select_seeded_on, CoverStrategy};
 use crate::error::SynthesisError;
 use crate::implementation::ImplementationGraph;
 use crate::library::{Library, NodeKind};
@@ -592,11 +592,12 @@ impl<'a> Synthesizer<'a> {
                     .filter_map(|arcs| by_arcs.get(arcs.as_slice()).copied())
                     .collect()
             });
-        let outcome = select_seeded(
+        let outcome = select_seeded_on(
             &candidates,
             graph.arc_count(),
             self.config.cover,
             prev_cols.as_deref(),
+            &exec,
         )?;
         let selected: Vec<Candidate> = outcome
             .selected
@@ -1122,6 +1123,14 @@ fn run_counters(
         c.insert(
             "covering.incumbent_updates".to_string(),
             s.incumbent_updates,
+        );
+        // Subtree fan-out and fold-level bound improvements are fixed by
+        // the instance and thread-count-invariant; per-worker steal
+        // counts are scheduling-dependent and stay out of this map.
+        c.insert("covering.subtrees".to_string(), s.subtrees);
+        c.insert(
+            "covering.shared_bound_tightenings".to_string(),
+            s.shared_bound_tightenings,
         );
     }
     c

@@ -38,7 +38,10 @@
 pub mod bitset;
 
 use bitset::BitSet;
+use ccs_exec::Executor;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Errors returned by the covering solvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,9 +83,18 @@ pub struct Cover {
 }
 
 /// Search statistics from the exact solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Every field is identical at every thread count except [`steals`]
+/// and [`dominance_ns`](Self::dominance_ns), which depend on scheduling
+/// and wall clocks; equality (`PartialEq`) compares only the
+/// deterministic fields so outcome comparisons stay meaningful across
+/// executors.
+///
+/// [`steals`]: Self::steals
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SolveStats {
-    /// Branch-and-bound nodes visited.
+    /// Branch-and-bound nodes visited (expansion nodes plus the nodes
+    /// of every subtree the deterministic fold kept).
     pub nodes: u64,
     /// Columns selected because they were essential.
     pub essentials: u64,
@@ -98,11 +110,45 @@ pub struct SolveStats {
     /// Times the incumbent (best cover so far) improved during the
     /// search — 0 means the greedy seed was already optimal.
     pub incumbent_updates: u64,
+    /// Independent subtree tasks the root expansion produced for the
+    /// parallel sweep. The split runs at every thread count (serial
+    /// included), so this is a property of the instance, not of the
+    /// executor.
+    pub subtrees: u64,
+    /// Strict improvements of the global best during the fixed-order
+    /// fold of subtree results.
+    pub shared_bound_tightenings: u64,
+    /// Work-stealing events in the subtree sweep. Schedule-dependent;
+    /// ignored by `PartialEq`.
+    pub steals: u64,
+    /// Wall-clock nanoseconds spent in the dominance reductions.
+    /// Schedule-dependent; ignored by `PartialEq`.
+    pub dominance_ns: u64,
     /// `true` when the search ran to completion — the returned cover is
     /// proven optimal. `false` only in anytime mode after hitting the
     /// node budget.
     pub proven_optimal: bool,
 }
+
+impl PartialEq for SolveStats {
+    fn eq(&self, other: &Self) -> bool {
+        // `steals` and `dominance_ns` are deliberately left out: they
+        // vary run-to-run, and two solves that explored the same tree
+        // must compare equal.
+        self.nodes == other.nodes
+            && self.essentials == other.essentials
+            && self.dominated_columns == other.dominated_columns
+            && self.dominated_rows == other.dominated_rows
+            && self.bound_prunes == other.bound_prunes
+            && self.seed_prunes == other.seed_prunes
+            && self.incumbent_updates == other.incumbent_updates
+            && self.subtrees == other.subtrees
+            && self.shared_bound_tightenings == other.shared_bound_tightenings
+            && self.proven_optimal == other.proven_optimal
+    }
+}
+
+impl Eq for SolveStats {}
 
 /// A weighted unate covering matrix.
 ///
@@ -245,6 +291,19 @@ impl CoverMatrix {
         self.solve_exact_with_stats().map(|(c, _)| c)
     }
 
+    /// [`solve_exact`](Self::solve_exact) with the subtree sweep run on
+    /// `exec`. The cover (and every deterministic [`SolveStats`] field)
+    /// is byte-identical at every thread count; only wall clock, the
+    /// [`steals`](SolveStats::steals) counter, and
+    /// [`dominance_ns`](SolveStats::dominance_ns) vary.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_exact_on(&self, exec: &Executor) -> Result<Cover, CoverError> {
+        self.solve_exact_with_stats_on(exec).map(|(c, _)| c)
+    }
+
     /// Like [`solve_exact`](Self::solve_exact) but also returns search
     /// statistics.
     ///
@@ -253,6 +312,19 @@ impl CoverMatrix {
     /// [`CoverError::Infeasible`] when some row has no covering column.
     pub fn solve_exact_with_stats(&self) -> Result<(Cover, SolveStats), CoverError> {
         self.solve_anytime(u64::MAX)
+    }
+
+    /// [`solve_exact_with_stats`](Self::solve_exact_with_stats) on a
+    /// caller-provided executor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_exact_with_stats_on(
+        &self,
+        exec: &Executor,
+    ) -> Result<(Cover, SolveStats), CoverError> {
+        self.solve_anytime_on(u64::MAX, exec)
     }
 
     /// Anytime variant of the exact solver: explores at most `node_limit`
@@ -264,7 +336,23 @@ impl CoverMatrix {
     ///
     /// [`CoverError::Infeasible`] when some row has no covering column.
     pub fn solve_anytime(&self, node_limit: u64) -> Result<(Cover, SolveStats), CoverError> {
-        self.solve_inner(node_limit, None)
+        self.solve_inner(node_limit, None, &Executor::serial())
+    }
+
+    /// [`solve_anytime`](Self::solve_anytime) on a caller-provided
+    /// executor. The node budget is split across subtree tasks in
+    /// deterministic contiguous slices, so the result at a given budget
+    /// is identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_anytime_on(
+        &self,
+        node_limit: u64,
+        exec: &Executor,
+    ) -> Result<(Cover, SolveStats), CoverError> {
+        self.solve_inner(node_limit, None, exec)
     }
 
     /// Exact solve warm-started from a known cover: `seed_columns` must
@@ -301,44 +389,157 @@ impl CoverMatrix {
         &self,
         seed_columns: &[usize],
     ) -> Result<(Cover, SolveStats), CoverError> {
+        self.solve_exact_seeded_on(seed_columns, &Executor::serial())
+    }
+
+    /// [`solve_exact_seeded`](Self::solve_exact_seeded) on a
+    /// caller-provided executor. The warm-start identity holds at every
+    /// thread count: the seed filters subtree tasks at deterministic
+    /// expansion time (never at racy pickup time), and the relative
+    /// dead-band fallback re-runs the whole solve cold on the same
+    /// executor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoverError::Infeasible`] when some row has no covering column.
+    pub fn solve_exact_seeded_on(
+        &self,
+        seed_columns: &[usize],
+        exec: &Executor,
+    ) -> Result<(Cover, SolveStats), CoverError> {
         match self.validate_cover(seed_columns) {
-            Ok(bound) if bound.is_finite() => self.solve_inner(u64::MAX, Some(bound)),
-            _ => self.solve_inner(u64::MAX, None),
+            Ok(bound) if bound.is_finite() => self.solve_inner(u64::MAX, Some(bound), exec),
+            _ => self.solve_inner(u64::MAX, None, exec),
         }
     }
 
+    /// The shared search pipeline: a serial, deterministic expansion of
+    /// the root into independent subtree tasks, a parallel sweep of the
+    /// tasks over `exec` (pruned racily against a shared incumbent), and
+    /// a fixed-order fold of the results. The split-and-fold runs at
+    /// every thread count — serial included — so cross-thread identity
+    /// is structural, not a special case.
     fn solve_inner(
         &self,
         node_limit: u64,
         seed_bound: Option<f64>,
+        exec: &Executor,
     ) -> Result<(Cover, SolveStats), CoverError> {
         self.check_feasible()?;
-        let mut stats = SolveStats {
-            proven_optimal: true,
-            ..SolveStats::default()
-        };
+        let mut ctx = SearchCtx::new(self, node_limit, seed_bound);
         // Greedy upper bound seeds the search (and guarantees a valid
         // result even at node_limit = 0).
-        let mut best: Option<(f64, Vec<usize>)> =
-            self.solve_greedy().ok().map(|c| (c.cost, c.columns));
-        let rows = BitSet::full(self.n_rows);
-        let cols = BitSet::full(self.cols.len());
-        let mut budget = node_limit;
-        let mut seed = seed_bound.map(|bound| SeedPrune {
-            bound,
-            min_pruned: f64::INFINITY,
-        });
-        self.branch(
-            rows,
-            cols,
-            0.0,
-            &mut Vec::new(),
-            &mut best,
-            &mut stats,
-            &mut budget,
-            seed.as_mut(),
-        );
-        if let Some(s) = &seed {
+        ctx.best = self.solve_greedy().ok().map(|c| (c.cost, c.columns));
+        let tasks = self.expand_tasks(&mut ctx);
+        let SearchCtx {
+            best: start,
+            mut stats,
+            budget: remaining,
+            seed,
+            ..
+        } = ctx;
+        stats.subtrees = tasks.len() as u64;
+        let mut min_pruned = seed.as_ref().map_or(f64::INFINITY, |s| s.min_pruned);
+        let mut best = start.clone();
+
+        if !tasks.is_empty() {
+            // Deterministic per-subtree node budgets: contiguous
+            // near-equal slices of whatever the expansion left, so how
+            // far a given subtree may search depends only on
+            // (instance, node_limit), never on scheduling. Slice sizes
+            // are monotone in the total, preserving the anytime
+            // guarantee that a bigger budget never returns a worse
+            // cover.
+            let budgets: Vec<u64> = if node_limit == u64::MAX {
+                vec![u64::MAX; tasks.len()]
+            } else {
+                let mut b = vec![0u64; tasks.len()];
+                let ranges = ccs_exec::chunk_ranges(remaining as usize, tasks.len());
+                for (i, (s, e)) in ranges.into_iter().enumerate() {
+                    b[i] = (e - s) as u64;
+                }
+                b
+            };
+            // The shared incumbent starts from the expansion-phase best
+            // — never from the warm-start seed, whose cost can exceed
+            // what a budgeted search will actually find, which would
+            // break the skip ⟹ exclude invariant below.
+            let shared = SharedBound::new(start.as_ref().map_or(f64::INFINITY, |(c, _)| *c));
+            let (mut results, exec_stats) = exec.par_map_stats(&tasks, |i, frame| {
+                // Racy pickup skip. Safe because the shared bound only
+                // tightens and every published value is the cost of a
+                // feasible cover, so at any instant it is >= the final
+                // cost `C`: a skipped task has `bound > S + band(S) >=
+                // C + band(C)` and is exactly the kind the fold below
+                // discards. A stale read can only fail to skip — the
+                // fold then discards the wasted result — never skip a
+                // subtree the fold would keep.
+                let s_now = shared.get();
+                if frame.bound > s_now + band(s_now) {
+                    return SubtreeOut::skipped();
+                }
+                self.run_subtree(frame, budgets[i], &start, seed_bound, Some(&shared))
+            });
+            stats.steals = exec_stats.steals;
+
+            // Final cost is an order-free min over whatever ran, so it
+            // is the same value under any schedule (skipped tasks
+            // provably contain nothing below it).
+            let mut c_final = start.as_ref().map_or(f64::INFINITY, |(c, _)| *c);
+            for o in &results {
+                if let Some((c, _)) = &o.best {
+                    c_final = c_final.min(*c);
+                }
+            }
+            // Safety net for the invariant the skip relies on: a task
+            // that was racily skipped but would be kept by the fold is
+            // unreachable by construction, but if it ever happened we
+            // re-run it serially here (deterministically, in task
+            // order) rather than silently merging a hole.
+            for (i, o) in results.iter_mut().enumerate() {
+                if !o.ran && tasks[i].bound <= c_final + band(c_final) {
+                    debug_assert!(false, "racy skip dropped a fold-included subtree");
+                    *o = self.run_subtree(&tasks[i], budgets[i], &start, seed_bound, None);
+                    if let Some((c, _)) = &o.best {
+                        c_final = c_final.min(*c);
+                    }
+                }
+            }
+
+            // Fixed-order fold: task index order, independent of which
+            // worker finished when. A subtree is merged iff its
+            // deterministic bound admits the final cost; everything
+            // else — skipped or ran-and-wasted — is recorded as one
+            // fold-level bound prune so the merged stats are identical
+            // under every schedule.
+            let inc_band = band(c_final);
+            for (i, o) in results.iter().enumerate() {
+                if tasks[i].bound > c_final + inc_band {
+                    stats.bound_prunes += 1;
+                    continue;
+                }
+                debug_assert!(o.ran, "included subtree must have run");
+                stats.nodes += o.stats.nodes;
+                stats.essentials += o.stats.essentials;
+                stats.dominated_columns += o.stats.dominated_columns;
+                stats.dominated_rows += o.stats.dominated_rows;
+                stats.bound_prunes += o.stats.bound_prunes;
+                stats.seed_prunes += o.stats.seed_prunes;
+                stats.incumbent_updates += o.stats.incumbent_updates;
+                stats.dominance_ns += o.stats.dominance_ns;
+                stats.proven_optimal &= o.stats.proven_optimal;
+                min_pruned = min_pruned.min(o.min_pruned);
+                if let Some((c, cols)) = &o.best {
+                    let improved = best.as_ref().is_none_or(|(g, _)| *c < *g);
+                    if improved {
+                        best = Some((*c, cols.clone()));
+                        stats.shared_bound_tightenings += 1;
+                    }
+                }
+            }
+        }
+
+        if let Some(b) = seed_bound {
             // Dead band around `B` where a seed prune is not trustworthy:
             // `cost + lb` carries a few ulps of rounding error, so a
             // subtree on the optimum's own path (where the dual-ascent
@@ -348,10 +549,12 @@ impl CoverMatrix {
             // an absolute epsilon silently breaks on million-scale
             // weights. Any prune inside the band discards the seeded
             // search entirely and redoes it cold, so identity with the
-            // unseeded solve is unconditional.
-            let band = 1e-9 * s.bound.abs().max(1.0);
-            if s.min_pruned <= s.bound + band {
-                return self.solve_inner(node_limit, None);
+            // unseeded solve is unconditional. (Subtrees the fold
+            // excluded can keep their seed prunes to themselves: their
+            // bound proves they hold nothing at or below the final
+            // cost, so no prune inside them can have hidden it.)
+            if min_pruned <= b + band(b) {
+                return self.solve_inner(node_limit, None, exec);
             }
         }
         let (cost, mut columns) = best.ok_or(CoverError::Infeasible(0))?;
@@ -450,35 +653,39 @@ impl CoverMatrix {
         Ok(())
     }
 
-    /// Columns of `active_cols` covering row `r`.
-    fn covering(&self, r: usize, active_cols: &BitSet) -> Vec<usize> {
-        active_cols
-            .iter()
-            .filter(|&c| self.cols[c].contains(r))
-            .collect()
-    }
-
-    #[allow(clippy::too_many_arguments)] // internal recursion, not public API
-    fn branch(
+    /// Applies the classic reductions (essentials, column dominance,
+    /// row dominance) to closure.
+    ///
+    /// `covs` is the per-row coverage scratch (`covs[r]` = active
+    /// columns covering row `r`, indexed by row id). It is rebuilt once
+    /// at node entry and then maintained incrementally: taking an
+    /// essential removes exactly the rows it covers (so no surviving
+    /// row's set mentions it), and a column-dominance removal repairs
+    /// only the rows that column covered. The old code rebuilt every
+    /// coverage set from scratch on every outer pass —
+    /// O(passes · R · C) — which dominated reduction time on deep trees.
+    /// On `Open` the scratch is guaranteed current (the final pass
+    /// always runs row dominance unchanged), so the caller branches
+    /// straight from it.
+    fn reduce(
         &self,
         mut rows: BitSet,
         mut cols: BitSet,
         mut cost: f64,
         chosen: &mut Vec<usize>,
-        best: &mut Option<(f64, Vec<usize>)>,
         stats: &mut SolveStats,
-        budget: &mut u64,
-        mut seed: Option<&mut SeedPrune>,
-    ) {
-        if *budget == 0 {
-            stats.proven_optimal = false;
-            return;
+        covs: &mut [BitSet],
+    ) -> Reduced {
+        for r in rows.iter() {
+            covs[r].clear();
         }
-        *budget -= 1;
-        stats.nodes += 1;
-        let chosen_mark = chosen.len();
-
-        // ---- Reduction to closure -------------------------------------
+        for c in cols.iter() {
+            for r in self.cols[c].iter() {
+                if rows.contains(r) {
+                    covs[r].insert(c);
+                }
+            }
+        }
         loop {
             let mut changed = false;
 
@@ -486,24 +693,9 @@ impl CoverMatrix {
             // Apply all essentials found in one sweep.
             let mut essentials: Vec<usize> = Vec::new();
             for r in rows.iter() {
-                let mut only = None;
-                let mut count = 0;
-                for c in cols.iter() {
-                    if self.cols[c].contains(r) {
-                        count += 1;
-                        only = Some(c);
-                        if count > 1 {
-                            break;
-                        }
-                    }
-                }
-                match count {
-                    0 => {
-                        // Dead end: undo and return.
-                        chosen.truncate(chosen_mark);
-                        return;
-                    }
-                    1 => essentials.push(only.expect("count == 1")),
+                match covs[r].count() {
+                    0 => return Reduced::DeadEnd,
+                    1 => essentials.push(covs[r].iter().next().expect("count == 1")),
                     _ => {}
                 }
             }
@@ -522,7 +714,7 @@ impl CoverMatrix {
             }
 
             if rows.is_empty() {
-                break;
+                return Reduced::Covered(cost);
             }
 
             // Column dominance costs O(C²) per pass; above this many
@@ -534,57 +726,47 @@ impl CoverMatrix {
                 // Column dominance: drop c2 when some c1 covers at least
                 // the same active rows no more expensively (ties keep the
                 // lower-indexed column). Batch-removed in one pass; the
-                // tie-break makes mutual domination impossible.
+                // tie-break makes mutual domination impossible. The
+                // masked-subset test runs straight off the column sets —
+                // no per-column `clone` + `intersect` temporaries.
+                let t0 = Instant::now();
                 let active: Vec<usize> = cols.iter().collect();
-                let masked: Vec<BitSet> = active
-                    .iter()
-                    .map(|&c| {
-                        let mut m = self.cols[c].clone();
-                        m.intersect(&rows);
-                        m
-                    })
-                    .collect();
-                for (i2, &c2) in active.iter().enumerate() {
-                    for (i1, &c1) in active.iter().enumerate() {
+                for &c2 in &active {
+                    for &c1 in &active {
                         if c1 == c2 {
                             continue;
                         }
                         let cheaper = self.weights[c1] < self.weights[c2]
                             || (self.weights[c1] == self.weights[c2] && c1 < c2);
-                        if cheaper && masked[i2].is_subset(&masked[i1]) {
+                        if cheaper && self.cols[c2].is_subset_masked(&self.cols[c1], &rows) {
                             cols.remove(c2);
+                            for r in self.cols[c2].iter() {
+                                if rows.contains(r) {
+                                    covs[r].remove(c2);
+                                }
+                            }
                             stats.dominated_columns += 1;
                             changed = true;
                             break;
                         }
                     }
                 }
+                stats.dominance_ns += t0.elapsed().as_nanos() as u64;
             }
 
             if !changed {
                 // Row dominance: if every column covering r2 also covers
                 // r1, r1 is implied by r2 and can be dropped. Batched; the
                 // index tie-break keeps one of an identical pair.
+                let t0 = Instant::now();
                 let active_rows: Vec<usize> = rows.iter().collect();
-                let covs: Vec<BitSet> = active_rows
-                    .iter()
-                    .map(|&r| {
-                        let mut s = BitSet::new(self.cols.len());
-                        for c in cols.iter() {
-                            if self.cols[c].contains(r) {
-                                s.insert(c);
-                            }
-                        }
-                        s
-                    })
-                    .collect();
-                for (i1, &r1) in active_rows.iter().enumerate() {
-                    for (i2, &r2) in active_rows.iter().enumerate() {
+                for &r1 in &active_rows {
+                    for &r2 in &active_rows {
                         if r1 == r2 || !rows.contains(r2) {
                             continue;
                         }
-                        let implies = covs[i2].is_subset(&covs[i1]);
-                        let tie = covs[i1].count() == covs[i2].count();
+                        let implies = covs[r2].is_subset(&covs[r1]);
+                        let tie = covs[r1].count() == covs[r2].count();
                         if implies && (!tie || r2 < r1) {
                             rows.remove(r1);
                             stats.dominated_rows += 1;
@@ -593,31 +775,65 @@ impl CoverMatrix {
                         }
                     }
                 }
+                stats.dominance_ns += t0.elapsed().as_nanos() as u64;
             }
 
             if !changed {
-                break;
+                return Reduced::Open { rows, cols, cost };
             }
         }
+    }
 
-        // ---- Terminal / bound ------------------------------------------
-        if rows.is_empty() {
-            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
-                *best = Some((cost, chosen.clone()));
-                stats.incumbent_updates += 1;
-            }
-            chosen.truncate(chosen_mark);
+    /// Visits one subtree node recursively. Prunes only against the
+    /// *local* incumbent in `ctx` (never reading `shared`), so the
+    /// nodes, reductions, and prunes a given subtree records are a pure
+    /// function of its frame — identical under every schedule. Local
+    /// improvements are published to `shared` for other workers'
+    /// pickup-time skips.
+    fn branch(&self, rows: BitSet, cols: BitSet, cost: f64, ctx: &mut SearchCtx) {
+        if ctx.budget == 0 {
+            ctx.stats.proven_optimal = false;
             return;
         }
+        ctx.budget -= 1;
+        ctx.stats.nodes += 1;
+        let chosen_mark = ctx.chosen.len();
+
+        let (rows, cols, cost) = match self.reduce(
+            rows,
+            cols,
+            cost,
+            &mut ctx.chosen,
+            &mut ctx.stats,
+            &mut ctx.covs,
+        ) {
+            Reduced::DeadEnd => {
+                ctx.chosen.truncate(chosen_mark);
+                return;
+            }
+            Reduced::Covered(cost) => {
+                if ctx.best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                    ctx.best = Some((cost, ctx.chosen.clone()));
+                    ctx.stats.incumbent_updates += 1;
+                    if let Some(s) = ctx.shared {
+                        s.tighten(cost);
+                    }
+                }
+                ctx.chosen.truncate(chosen_mark);
+                return;
+            }
+            Reduced::Open { rows, cols, cost } => (rows, cols, cost),
+        };
+
         let mut lb_cache = None;
         let mut lb_for = |rows: &BitSet, cols: &BitSet| {
             *lb_cache.get_or_insert_with(|| self.dual_ascent_bound(rows, cols))
         };
-        if let Some((bc, _)) = best {
+        if let Some((bc, _)) = &ctx.best {
             let lb = lb_for(&rows, &cols);
             if cost + lb >= *bc - 1e-12 {
-                stats.bound_prunes += 1;
-                chosen.truncate(chosen_mark);
+                ctx.stats.bound_prunes += 1;
+                ctx.chosen.truncate(chosen_mark);
                 return;
             }
         }
@@ -627,25 +843,30 @@ impl CoverMatrix {
         // it can never contain the answer. Strictly `>` — an exact tie
         // with the seed must still be explored, because the unseeded
         // search would explore it.
-        if let Some(s) = seed.as_deref_mut() {
+        if let Some(s) = &mut ctx.seed {
             let lb = lb_for(&rows, &cols);
             if cost + lb > s.bound {
                 s.min_pruned = s.min_pruned.min(cost + lb);
-                stats.seed_prunes += 1;
-                chosen.truncate(chosen_mark);
+                ctx.stats.seed_prunes += 1;
+                ctx.chosen.truncate(chosen_mark);
                 return;
             }
         }
 
         // ---- Branch on the hardest row ---------------------------------
+        // `reduce` left `covs` current, so both the covering counts and
+        // the option list come straight off the scratch; the option Vec
+        // itself is pooled (popped here, pushed back cleared below)
+        // instead of allocated per node.
         let branch_row = rows
             .iter()
-            .min_by_key(|&r| self.covering(r, &cols).len())
+            .min_by_key(|&r| ctx.covs[r].count())
             .expect("rows non-empty");
-        let mut options = self.covering(branch_row, &cols);
+        let mut options = ctx.options_pool.pop().unwrap_or_default();
+        options.extend(ctx.covs[branch_row].iter());
         options.sort_by(|&a, &b| self.weights[a].total_cmp(&self.weights[b]));
-        let mut excluded = cols.clone();
-        for c in options {
+        let mut excluded = cols;
+        for &c in &options {
             // Any cover must use one of the covering columns; trying them
             // in turn while excluding previously tried ones is complete
             // and avoids revisiting symmetric solutions.
@@ -653,21 +874,160 @@ impl CoverMatrix {
             let mut sub_rows = rows.clone();
             sub_cols.remove(c);
             sub_rows.subtract(&self.cols[c]);
-            chosen.push(c);
-            self.branch(
-                sub_rows,
-                sub_cols,
-                cost + self.weights[c],
-                chosen,
-                best,
-                stats,
-                budget,
-                seed.as_deref_mut(),
-            );
-            chosen.pop();
+            ctx.chosen.push(c);
+            self.branch(sub_rows, sub_cols, cost + self.weights[c], ctx);
+            ctx.chosen.pop();
             excluded.remove(c);
         }
-        chosen.truncate(chosen_mark);
+        ctx.chosen.truncate(chosen_mark);
+        options.clear();
+        ctx.options_pool.push(options);
+    }
+
+    /// Serially expands the root into independent subtree task frames:
+    /// the root's branch options become tasks, and when that fan-out is
+    /// too narrow to feed a worker pool, each depth-1 frame is split
+    /// once more (depth cap 2). Terminals and prunes met during
+    /// expansion are handled inline, so `ctx.best`, the seed state, and
+    /// all counters evolve exactly as a serial search visiting the same
+    /// nodes would — and because expansion runs before any worker
+    /// exists, every one of those decisions is deterministic.
+    fn expand_tasks(&self, ctx: &mut SearchCtx) -> Vec<Frame> {
+        let root = Frame {
+            rows: BitSet::full(self.n_rows),
+            cols: BitSet::full(self.cols.len()),
+            cost: 0.0,
+            chosen: Vec::new(),
+            bound: 0.0,
+        };
+        let mut tasks = Vec::new();
+        self.expand_node(root, ctx, &mut tasks);
+        if tasks.len() < MIN_SUBTREE_TASKS {
+            let frames = std::mem::take(&mut tasks);
+            for f in frames {
+                self.expand_node(f, ctx, &mut tasks);
+            }
+        }
+        tasks
+    }
+
+    /// Visits one node like [`branch`](Self::branch) but pushes the
+    /// surviving children onto `out` as subtree frames instead of
+    /// recursing. Each child carries its deterministic lower bound
+    /// (path cost + dual ascent over its unreduced submatrix); children
+    /// already beaten by the current best or the warm-start seed die
+    /// here, at expansion time, so no pickup-time decision ever depends
+    /// on the seed.
+    fn expand_node(&self, frame: Frame, ctx: &mut SearchCtx, out: &mut Vec<Frame>) {
+        if ctx.budget == 0 {
+            ctx.stats.proven_optimal = false;
+            return;
+        }
+        ctx.budget -= 1;
+        ctx.stats.nodes += 1;
+        let Frame {
+            rows,
+            cols,
+            cost,
+            mut chosen,
+            ..
+        } = frame;
+        let (rows, cols, cost) =
+            match self.reduce(rows, cols, cost, &mut chosen, &mut ctx.stats, &mut ctx.covs) {
+                Reduced::DeadEnd => return,
+                Reduced::Covered(cost) => {
+                    if ctx.best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                        ctx.best = Some((cost, chosen));
+                        ctx.stats.incumbent_updates += 1;
+                    }
+                    return;
+                }
+                Reduced::Open { rows, cols, cost } => (rows, cols, cost),
+            };
+
+        let mut lb_cache = None;
+        let mut lb_for = |rows: &BitSet, cols: &BitSet| {
+            *lb_cache.get_or_insert_with(|| self.dual_ascent_bound(rows, cols))
+        };
+        if let Some((bc, _)) = &ctx.best {
+            let lb = lb_for(&rows, &cols);
+            if cost + lb >= *bc - 1e-12 {
+                ctx.stats.bound_prunes += 1;
+                return;
+            }
+        }
+        if let Some(s) = &mut ctx.seed {
+            let lb = lb_for(&rows, &cols);
+            if cost + lb > s.bound {
+                s.min_pruned = s.min_pruned.min(cost + lb);
+                ctx.stats.seed_prunes += 1;
+                return;
+            }
+        }
+
+        let branch_row = rows
+            .iter()
+            .min_by_key(|&r| ctx.covs[r].count())
+            .expect("rows non-empty");
+        let mut options: Vec<usize> = ctx.covs[branch_row].iter().collect();
+        options.sort_by(|&a, &b| self.weights[a].total_cmp(&self.weights[b]));
+        let mut excluded = cols;
+        for &c in &options {
+            let mut sub_cols = excluded.clone();
+            let mut sub_rows = rows.clone();
+            sub_cols.remove(c);
+            sub_rows.subtract(&self.cols[c]);
+            let sub_cost = cost + self.weights[c];
+            let bound = sub_cost + self.dual_ascent_bound(&sub_rows, &sub_cols);
+            if ctx
+                .best
+                .as_ref()
+                .is_some_and(|(bc, _)| bound >= *bc - 1e-12)
+            {
+                ctx.stats.bound_prunes += 1;
+            } else if ctx.seed.as_ref().is_some_and(|s| bound > s.bound) {
+                let s = ctx.seed.as_mut().expect("checked above");
+                s.min_pruned = s.min_pruned.min(bound);
+                ctx.stats.seed_prunes += 1;
+            } else {
+                let mut sub_chosen = chosen.clone();
+                sub_chosen.push(c);
+                out.push(Frame {
+                    rows: sub_rows,
+                    cols: sub_cols,
+                    cost: sub_cost,
+                    chosen: sub_chosen,
+                    bound,
+                });
+            }
+            excluded.remove(c);
+        }
+    }
+
+    /// Runs one subtree task to completion (within its node budget)
+    /// from the shared starting incumbent. Pure with respect to its
+    /// inputs apart from publishing improvements to `shared`, which no
+    /// local decision ever reads back.
+    fn run_subtree(
+        &self,
+        frame: &Frame,
+        budget: u64,
+        start: &Option<(f64, Vec<usize>)>,
+        seed_bound: Option<f64>,
+        shared: Option<&SharedBound>,
+    ) -> SubtreeOut {
+        let mut ctx = SearchCtx::new(self, budget, seed_bound);
+        ctx.best = start.clone();
+        ctx.chosen = frame.chosen.clone();
+        ctx.shared = shared;
+        self.branch(frame.rows.clone(), frame.cols.clone(), frame.cost, &mut ctx);
+        SubtreeOut {
+            best: (ctx.stats.incumbent_updates > 0)
+                .then(|| ctx.best.expect("an incumbent update implies a best")),
+            stats: ctx.stats,
+            min_pruned: ctx.seed.map_or(f64::INFINITY, |s| s.min_pruned),
+            ran: true,
+        }
     }
 
     /// Lower bound by dual ascent on the LP relaxation (the spirit of
@@ -723,6 +1083,151 @@ impl CoverMatrix {
 struct SeedPrune {
     bound: f64,
     min_pruned: f64,
+}
+
+/// Root expansion keeps splitting (to depth 2) until it has at least
+/// this many subtree tasks, so a worker pool has enough independent
+/// units to balance across.
+const MIN_SUBTREE_TASKS: usize = 8;
+
+/// Relative dead band around a bound `b` inside which floating-point
+/// comparisons against it are not trustworthy (a few ulps of summation
+/// noise on large weights); scales with the magnitude, see
+/// [`CoverMatrix::solve_exact_seeded`].
+fn band(b: f64) -> f64 {
+    1e-9 * b.abs().max(1.0)
+}
+
+/// Result of reducing one node to closure.
+enum Reduced {
+    /// Some row lost its last covering column — no solution below here.
+    DeadEnd,
+    /// Every row got covered by essentials; carries the final cost.
+    Covered(f64),
+    /// Reduction converged with work left: branch on `rows`/`cols`.
+    Open {
+        rows: BitSet,
+        cols: BitSet,
+        cost: f64,
+    },
+}
+
+/// One independent subtree task produced by root expansion.
+struct Frame {
+    rows: BitSet,
+    cols: BitSet,
+    /// Path cost of the choices in `chosen`.
+    cost: f64,
+    /// Columns committed on the path from the root (branch choices plus
+    /// essentials taken by reductions along the way).
+    chosen: Vec<usize>,
+    /// Deterministic lower bound on every solution in this subtree:
+    /// `cost` plus the dual-ascent bound over the unreduced submatrix,
+    /// computed at expansion time. Drives both the racy pickup skip and
+    /// the fixed-order fold's inclusion test.
+    bound: f64,
+}
+
+/// What a subtree task reports back to the fold.
+struct SubtreeOut {
+    /// The subtree's final incumbent, `Some` only when it improved on
+    /// the shared starting cover.
+    best: Option<(f64, Vec<usize>)>,
+    stats: SolveStats,
+    /// Minimum `cost + lb` over the subtree's seed prunes (`∞` when
+    /// unseeded or nothing was pruned).
+    min_pruned: f64,
+    /// `false` when the racy pickup skip dropped the task before it ran.
+    ran: bool,
+}
+
+impl SubtreeOut {
+    fn skipped() -> SubtreeOut {
+        SubtreeOut {
+            best: None,
+            stats: SolveStats::default(),
+            min_pruned: f64::INFINITY,
+            ran: false,
+        }
+    }
+}
+
+/// Mutable state of one (serial) search: the expansion phase uses one,
+/// and every subtree task gets its own, so nothing here is ever shared
+/// between workers.
+struct SearchCtx<'a> {
+    best: Option<(f64, Vec<usize>)>,
+    stats: SolveStats,
+    budget: u64,
+    seed: Option<SeedPrune>,
+    /// Column choices on the current DFS path.
+    chosen: Vec<usize>,
+    /// Per-row coverage scratch, reused across all nodes of this
+    /// search (see [`CoverMatrix::reduce`]).
+    covs: Vec<BitSet>,
+    /// Pool of branch-option Vecs, reused instead of allocating one per
+    /// node (a parent's list stays checked out while its children
+    /// recurse, so this is a stack, not a single slot).
+    options_pool: Vec<Vec<usize>>,
+    /// The cross-worker incumbent to publish improvements to; `None`
+    /// during expansion and in the serial safety-net path.
+    shared: Option<&'a SharedBound>,
+}
+
+impl<'a> SearchCtx<'a> {
+    fn new(m: &CoverMatrix, budget: u64, seed_bound: Option<f64>) -> SearchCtx<'a> {
+        SearchCtx {
+            best: None,
+            stats: SolveStats {
+                proven_optimal: true,
+                ..SolveStats::default()
+            },
+            budget,
+            seed: seed_bound.map(|bound| SeedPrune {
+                bound,
+                min_pruned: f64::INFINITY,
+            }),
+            chosen: Vec::new(),
+            covs: vec![BitSet::new(m.cols.len()); m.n_rows],
+            options_pool: Vec::new(),
+            shared: None,
+        }
+    }
+}
+
+/// Monotone-tightening shared upper bound, stored as the bit pattern of
+/// a non-negative `f64` in an `AtomicU64` (for non-negative IEEE-754
+/// doubles, numeric order and unsigned bit-pattern order coincide, so
+/// CAS-min on bits is min on costs). Written by workers on local
+/// incumbent improvements; read racily only at task pickup — a stale
+/// read is always an over-estimate, which can only make the skip more
+/// conservative.
+struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    fn new(cost: f64) -> SharedBound {
+        debug_assert!(cost >= 0.0 || cost.is_infinite());
+        SharedBound(AtomicU64::new(cost.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn tighten(&self, cost: f64) {
+        debug_assert!(cost >= 0.0);
+        let bits = cost.to_bits();
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while bits < cur {
+            match self
+                .0
+                .compare_exchange_weak(cur, bits, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 fn first_uncoverable(m: &CoverMatrix) -> usize {

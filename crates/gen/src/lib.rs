@@ -20,4 +20,5 @@ pub mod io;
 pub mod mpeg4;
 pub mod noc;
 pub mod random;
+pub mod ucp;
 pub mod wan;

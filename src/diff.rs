@@ -54,6 +54,13 @@ const PHASE_ORDER: [&str; 9] = [
 /// byte-identical runs will legitimately disagree on.
 const INFORMATIONAL: [&str; 4] = ["exec", "alloc", "trace", "serve"];
 
+/// Individual counters that are scheduling-dependent even though their
+/// phase is otherwise deterministic. `covering.steals` counts executor
+/// work-stealing inside the parallel branch-and-bound — the cover and
+/// every other `covering.*` counter stay byte-identical across thread
+/// counts, but who stole which subtree does not.
+const INFORMATIONAL_NAMES: [&str; 1] = ["covering.steals"];
+
 fn phase_of(name: &str) -> &str {
     name.split('.').next().unwrap_or(name)
 }
@@ -67,7 +74,7 @@ fn phase_rank(name: &str) -> usize {
 }
 
 fn is_informational(name: &str) -> bool {
-    INFORMATIONAL.contains(&phase_of(name))
+    INFORMATIONAL.contains(&phase_of(name)) || INFORMATIONAL_NAMES.contains(&name)
 }
 
 /// Compares two run documents (each the text of a file the tool
@@ -438,6 +445,40 @@ mod tests {
             out.report
         );
         assert!(out.report.contains("no divergence"), "{}", out.report);
+    }
+
+    #[test]
+    fn covering_steals_is_informational_but_siblings_diverge() {
+        // The steal tally of the parallel branch-and-bound is
+        // scheduling noise, but every other covering counter is part of
+        // the determinism contract.
+        let a = metrics(
+            &[("covering.steals", 2.0), ("covering.subtrees", 4.0)],
+            42.0,
+        );
+        let b = metrics(
+            &[("covering.steals", 7.0), ("covering.subtrees", 4.0)],
+            42.0,
+        );
+        let out = diff_texts("a", &a, "b", &b).unwrap();
+        assert!(!out.diverged, "{}", out.report);
+        assert!(
+            out.report.contains("info: counters.covering.steals"),
+            "{}",
+            out.report
+        );
+        let c = metrics(
+            &[("covering.steals", 2.0), ("covering.subtrees", 6.0)],
+            42.0,
+        );
+        let out = diff_texts("a", &a, "b", &c).unwrap();
+        assert!(out.diverged, "{}", out.report);
+        assert!(
+            out.report
+                .contains("DIVERGED at counters.covering.subtrees"),
+            "{}",
+            out.report
+        );
     }
 
     #[test]

@@ -77,6 +77,17 @@ fn assert_bit_identical(a: &SynthesisResult, b: &SynthesisResult) {
     assert_eq!(a.stats.solves_skipped, b.stats.solves_skipped);
     assert_eq!(a.stats.ucp_cols, b.stats.ucp_cols);
     assert_eq!(a.stats.ucp_rows, b.stats.ucp_rows);
+
+    // The covering solver's subtree fan-out and fold-level bound
+    // improvements are instance properties, independent of who ran
+    // the subtrees.
+    for key in ["covering.subtrees", "covering.shared_bound_tightenings"] {
+        assert_eq!(
+            a.stats.counters.get(key),
+            b.stats.counters.get(key),
+            "{key} differs across thread counts"
+        );
+    }
 }
 
 proptest! {
@@ -123,4 +134,6 @@ fn exec_counters_present_but_steals_excluded() {
     assert!(r.stats.counters.contains_key("exec.tasks"));
     assert!(!r.stats.counters.contains_key("exec.steals"));
     assert!(r.stats.counters.contains_key("merging.k2.examined"));
+    assert!(r.stats.counters.contains_key("covering.subtrees"));
+    assert!(!r.stats.counters.contains_key("covering.steals"));
 }
